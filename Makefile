@@ -1,0 +1,37 @@
+# Convenience targets for the rijndaelip reproduction.
+
+GO ?= go
+
+.PHONY: all test short bench vet examples reports verify clean
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/smartcard
+	$(GO) run ./examples/backbone
+	$(GO) run ./examples/securechannel
+
+reports:
+	$(GO) run ./cmd/synthreport -sync -power -harden
+	$(GO) run ./cmd/ipcompare -ablation
+
+verify:
+	$(GO) run ./cmd/verifyall -full
+
+clean:
+	$(GO) clean ./...
+	rm -f aes128.vcd aes128.v aes128.blif test_output.txt bench_output.txt

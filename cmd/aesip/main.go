@@ -1,0 +1,121 @@
+// Command aesip pushes blocks through the cycle-accurate simulation of the
+// Rijndael IP: it loads a key over the Table 1 bus interface, processes hex
+// blocks, verifies every result against the FIPS-197 software reference
+// and reports the protocol timing.
+//
+//	aesip -key 2b7e151628aed2a6abf7158809cf4f3c -in 3243f6a8885a308d313198a2e0370734
+//	aesip -variant both -dec -key ... -in ...
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rijndaelip"
+	"rijndaelip/internal/rtl"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "aesip: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	keyHex := flag.String("key", "000102030405060708090a0b0c0d0e0f", "128-bit key, hex")
+	inHex := flag.String("in", "00112233445566778899aabbccddeeff", "one or more 16-byte blocks, hex, comma separated")
+	dec := flag.Bool("dec", false, "decrypt instead of encrypt")
+	variantName := flag.String("variant", "", "device variant: encrypt, decrypt or both (default: matches the operation)")
+	deviceName := flag.String("device", "acex", "device model: acex or cyclone")
+	sync := flag.Bool("sync", false, "use the synchronous-ROM future-work core")
+	flag.Parse()
+
+	key, err := hex.DecodeString(*keyHex)
+	if err != nil || len(key) != 16 {
+		fail("key must be 32 hex digits")
+	}
+
+	variant := rijndaelip.Encrypt
+	if *dec {
+		variant = rijndaelip.Decrypt
+	}
+	switch strings.ToLower(*variantName) {
+	case "":
+	case "encrypt", "enc":
+		variant = rijndaelip.Encrypt
+	case "decrypt", "dec":
+		variant = rijndaelip.Decrypt
+	case "both":
+		variant = rijndaelip.Both
+	default:
+		fail("unknown variant %q", *variantName)
+	}
+
+	var dev rijndaelip.Device
+	switch strings.ToLower(*deviceName) {
+	case "acex", "acex1k":
+		dev = rijndaelip.Acex1K()
+	case "cyclone":
+		dev = rijndaelip.Cyclone()
+	default:
+		fail("unknown device %q", *deviceName)
+	}
+
+	var opts []rijndaelip.Options
+	if *sync {
+		style := rtl.ROMSync
+		opts = append(opts, rijndaelip.Options{ROMStyle: &style})
+	}
+	impl, err := rijndaelip.Build(variant, dev, opts...)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("core %s on %s: %d LCs, %d memory bits, clk %.2f ns, %d cycles/block\n",
+		impl.Core.Design.Name, dev.Name, impl.Fit.LogicCells, impl.Fit.MemoryBits,
+		impl.ClockNS(), impl.Core.BlockLatency)
+
+	drv := impl.NewDriver()
+	setupCycles, err := drv.LoadKey(key)
+	if err != nil {
+		fail("LoadKey: %v", err)
+	}
+	fmt.Printf("key loaded in %d cycles\n", setupCycles)
+
+	ref, err := rijndaelip.NewCipher(key)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	for _, blockHex := range strings.Split(*inHex, ",") {
+		block, err := hex.DecodeString(strings.TrimSpace(blockHex))
+		if err != nil || len(block) != 16 {
+			fail("block %q must be 32 hex digits", blockHex)
+		}
+		out, cycles, err := drv.Process(block, !*dec)
+		if err != nil {
+			fail("process: %v", err)
+		}
+		want := make([]byte, 16)
+		if *dec {
+			ref.Decrypt(want, block)
+		} else {
+			ref.Encrypt(want, block)
+		}
+		status := "OK (matches FIPS-197 reference)"
+		if !bytes.Equal(out, want) {
+			status = fmt.Sprintf("MISMATCH (reference %x)", want)
+		}
+		op := "encrypt"
+		if *dec {
+			op = "decrypt"
+		}
+		fmt.Printf("%s %x -> %x  [%d cycles, %.0f ns at %.2f ns clk]  %s\n",
+			op, block, out, cycles, float64(cycles)*impl.ClockNS(), impl.ClockNS(), status)
+		if !bytes.Equal(out, want) {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command ipcompare regenerates the paper's Table 3: the comparison of the
+// low-occupation IP against other published FPGA implementations. The
+// literature rows carry the figures legible in the archived paper;
+// comparison architectures with illegible figures are reimplemented in
+// this repository (byte-serial low-cost core, fully parallel 128-bit core)
+// and synthesized through the same flow, so the qualitative comparison —
+// who wins on area, who on throughput — is regenerated rather than quoted.
+//
+// With -ablation it also prints the §6 datapath-width ablation on the
+// paper's primary device.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rijndaelip"
+	"rijndaelip/internal/report"
+)
+
+func main() {
+	ablation := flag.Bool("ablation", false, "also print the datapath-width ablation (8/32/mixed/128)")
+	flag.Parse()
+
+	rows, err := rijndaelip.Table3()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipcompare:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Table 3 — comparison with published FPGA implementations")
+	fmt.Println()
+	fmt.Print(report.RenderTable3(rows))
+
+	if *ablation {
+		fmt.Println()
+		fmt.Println("Datapath-width ablation (encryptors, Acex1K unless stated):")
+		fmt.Printf("  %-22s %8s %10s %9s %9s %11s\n",
+			"architecture", "LCs", "mem bits", "clk ns", "cycles", "Mbps")
+		for _, w := range []rijndaelip.BaselineWidth{rijndaelip.Width8, rijndaelip.Width32} {
+			r, err := rijndaelip.BuildBaseline(w, rijndaelip.Acex1K())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ipcompare:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %-22s %8d %10d %9.2f %9d %11.0f\n",
+				fmt.Sprintf("%d-bit serial", int(w)), r.Fit.LogicCells, r.Fit.MemoryBits,
+				r.ClockNS(), r.Core.BlockLatency, r.ThroughputMbps())
+		}
+		impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipcompare:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-22s %8d %10d %9.2f %9d %11.0f   <- the paper's choice\n",
+			"mixed 32/128", impl.Fit.LogicCells, impl.Fit.MemoryBits,
+			impl.ClockNS(), impl.Core.BlockLatency, impl.ThroughputMbps())
+		w128, err := rijndaelip.BuildBaseline(rijndaelip.Width128, rijndaelip.Acex1K())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipcompare:", err)
+			os.Exit(1)
+		}
+		if w128.FitError != nil {
+			fmt.Printf("  %-22s does not fit EP1K100: %v\n", "128-bit parallel", w128.FitError)
+		}
+		w128a, err := rijndaelip.BuildBaseline(rijndaelip.Width128, rijndaelip.Apex20KE())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipcompare:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-22s %8d %10d %9.2f %9d %11.0f   (Apex20KE)\n",
+			"128-bit parallel", w128a.Fit.LogicCells, w128a.Fit.MemoryBits,
+			w128a.ClockNS(), w128a.Core.BlockLatency, w128a.ThroughputMbps())
+		fmt.Println()
+		fmt.Println("  §6 check: the 128-bit core's critical path runs through the key schedule:")
+		fmt.Print(indent(w128a.Timing.String(), "    "))
+	}
+}
+
+func indent(s, pad string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += pad + s[start:i+1]
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out += pad + s[start:]
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Command synthreport runs the complete synthesis flow — core generation,
+// AIG construction, 4-LUT technology mapping, device fitting and static
+// timing analysis — for every variant of the Rijndael IP on both of the
+// paper's devices, and prints the reproduction of Table 2 next to the
+// published numbers, followed by the qualitative shape checks.
+//
+// With -sync it additionally reports the paper's future-work variant:
+// synchronous M4K ROM S-boxes on Cyclone (6 cycles per round).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rijndaelip"
+	"rijndaelip/internal/report"
+	"rijndaelip/internal/rtl"
+)
+
+func main() {
+	syncToo := flag.Bool("sync", false, "also report the synchronous-ROM future-work variant on Cyclone")
+	verbose := flag.Bool("v", false, "print per-cell fit and critical-path details")
+	powerToo := flag.Bool("power", false, "also run the §6 future-work power analysis per variant")
+	hardenToo := flag.Bool("harden", false, "also report the TMR-hardened (SEU-tolerant) builds")
+	flag.Parse()
+
+	pairs, err := rijndaelip.Table2()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synthreport:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Table 2 — performance and occupation (paper/measured)")
+	fmt.Println()
+	fmt.Print(report.RenderTable2(pairs))
+	fmt.Println()
+
+	violations := report.ShapeChecks(rijndaelip.MeasuredTable2(pairs))
+	if len(violations) == 0 {
+		fmt.Println("shape checks: all of the paper's qualitative claims hold on the reproduction")
+	} else {
+		fmt.Println("shape checks: VIOLATIONS")
+		for _, v := range violations {
+			fmt.Println("  -", v)
+		}
+	}
+
+	if *verbose {
+		fmt.Println()
+		for _, v := range []rijndaelip.Variant{rijndaelip.Encrypt, rijndaelip.Decrypt, rijndaelip.Both} {
+			for _, dev := range []rijndaelip.Device{rijndaelip.Acex1K(), rijndaelip.Cyclone()} {
+				impl, err := rijndaelip.Build(v, dev)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "synthreport:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("--- %v on %s ---\n", v, dev.Name)
+				fmt.Print(impl.Fit)
+				fmt.Print(impl.Timing)
+				fmt.Println()
+			}
+		}
+	}
+
+	if *powerToo {
+		reportPower(rijndaelip.Acex1K())
+		reportPower(rijndaelip.Cyclone())
+	}
+	if *hardenToo {
+		reportHardened()
+	}
+	if *syncToo {
+		fmt.Println()
+		fmt.Println("Future work (paper §5): synchronous M4K ROM S-boxes on Cyclone (6 cycles/round)")
+		style := rtl.ROMSync
+		for _, v := range []rijndaelip.Variant{rijndaelip.Encrypt, rijndaelip.Decrypt, rijndaelip.Both} {
+			impl, err := rijndaelip.Build(v, rijndaelip.Cyclone(), rijndaelip.Options{ROMStyle: &style})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "synthreport:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %-8v LC=%-5d mem=%-6d clk=%5.2fns latency=%4.0fns (%d cycles) throughput=%4.0f Mbps\n",
+				v, impl.Fit.LogicCells, impl.Fit.MemoryBits, impl.ClockNS(),
+				impl.LatencyNS(), impl.Core.BlockLatency, impl.ThroughputMbps())
+		}
+	}
+}
+
+// reportPower prints the §6 power analysis for the three variants on a
+// device.
+func reportPower(dev rijndaelip.Device) {
+	fmt.Println()
+	fmt.Printf("Power analysis (§6 future work) on %s, 8 blocks each:\n", dev.Name)
+	key := []byte("synthreport-key!")
+	for _, v := range []rijndaelip.Variant{rijndaelip.Encrypt, rijndaelip.Decrypt, rijndaelip.Both} {
+		impl, err := rijndaelip.Build(v, dev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synthreport:", err)
+			os.Exit(1)
+		}
+		rep, err := impl.MeasurePower(key, 8)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synthreport:", err)
+			os.Exit(1)
+		}
+		perBlock := rep.DynamicEnergyNJ / 8
+		fmt.Printf("  %-8v %6.1f mW at %.2f ns clk | %6.1f nJ/block (logic %.1f, regs %.1f, mem %.1f, clock %.1f nJ)\n",
+			v, rep.PowerMW, impl.ClockNS(), perBlock,
+			rep.LogicNJ/8, rep.RegisterNJ/8, rep.MemoryNJ/8, rep.ClockNJ/8)
+	}
+}
+
+// reportHardened prints the TMR cost on the primary device.
+func reportHardened() {
+	fmt.Println()
+	fmt.Println("TMR-hardened builds (SEU-tolerant registers, cf. paper ref [16]) on Acex1K:")
+	for _, v := range []rijndaelip.Variant{rijndaelip.Encrypt, rijndaelip.Decrypt, rijndaelip.Both} {
+		impl, err := rijndaelip.Build(v, rijndaelip.Acex1K())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synthreport:", err)
+			os.Exit(1)
+		}
+		hard, err := impl.Harden()
+		if err != nil {
+			fmt.Printf("  %-8v %v\n", v, err)
+			continue
+		}
+		fmt.Printf("  %-8v LC %d -> %d (+%.0f%%) | clk %.2f -> %.2f ns | %4.0f -> %4.0f Mbps | FFs x3 + %d voters\n",
+			v, impl.Fit.LogicCells, hard.Fit.LogicCells,
+			100*float64(hard.Fit.LogicCells-impl.Fit.LogicCells)/float64(impl.Fit.LogicCells),
+			impl.ClockNS(), hard.ClockNS(),
+			impl.ThroughputMbps(), hard.ThroughputMbps(), hard.Stats.VoterLUTs)
+	}
+}

@@ -1,0 +1,89 @@
+package rijndaelip_test
+
+import (
+	"fmt"
+
+	"rijndaelip"
+	"rijndaelip/internal/modes"
+)
+
+// ExampleBuild runs the complete flow for the paper's primary
+// configuration and prints the architectural constants (the calibrated
+// analog figures vary with the delay models, so the example sticks to the
+// exact ones).
+func ExampleBuild() {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cycles per round:", impl.Core.CyclesPerRound)
+	fmt.Println("block latency:", impl.Core.BlockLatency)
+	fmt.Println("memory bits:", impl.Fit.MemoryBits)
+	fmt.Println("pins:", impl.Fit.Pins)
+	// Output:
+	// cycles per round: 5
+	// block latency: 50
+	// memory bits: 16384
+	// pins: 261
+}
+
+// ExampleImplementation_NewDriver pushes the FIPS-197 Appendix B vector
+// through the cycle-accurate simulation.
+func ExampleImplementation_NewDriver() {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		panic(err)
+	}
+	drv := impl.NewDriver()
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	pt := []byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	if _, err := drv.LoadKey(key); err != nil {
+		panic(err)
+	}
+	ct, cycles, err := drv.Encrypt(pt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%x in %d cycles\n", ct, cycles)
+	// Output:
+	// 3925841d02dc09fbdc118597196a0b32 in 50 cycles
+}
+
+// ExampleNewCipher uses the software reference directly.
+func ExampleNewCipher() {
+	key := make([]byte, 16)
+	c, err := rijndaelip.NewCipher(key)
+	if err != nil {
+		panic(err)
+	}
+	pt := make([]byte, 16)
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt)
+	fmt.Printf("%x\n", ct[:8])
+	// Output:
+	// 66e94bd4ef8a2c3b
+}
+
+// ExampleImplementation_NewHardwareBlock runs a CMAC where every block
+// operation is a simulated bus transaction.
+func ExampleImplementation_NewHardwareBlock() {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		panic(err)
+	}
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	hw, err := impl.NewHardwareBlock(key)
+	if err != nil {
+		panic(err)
+	}
+	mac, err := modes.CMAC(hw, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%x\n", mac[:8])
+	// Output:
+	// bb1d6929e9593728
+}

@@ -1,0 +1,87 @@
+// Securechannel: authenticated encryption where every block-cipher call
+// is a full bus transaction against the cycle-accurate simulation of the
+// IP. GCM (and a CMAC tag) run as software protocols over the simulated
+// hardware, exactly how the paper's core would be deployed behind a
+// protocol stack — and the result is cross-checked against the Go
+// standard library's GCM over the software reference cipher.
+package main
+
+import (
+	"bytes"
+	stdcipher "crypto/cipher"
+	"fmt"
+	"log"
+
+	"rijndaelip"
+	"rijndaelip/internal/modes"
+)
+
+func main() {
+	impl, err := rijndaelip.Build(rijndaelip.Both, rijndaelip.Acex1K())
+	if err != nil {
+		log.Fatal(err)
+	}
+	key := []byte("session-key-2003")
+	hw, err := impl.NewHardwareBlock(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gcm, err := modes.NewGCM(hw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nonce := []byte("unique-nonce")
+	message := []byte("DATE'03 reproduction: this message is sealed by the simulated Rijndael IP core.")
+	header := []byte("channel-7")
+
+	sealed, err := gcm.Seal(nonce, message, header)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if hw.Err() != nil {
+		log.Fatal(hw.Err())
+	}
+	fmt.Printf("sealed %d bytes -> %d bytes (tag included)\n", len(message), len(sealed))
+	fmt.Printf("hardware cycles spent: %d (%.1f us at %.2f ns clk)\n",
+		hw.Cycles, float64(hw.Cycles)*impl.ClockNS()/1000, impl.ClockNS())
+
+	// Cross-check against the standard library over the software cipher.
+	sw, err := rijndaelip.NewCipher(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := stdcipher.NewGCM(sw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := ref.Seal(nil, nonce, message, header)
+	if !bytes.Equal(sealed, want) {
+		log.Fatal("hardware-backed GCM disagrees with the reference")
+	}
+	fmt.Println("ciphertext+tag match crypto/cipher GCM over the software reference")
+
+	// Receiver side: open through the hardware too.
+	back, err := gcm.Open(nonce, sealed, header)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(back, message) {
+		log.Fatal("round trip failed")
+	}
+	fmt.Printf("opened: %q\n", back)
+
+	// Tampering is caught.
+	sealed[3] ^= 0x80
+	if _, err := gcm.Open(nonce, sealed, header); err == nil {
+		log.Fatal("tampered message accepted")
+	}
+	fmt.Println("tampered message rejected by the authentication tag")
+
+	// A CMAC over the same hardware, for key-diversification flows.
+	mac, err := modes.CMAC(hw, []byte("device-serial-0001"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hardware CMAC(device-serial-0001) = %x\n", mac)
+}

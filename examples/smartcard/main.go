@@ -1,0 +1,88 @@
+// Smartcard: the paper's low-cost scenario — "a low cost and small design
+// can be used in smart card applications". This example explores the
+// area corner of the design space on the low-cost Acex1K part:
+//
+//   - the paper's advice to drop the unused direction (an encrypt-only
+//     device instead of the combined core);
+//   - how far an even smaller (byte-serial) datapath can shrink the
+//     memory, and what it costs in throughput (§6's conclusion that the
+//     extra cycles are not bought back by the clock);
+//   - a functional check of the chosen encrypt-only core.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"rijndaelip"
+)
+
+func main() {
+	fmt.Println("area options on EP1K100FC484-1 (low-cost Acex1K):")
+	fmt.Println()
+
+	type row struct {
+		name string
+		lcs  int
+		mem  int
+		mbps float64
+	}
+	var rows []row
+
+	both, err := rijndaelip.Build(rijndaelip.Both, rijndaelip.Acex1K())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, row{"combined enc+dec (convenient)", both.Fit.LogicCells,
+		both.Fit.MemoryBits, both.ThroughputMbps()})
+
+	enc, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, row{"encrypt-only (paper's advice)", enc.Fit.LogicCells,
+		enc.Fit.MemoryBits, enc.ThroughputMbps()})
+
+	w8, err := rijndaelip.BuildBaseline(rijndaelip.Width8, rijndaelip.Acex1K())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, row{"byte-serial 8-bit (smaller?)", w8.Fit.LogicCells,
+		w8.Fit.MemoryBits, w8.ThroughputMbps()})
+
+	fmt.Printf("  %-30s %8s %10s %8s\n", "core", "LCs", "mem bits", "Mbps")
+	for _, r := range rows {
+		fmt.Printf("  %-30s %8d %10d %8.0f\n", r.name, r.lcs, r.mem, r.mbps)
+	}
+	fmt.Println()
+	fmt.Printf("dropping the decryptor saves %d LCs and %d memory bits;\n",
+		both.Fit.LogicCells-enc.Fit.LogicCells, both.Fit.MemoryBits-enc.Fit.MemoryBits)
+	fmt.Printf("the byte-serial core saves another %d memory bits but costs %.0fx throughput\n",
+		enc.Fit.MemoryBits-w8.Fit.MemoryBits, enc.ThroughputMbps()/w8.ThroughputMbps())
+	fmt.Println("(and even spends MORE logic on its byte-select muxes — §6's point)")
+	fmt.Println()
+
+	// A smartcard-style challenge-response: encrypt a challenge under a
+	// personalization key on the chosen encrypt-only core.
+	personalizationKey := []byte("card-master-key!")
+	challenge := []byte("AUTH-CHALLENGE-1")
+
+	drv := enc.NewDriver()
+	if _, err := drv.LoadKey(personalizationKey); err != nil {
+		log.Fatal(err)
+	}
+	response, cycles, err := drv.Encrypt(challenge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, _ := rijndaelip.NewCipher(personalizationKey)
+	want := make([]byte, 16)
+	ref.Encrypt(want, challenge)
+	if !bytes.Equal(response, want) {
+		log.Fatal("response does not match the reference")
+	}
+	fmt.Printf("challenge-response: %x -> %x in %d cycles (%.1f us at %.2f ns clk)\n",
+		challenge, response, cycles,
+		float64(cycles)*enc.ClockNS()/1000, enc.ClockNS())
+}

@@ -1,0 +1,3 @@
+module rijndaelip
+
+go 1.22

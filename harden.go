@@ -1,0 +1,51 @@
+package rijndaelip
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/fpga"
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/timing"
+	"rijndaelip/internal/tmr"
+)
+
+// HardenedResult is a TMR-hardened build of an implementation: the §6
+// future-work pointer to a radiation-tolerant version of the IP, with its
+// area and timing cost measured through the same fitter and STA.
+type HardenedResult struct {
+	Base    *Implementation
+	Netlist *netlist.Netlist
+	Stats   tmr.Stats
+	Fit     fpga.FitResult
+	Timing  timing.Result
+}
+
+// Harden triplicates every register of the mapped netlist with majority
+// voters (see internal/tmr) and re-runs fitting and timing on the device.
+func (im *Implementation) Harden() (*HardenedResult, error) {
+	hard, st, err := tmr.Harden(im.Netlist.nl)
+	if err != nil {
+		return nil, err
+	}
+	fit, err := fpga.Fit(hard, im.Device)
+	if err != nil {
+		return nil, fmt.Errorf("rijndaelip: hardened core does not fit: %w", err)
+	}
+	sta, err := timing.Analyze(hard, im.Device.Delay)
+	if err != nil {
+		return nil, err
+	}
+	return &HardenedResult{Base: im, Netlist: hard, Stats: st, Fit: fit, Timing: sta}, nil
+}
+
+// ClockNS returns the hardened build's minimum period.
+func (h *HardenedResult) ClockNS() float64 { return h.Timing.Period }
+
+// ThroughputMbps returns the hardened build's throughput.
+func (h *HardenedResult) ThroughputMbps() float64 {
+	lat := h.Timing.Period * float64(h.Base.Core.BlockLatency)
+	if lat == 0 {
+		return 0
+	}
+	return 128 / lat * 1000
+}

@@ -1,0 +1,100 @@
+package aes
+
+import "fmt"
+
+// Cipher is a key-scheduled Rijndael instance. It implements the same
+// method set as crypto/cipher.Block so it can drop into standard modes, but
+// the implementation is entirely local to this repository.
+type Cipher struct {
+	rounds int
+	rks    [][]byte // round keys 0..rounds
+}
+
+// NewCipher expands the given 16/24/32-byte key and returns a ready cipher.
+func NewCipher(key []byte) (*Cipher, error) {
+	rks, err := RoundKeys(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Cipher{rounds: len(rks) - 1, rks: rks}, nil
+}
+
+// BlockSize returns the AES block size, 16 bytes.
+func (c *Cipher) BlockSize() int { return BlockSize }
+
+// Rounds returns the number of cipher rounds (10/12/14).
+func (c *Cipher) Rounds() int { return c.rounds }
+
+// RoundKey returns round key r (0..Rounds) as a 16-byte slice. Callers must
+// not modify it.
+func (c *Cipher) RoundKey(r int) []byte { return c.rks[r] }
+
+// Encrypt encrypts one 16-byte block from src into dst, following the
+// FIPS-197 §5.1 cipher: AddRoundKey(0); Nr-1 full rounds of
+// SubBytes/ShiftRows/MixColumns/AddRoundKey; a final round without
+// MixColumns. dst and src may overlap.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: Encrypt input not full block")
+	}
+	s := LoadState(src)
+	AddRoundKey(&s, c.rks[0])
+	for r := 1; r < c.rounds; r++ {
+		SubBytes(&s)
+		ShiftRows(&s)
+		MixColumns(&s)
+		AddRoundKey(&s, c.rks[r])
+	}
+	SubBytes(&s)
+	ShiftRows(&s)
+	AddRoundKey(&s, c.rks[c.rounds])
+	s.Store(dst)
+}
+
+// Decrypt decrypts one 16-byte block from src into dst, following the
+// FIPS-197 §5.3 inverse cipher. dst and src may overlap.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: Decrypt input not full block")
+	}
+	s := LoadState(src)
+	AddRoundKey(&s, c.rks[c.rounds])
+	for r := c.rounds - 1; r >= 1; r-- {
+		InvShiftRows(&s)
+		InvSubBytes(&s)
+		AddRoundKey(&s, c.rks[r])
+		InvMixColumns(&s)
+	}
+	InvShiftRows(&s)
+	InvSubBytes(&s)
+	AddRoundKey(&s, c.rks[0])
+	s.Store(dst)
+}
+
+// EncryptBlock is a convenience wrapper that allocates the output.
+func EncryptBlock(key, plaintext []byte) ([]byte, error) {
+	c, err := NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(plaintext) != BlockSize {
+		return nil, fmt.Errorf("aes: plaintext must be %d bytes, got %d", BlockSize, len(plaintext))
+	}
+	out := make([]byte, BlockSize)
+	c.Encrypt(out, plaintext)
+	return out, nil
+}
+
+// DecryptBlock is a convenience wrapper that allocates the output.
+func DecryptBlock(key, ciphertext []byte) ([]byte, error) {
+	c, err := NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) != BlockSize {
+		return nil, fmt.Errorf("aes: ciphertext must be %d bytes, got %d", BlockSize, len(ciphertext))
+	}
+	out := make([]byte, BlockSize)
+	c.Decrypt(out, ciphertext)
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// TestFIPSAppendixB checks the fully worked example of FIPS-197 Appendix B.
+func TestFIPSAppendixB(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := mustHex(t, "3243f6a8885a308d313198a2e0370734")
+	want := mustHex(t, "3925841d02dc09fbdc118597196a0b32")
+	got, err := EncryptBlock(key, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ciphertext = %x, want %x", got, want)
+	}
+	back, err := DecryptBlock(key, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("decrypt = %x, want %x", back, pt)
+	}
+}
+
+// TestFIPSAppendixC checks the example vectors of FIPS-197 Appendix C for
+// all three key sizes.
+func TestFIPSAppendixC(t *testing.T) {
+	pt := mustHex(t, "00112233445566778899aabbccddeeff")
+	cases := []struct{ name, key, ct string }{
+		{"AES128", "000102030405060708090a0b0c0d0e0f",
+			"69c4e0d86a7b0430d8cdb78070b4c55a"},
+		{"AES192", "000102030405060708090a0b0c0d0e0f1011121314151617",
+			"dda97ca4864cdfe06eaf70a0ec0d7191"},
+		{"AES256", "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+			"8ea2b7ca516745bfeafc49904b496089"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			key := mustHex(t, c.key)
+			want := mustHex(t, c.ct)
+			got, err := EncryptBlock(key, pt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("ciphertext = %x, want %x", got, want)
+			}
+			back, err := DecryptBlock(key, want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, pt) {
+				t.Fatalf("decrypt = %x, want %x", back, pt)
+			}
+		})
+	}
+}
+
+// TestAgainstStdlib cross-checks this from-scratch implementation against
+// the Go standard library on random keys and blocks for all key sizes.
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ks := range []int{16, 24, 32} {
+		for trial := 0; trial < 200; trial++ {
+			key := make([]byte, ks)
+			rng.Read(key)
+			pt := make([]byte, BlockSize)
+			rng.Read(pt)
+
+			ours, err := NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := stdaes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := make([]byte, BlockSize)
+			b := make([]byte, BlockSize)
+			ours.Encrypt(a, pt)
+			ref.Encrypt(b, pt)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("key %x pt %x: ours %x stdlib %x", key, pt, a, b)
+			}
+			ours.Decrypt(a, b)
+			if !bytes.Equal(a, pt) {
+				t.Fatalf("decrypt mismatch for key %x", key)
+			}
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(key [16]byte, pt [16]byte) bool {
+		c, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		var ct, back [16]byte
+		c.Encrypt(ct[:], pt[:])
+		c.Decrypt(back[:], ct[:])
+		return back == pt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptInPlace(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := mustHex(t, "3243f6a8885a308d313198a2e0370734")
+	want := mustHex(t, "3925841d02dc09fbdc118597196a0b32")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := append([]byte(nil), pt...)
+	c.Encrypt(buf, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("in-place encrypt = %x, want %x", buf, want)
+	}
+	c.Decrypt(buf, buf)
+	if !bytes.Equal(buf, pt) {
+		t.Fatalf("in-place decrypt = %x, want %x", buf, pt)
+	}
+}
+
+func TestInvalidKeySizes(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 23, 25, 31, 33, 64} {
+		if _, err := NewCipher(make([]byte, n)); err == nil {
+			t.Errorf("NewCipher accepted %d-byte key", n)
+		}
+	}
+}
+
+func TestRoundsPerKeySize(t *testing.T) {
+	for _, c := range []struct {
+		ks   KeySize
+		want int
+	}{{AES128, 10}, {AES192, 12}, {AES256, 14}} {
+		if got := c.ks.Rounds(); got != c.want {
+			t.Errorf("Rounds(%d) = %d, want %d", int(c.ks), got, c.want)
+		}
+	}
+}
+
+// TestAvalanche verifies the statistical avalanche property: flipping one
+// plaintext bit flips roughly half the ciphertext bits.
+func TestAvalanche(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	total, samples := 0, 0
+	for trial := 0; trial < 64; trial++ {
+		pt := make([]byte, BlockSize)
+		rng.Read(pt)
+		base := make([]byte, BlockSize)
+		c.Encrypt(base, pt)
+		bit := rng.Intn(128)
+		pt[bit/8] ^= 1 << (bit % 8)
+		flip := make([]byte, BlockSize)
+		c.Encrypt(flip, pt)
+		for i := range base {
+			d := base[i] ^ flip[i]
+			for d != 0 {
+				total += int(d & 1)
+				d >>= 1
+			}
+		}
+		samples++
+	}
+	avg := float64(total) / float64(samples)
+	if avg < 48 || avg > 80 {
+		t.Fatalf("avalanche average %v bits, want ~64", avg)
+	}
+}
+
+func BenchmarkEncryptSoftware(b *testing.B) {
+	key := make([]byte, 16)
+	c, _ := NewCipher(key)
+	buf := make([]byte, BlockSize)
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf, buf)
+	}
+}
+
+func BenchmarkDecryptSoftware(b *testing.B) {
+	key := make([]byte, 16)
+	c, _ := NewCipher(key)
+	buf := make([]byte, BlockSize)
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		c.Decrypt(buf, buf)
+	}
+}

@@ -1,0 +1,178 @@
+package aes
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/gf256"
+)
+
+// Word is a 32-bit key-schedule word stored as 4 bytes, most significant
+// (first key byte) first, matching FIPS-197's w[i] columns.
+type Word [4]byte
+
+// RotWord rotates a word left by one byte: [a0,a1,a2,a3] -> [a1,a2,a3,a0].
+func RotWord(w Word) Word { return Word{w[1], w[2], w[3], w[0]} }
+
+// SubWord applies the S-box to each byte of a word.
+func SubWord(w Word) Word {
+	return Word{gf256.SBox(w[0]), gf256.SBox(w[1]), gf256.SBox(w[2]), gf256.SBox(w[3])}
+}
+
+// KStran is the paper's name (Fig. 3) for the key-schedule core
+// transformation applied to the last word of the previous round key:
+// rotate left, substitute each byte through the S-box, then XOR the round
+// constant into the first byte.
+func KStran(w Word, round int) Word {
+	t := SubWord(RotWord(w))
+	t[0] ^= gf256.Rcon(round)
+	return t
+}
+
+// NextRoundKey128 advances an AES-128 round key by one round on the fly:
+// given round key i-1 (as 4 words) and the round number i (1..10), it
+// returns round key i. This is exactly the recurrence the hardware
+// implements each cycle-5.
+func NextRoundKey128(rk [4]Word, round int) [4]Word {
+	var out [4]Word
+	t := KStran(rk[3], round)
+	for b := 0; b < 4; b++ {
+		out[0][b] = rk[0][b] ^ t[b]
+	}
+	for w := 1; w < 4; w++ {
+		for b := 0; b < 4; b++ {
+			out[w][b] = rk[w][b] ^ out[w-1][b]
+		}
+	}
+	return out
+}
+
+// PrevRoundKey128 inverts NextRoundKey128: given round key i and the round
+// number i, it returns round key i-1. The decryptor uses this to walk the
+// key schedule backwards on the fly after deriving the final round key once
+// during setup.
+func PrevRoundKey128(rk [4]Word, round int) [4]Word {
+	var out [4]Word
+	// Undo the chain from the top down: w3 = w3' ^ w2', etc.
+	for w := 3; w >= 1; w-- {
+		for b := 0; b < 4; b++ {
+			out[w][b] = rk[w][b] ^ rk[w-1][b]
+		}
+	}
+	t := KStran(out[3], round)
+	for b := 0; b < 4; b++ {
+		out[0][b] = rk[0][b] ^ t[b]
+	}
+	return out
+}
+
+// KeySize selects the Rijndael cipher-key length.
+type KeySize int
+
+// Supported AES key sizes. The paper's hardware implements AES128 only; the
+// software reference supports all three for completeness.
+const (
+	AES128 KeySize = 16
+	AES192 KeySize = 24
+	AES256 KeySize = 32
+)
+
+// Rounds returns the number of cipher rounds Nr for the key size (FIPS-197
+// Fig. 4): 10, 12 or 14.
+func (k KeySize) Rounds() int {
+	switch k {
+	case AES128:
+		return 10
+	case AES192:
+		return 12
+	case AES256:
+		return 14
+	}
+	panic(fmt.Sprintf("aes: invalid key size %d", int(k)))
+}
+
+// nk returns the key length in 32-bit words.
+func (k KeySize) nk() int { return int(k) / 4 }
+
+// ExpandKey performs the FIPS-197 §5.2 key expansion, returning
+// 4*(Nr+1) words.
+func ExpandKey(key []byte) ([]Word, error) {
+	ks := KeySize(len(key))
+	switch ks {
+	case AES128, AES192, AES256:
+	default:
+		return nil, fmt.Errorf("aes: invalid key length %d (want 16, 24 or 32)", len(key))
+	}
+	nk := ks.nk()
+	nr := ks.Rounds()
+	w := make([]Word, 4*(nr+1))
+	for i := 0; i < nk; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	for i := nk; i < len(w); i++ {
+		t := w[i-1]
+		if i%nk == 0 {
+			t = SubWord(RotWord(t))
+			t[0] ^= gf256.Rcon(i / nk)
+		} else if nk > 6 && i%nk == 4 {
+			t = SubWord(t)
+		}
+		for b := 0; b < 4; b++ {
+			w[i][b] = w[i-nk][b] ^ t[b]
+		}
+	}
+	return w, nil
+}
+
+// RoundKeys flattens the expanded key schedule into (Nr+1) 16-byte round
+// keys in FIPS byte order.
+func RoundKeys(key []byte) ([][]byte, error) {
+	w, err := ExpandKey(key)
+	if err != nil {
+		return nil, err
+	}
+	nr := len(w)/4 - 1
+	rks := make([][]byte, nr+1)
+	for r := 0; r <= nr; r++ {
+		rk := make([]byte, BlockSize)
+		for i := 0; i < 4; i++ {
+			copy(rk[4*i:], w[4*r+i][:])
+		}
+		rks[r] = rk
+	}
+	return rks, nil
+}
+
+// LastRoundKey128 runs the forward AES-128 key schedule to produce the final
+// (round-10) round key as 4 words. This mirrors the decryptor's setup phase,
+// which spends 10 cycles deriving this value before it can decrypt.
+func LastRoundKey128(key []byte) ([4]Word, error) {
+	if len(key) != int(AES128) {
+		return [4]Word{}, fmt.Errorf("aes: LastRoundKey128 needs a 16-byte key, got %d", len(key))
+	}
+	var rk [4]Word
+	for i := 0; i < 4; i++ {
+		copy(rk[i][:], key[4*i:4*i+4])
+	}
+	for round := 1; round <= 10; round++ {
+		rk = NextRoundKey128(rk, round)
+	}
+	return rk, nil
+}
+
+// WordsToBytes flattens 4 schedule words to a 16-byte round key.
+func WordsToBytes(rk [4]Word) []byte {
+	out := make([]byte, BlockSize)
+	for i := 0; i < 4; i++ {
+		copy(out[4*i:], rk[i][:])
+	}
+	return out
+}
+
+// BytesToWords splits a 16-byte round key into 4 schedule words.
+func BytesToWords(rk []byte) [4]Word {
+	var w [4]Word
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], rk[4*i:4*i+4])
+	}
+	return w
+}

@@ -1,0 +1,171 @@
+package aes
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestExpandKeyFIPSA1 checks the first expansion steps of FIPS-197
+// Appendix A.1 (AES-128 key 2b7e...4f3c).
+func TestExpandKeyFIPSA1(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	w, err := ExpandKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{
+		0:  "2b7e1516",
+		3:  "09cf4f3c",
+		4:  "a0fafe17",
+		5:  "88542cb1",
+		6:  "23a33939",
+		7:  "2a6c7605",
+		10: "5935807a",
+		11: "7359f67f",
+		43: "b6630ca6",
+	}
+	for i, hexWant := range want {
+		got := w[i]
+		wantB := mustHex(t, hexWant)
+		if !bytes.Equal(got[:], wantB) {
+			t.Errorf("w[%d] = %x, want %s", i, got[:], hexWant)
+		}
+	}
+	if len(w) != 44 {
+		t.Fatalf("len(w) = %d, want 44", len(w))
+	}
+}
+
+func TestExpandKeySizes(t *testing.T) {
+	for _, c := range []struct{ n, words int }{{16, 44}, {24, 52}, {32, 60}} {
+		w, err := ExpandKey(make([]byte, c.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(w) != c.words {
+			t.Errorf("key size %d: %d words, want %d", c.n, len(w), c.words)
+		}
+	}
+	if _, err := ExpandKey(make([]byte, 20)); err == nil {
+		t.Error("ExpandKey accepted 20-byte key")
+	}
+}
+
+// TestKStranMatchesExpansion verifies Fig. 3: applying KStran + the XOR
+// chain round by round regenerates the full expanded AES-128 schedule.
+func TestKStranMatchesExpansion(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	w, err := ExpandKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk := BytesToWords(key)
+	for round := 1; round <= 10; round++ {
+		rk = NextRoundKey128(rk, round)
+		for i := 0; i < 4; i++ {
+			if rk[i] != w[4*round+i] {
+				t.Fatalf("round %d word %d: on-the-fly %x, expansion %x",
+					round, i, rk[i], w[4*round+i])
+			}
+		}
+	}
+}
+
+// TestPrevRoundKeyInvertsNext checks the decryptor's backwards key walk.
+func TestPrevRoundKeyInvertsNext(t *testing.T) {
+	f := func(key [16]byte, roundSeed uint8) bool {
+		round := int(roundSeed)%10 + 1
+		rk := BytesToWords(key[:])
+		next := NextRoundKey128(rk, round)
+		back := PrevRoundKey128(next, round)
+		return back == rk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBackwardsWalkFromLastKey reproduces the decryptor's full schedule:
+// setup derives round key 10, then PrevRoundKey128 regenerates 9..0.
+func TestBackwardsWalkFromLastKey(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	rks, err := RoundKeys(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := LastRoundKey128(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(WordsToBytes(last), rks[10]) {
+		t.Fatalf("LastRoundKey128 = %x, want %x", WordsToBytes(last), rks[10])
+	}
+	rk := last
+	for round := 10; round >= 1; round-- {
+		rk = PrevRoundKey128(rk, round)
+		if !bytes.Equal(WordsToBytes(rk), rks[round-1]) {
+			t.Fatalf("backwards walk at round %d: %x, want %x",
+				round-1, WordsToBytes(rk), rks[round-1])
+		}
+	}
+	if !bytes.Equal(WordsToBytes(rk), key) {
+		t.Fatalf("backwards walk did not recover the cipher key")
+	}
+}
+
+func TestRotWordSubWord(t *testing.T) {
+	w := Word{0x09, 0xCF, 0x4F, 0x3C}
+	rot := RotWord(w)
+	if rot != (Word{0xCF, 0x4F, 0x3C, 0x09}) {
+		t.Fatalf("RotWord = %x", rot)
+	}
+	// FIPS-197 A.1 round 1: after SubWord, 8a84eb01.
+	sub := SubWord(rot)
+	if sub != (Word{0x8A, 0x84, 0xEB, 0x01}) {
+		t.Fatalf("SubWord = %x, want 8a84eb01", sub)
+	}
+	// After Rcon XOR: 01 into first byte -> 8b84eb01.
+	ks := KStran(w, 1)
+	if ks != (Word{0x8B, 0x84, 0xEB, 0x01}) {
+		t.Fatalf("KStran = %x, want 8b84eb01", ks)
+	}
+}
+
+func TestWordsBytesRoundTrip(t *testing.T) {
+	f := func(b [16]byte) bool {
+		return bytes.Equal(WordsToBytes(BytesToWords(b[:])), b[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLastRoundKeyErrors(t *testing.T) {
+	if _, err := LastRoundKey128(make([]byte, 24)); err == nil {
+		t.Error("LastRoundKey128 accepted 24-byte key")
+	}
+}
+
+func TestRoundKeysMatchCipher(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	rks, err := RoundKeys(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rks) != c.Rounds()+1 {
+		t.Fatalf("len(rks) = %d", len(rks))
+	}
+	for r := range rks {
+		if !bytes.Equal(rks[r], c.RoundKey(r)) {
+			t.Fatalf("round key %d mismatch", r)
+		}
+	}
+	if !bytes.Equal(rks[0], key) {
+		t.Fatal("round key 0 must be the cipher key")
+	}
+}

@@ -1,0 +1,76 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"testing"
+)
+
+// TestMonteCarloEncrypt runs an AESAVS-style Monte Carlo chain: 1000
+// chained encryptions per key size, cross-checked against the standard
+// library at every step boundary. This catches state-handling bugs that
+// single-shot known-answer tests miss.
+func TestMonteCarloEncrypt(t *testing.T) {
+	for _, ks := range []int{16, 24, 32} {
+		key := make([]byte, ks)
+		for i := range key {
+			key[i] = byte(i * 7)
+		}
+		pt := make([]byte, 16)
+		for i := range pt {
+			pt[i] = byte(255 - i)
+		}
+		ours, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stdaes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := append([]byte(nil), pt...)
+		b := append([]byte(nil), pt...)
+		for i := 0; i < 1000; i++ {
+			ours.Encrypt(a, a)
+			ref.Encrypt(b, b)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("ks=%d: MCT diverged: %x vs %x", ks, a, b)
+		}
+		// And decrypt back down the chain.
+		for i := 0; i < 1000; i++ {
+			ours.Decrypt(a, a)
+		}
+		if !bytes.Equal(a, pt) {
+			t.Fatalf("ks=%d: MCT decrypt chain did not recover the start", ks)
+		}
+	}
+}
+
+// TestMonteCarloRijndaelWide chains the wide-block Rijndael variants and
+// verifies the decrypt chain inverts exactly.
+func TestMonteCarloRijndaelWide(t *testing.T) {
+	for _, bs := range []int{24, 32} {
+		r, err := NewRijndael([]byte("monte-carlo-key!"), bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := make([]byte, bs)
+		for i := range start {
+			start[i] = byte(i * 13)
+		}
+		buf := append([]byte(nil), start...)
+		for i := 0; i < 500; i++ {
+			r.Encrypt(buf, buf)
+		}
+		if bytes.Equal(buf, start) {
+			t.Fatalf("bs=%d: chain returned to start suspiciously early", bs)
+		}
+		for i := 0; i < 500; i++ {
+			r.Decrypt(buf, buf)
+		}
+		if !bytes.Equal(buf, start) {
+			t.Fatalf("bs=%d: MCT chain not inverted", bs)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package aes
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/gf256"
+)
+
+// Rijndael implements the full Rijndael cipher as submitted to the AES
+// contest: block sizes of 128, 192 and 256 bits combined with key sizes of
+// 128, 192 and 256 bits. AES (the Cipher type) is the Nb=4 subset, which
+// the paper's §2 recounts: "The AES specified a subset of Rijndael, fixing
+// the block size on 128".
+type Rijndael struct {
+	nb     int // block size in 32-bit columns (4, 6 or 8)
+	rounds int
+	rks    [][]byte // (rounds+1) round keys of 4*nb bytes
+}
+
+// NewRijndael builds a cipher for the given key and block sizes (each 16,
+// 24 or 32 bytes).
+func NewRijndael(key []byte, blockBytes int) (*Rijndael, error) {
+	nk := len(key) / 4
+	switch len(key) {
+	case 16, 24, 32:
+	default:
+		return nil, fmt.Errorf("aes: invalid Rijndael key length %d", len(key))
+	}
+	var nb int
+	switch blockBytes {
+	case 16, 24, 32:
+		nb = blockBytes / 4
+	default:
+		return nil, fmt.Errorf("aes: invalid Rijndael block length %d", blockBytes)
+	}
+	// Rijndael specification: Nr = max(Nk, Nb) + 6.
+	rounds := nk
+	if nb > nk {
+		rounds = nb
+	}
+	rounds += 6
+
+	// Key expansion (Rijndael generalization of FIPS-197 §5.2): the same
+	// recurrence over Nk-word groups, taking Nb words per round key.
+	total := nb * (rounds + 1)
+	w := make([]Word, total)
+	for i := 0; i < nk; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	for i := nk; i < total; i++ {
+		t := w[i-1]
+		if i%nk == 0 {
+			t = SubWord(RotWord(t))
+			t[0] ^= gf256.Rcon(i / nk)
+		} else if nk > 6 && i%nk == 4 {
+			t = SubWord(t)
+		}
+		for b := 0; b < 4; b++ {
+			w[i][b] = w[i-nk][b] ^ t[b]
+		}
+	}
+	rks := make([][]byte, rounds+1)
+	for r := range rks {
+		rk := make([]byte, 4*nb)
+		for c := 0; c < nb; c++ {
+			copy(rk[4*c:], w[nb*r+c][:])
+		}
+		rks[r] = rk
+	}
+	return &Rijndael{nb: nb, rounds: rounds, rks: rks}, nil
+}
+
+// BlockSize returns the block size in bytes.
+func (r *Rijndael) BlockSize() int { return 4 * r.nb }
+
+// Rounds returns the round count Nr.
+func (r *Rijndael) Rounds() int { return r.rounds }
+
+// shiftOffsets returns the per-row ShiftRow offsets C1..C3 for the block
+// size (Rijndael specification Table: {1,2,3} for Nb=4 and 6, {1,3,4} for
+// Nb=8).
+func (r *Rijndael) shiftOffsets() [4]int {
+	if r.nb == 8 {
+		return [4]int{0, 1, 3, 4}
+	}
+	return [4]int{0, 1, 2, 3}
+}
+
+// state is column-major: state[row][col].
+type rjState [][]byte
+
+func (r *Rijndael) load(block []byte) rjState {
+	s := make(rjState, 4)
+	for row := 0; row < 4; row++ {
+		s[row] = make([]byte, r.nb)
+		for col := 0; col < r.nb; col++ {
+			s[row][col] = block[4*col+row]
+		}
+	}
+	return s
+}
+
+func (r *Rijndael) store(s rjState, block []byte) {
+	for row := 0; row < 4; row++ {
+		for col := 0; col < r.nb; col++ {
+			block[4*col+row] = s[row][col]
+		}
+	}
+}
+
+func (r *Rijndael) subBytes(s rjState, inverse bool) {
+	for row := range s {
+		for col := range s[row] {
+			if inverse {
+				s[row][col] = gf256.InvSBox(s[row][col])
+			} else {
+				s[row][col] = gf256.SBox(s[row][col])
+			}
+		}
+	}
+}
+
+func (r *Rijndael) shiftRows(s rjState, inverse bool) {
+	off := r.shiftOffsets()
+	for row := 1; row < 4; row++ {
+		n := off[row]
+		if inverse {
+			n = r.nb - n
+		}
+		rot := make([]byte, r.nb)
+		for col := 0; col < r.nb; col++ {
+			rot[col] = s[row][(col+n)%r.nb]
+		}
+		copy(s[row], rot)
+	}
+}
+
+func (r *Rijndael) mixColumns(s rjState, inverse bool) {
+	for col := 0; col < r.nb; col++ {
+		var in [4]byte
+		for row := 0; row < 4; row++ {
+			in[row] = s[row][col]
+		}
+		var out [4]byte
+		if inverse {
+			out = InvMixColumnWord(in)
+		} else {
+			out = MixColumnWord(in)
+		}
+		for row := 0; row < 4; row++ {
+			s[row][col] = out[row]
+		}
+	}
+}
+
+func (r *Rijndael) addRoundKey(s rjState, rk []byte) {
+	for col := 0; col < r.nb; col++ {
+		for row := 0; row < 4; row++ {
+			s[row][col] ^= rk[4*col+row]
+		}
+	}
+}
+
+// Encrypt encrypts one block (BlockSize bytes) from src into dst.
+func (r *Rijndael) Encrypt(dst, src []byte) {
+	if len(src) < r.BlockSize() || len(dst) < r.BlockSize() {
+		panic("aes: Rijndael Encrypt input not a full block")
+	}
+	s := r.load(src)
+	r.addRoundKey(s, r.rks[0])
+	for round := 1; round < r.rounds; round++ {
+		r.subBytes(s, false)
+		r.shiftRows(s, false)
+		r.mixColumns(s, false)
+		r.addRoundKey(s, r.rks[round])
+	}
+	r.subBytes(s, false)
+	r.shiftRows(s, false)
+	r.addRoundKey(s, r.rks[r.rounds])
+	r.store(s, dst)
+}
+
+// Decrypt decrypts one block from src into dst.
+func (r *Rijndael) Decrypt(dst, src []byte) {
+	if len(src) < r.BlockSize() || len(dst) < r.BlockSize() {
+		panic("aes: Rijndael Decrypt input not a full block")
+	}
+	s := r.load(src)
+	r.addRoundKey(s, r.rks[r.rounds])
+	for round := r.rounds - 1; round >= 1; round-- {
+		r.shiftRows(s, true)
+		r.subBytes(s, true)
+		r.addRoundKey(s, r.rks[round])
+		r.mixColumns(s, true)
+	}
+	r.shiftRows(s, true)
+	r.subBytes(s, true)
+	r.addRoundKey(s, r.rks[0])
+	r.store(s, dst)
+}

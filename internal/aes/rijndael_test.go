@@ -1,0 +1,177 @@
+package aes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRijndaelMatchesAESForNb4(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, ks := range []int{16, 24, 32} {
+		for trial := 0; trial < 40; trial++ {
+			key := make([]byte, ks)
+			rng.Read(key)
+			pt := make([]byte, 16)
+			rng.Read(pt)
+			rj, err := NewRijndael(key, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			std, err := NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := make([]byte, 16)
+			b := make([]byte, 16)
+			rj.Encrypt(a, pt)
+			std.Encrypt(b, pt)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("ks=%d: Rijndael Nb=4 disagrees with AES: %x vs %x", ks, a, b)
+			}
+			rj.Decrypt(a, a)
+			if !bytes.Equal(a, pt) {
+				t.Fatalf("ks=%d: Rijndael decrypt failed", ks)
+			}
+		}
+	}
+}
+
+func TestRijndaelRoundCounts(t *testing.T) {
+	// Nr = max(Nk, Nb) + 6.
+	cases := []struct{ ks, bs, want int }{
+		{16, 16, 10}, {24, 16, 12}, {32, 16, 14},
+		{16, 24, 12}, {24, 24, 12}, {32, 24, 14},
+		{16, 32, 14}, {24, 32, 14}, {32, 32, 14},
+	}
+	for _, c := range cases {
+		r, err := NewRijndael(make([]byte, c.ks), c.bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rounds() != c.want {
+			t.Errorf("Nk=%d Nb=%d: rounds %d, want %d", c.ks/4, c.bs/4, r.Rounds(), c.want)
+		}
+		if r.BlockSize() != c.bs {
+			t.Errorf("block size %d, want %d", r.BlockSize(), c.bs)
+		}
+	}
+}
+
+func TestRijndaelRoundTripAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, ks := range []int{16, 24, 32} {
+		for _, bs := range []int{16, 24, 32} {
+			r, err := NewRijndael(randSlice(rng, ks), bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 20; trial++ {
+				pt := randSlice(rng, bs)
+				ct := make([]byte, bs)
+				back := make([]byte, bs)
+				r.Encrypt(ct, pt)
+				if bytes.Equal(ct, pt) {
+					t.Fatalf("ks=%d bs=%d: ciphertext equals plaintext", ks, bs)
+				}
+				r.Decrypt(back, ct)
+				if !bytes.Equal(back, pt) {
+					t.Fatalf("ks=%d bs=%d: round trip failed", ks, bs)
+				}
+			}
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestRijndaelShiftOffsets(t *testing.T) {
+	r6, _ := NewRijndael(make([]byte, 16), 24)
+	if r6.shiftOffsets() != [4]int{0, 1, 2, 3} {
+		t.Error("Nb=6 offsets must be {1,2,3}")
+	}
+	r8, _ := NewRijndael(make([]byte, 16), 32)
+	if r8.shiftOffsets() != [4]int{0, 1, 3, 4} {
+		t.Error("Nb=8 offsets must be {1,3,4}")
+	}
+}
+
+func TestRijndaelInvalidSizes(t *testing.T) {
+	if _, err := NewRijndael(make([]byte, 20), 16); err == nil {
+		t.Error("bad key size accepted")
+	}
+	if _, err := NewRijndael(make([]byte, 16), 20); err == nil {
+		t.Error("bad block size accepted")
+	}
+}
+
+func TestRijndaelAvalancheWideBlocks(t *testing.T) {
+	for _, bs := range []int{24, 32} {
+		r, err := NewRijndael([]byte("wide-block-key!!"), bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(bs)))
+		total, samples := 0, 0
+		for trial := 0; trial < 48; trial++ {
+			pt := randSlice(rng, bs)
+			base := make([]byte, bs)
+			r.Encrypt(base, pt)
+			bit := rng.Intn(bs * 8)
+			pt[bit/8] ^= 1 << (bit % 8)
+			flip := make([]byte, bs)
+			r.Encrypt(flip, pt)
+			for i := range base {
+				d := base[i] ^ flip[i]
+				for d != 0 {
+					total += int(d & 1)
+					d >>= 1
+				}
+			}
+			samples++
+		}
+		avg := float64(total) / float64(samples)
+		want := float64(bs * 8 / 2)
+		if avg < want*0.75 || avg > want*1.25 {
+			t.Errorf("bs=%d: avalanche %.1f bits, want ~%.0f", bs, avg, want)
+		}
+	}
+}
+
+func TestRijndaelEncDecDistinctPerSize(t *testing.T) {
+	// The same key must yield different ciphertexts for different block
+	// sizes (sanity against accidental size-independent behaviour).
+	key := make([]byte, 16)
+	pt := make([]byte, 32)
+	r16, _ := NewRijndael(key, 16)
+	r32, _ := NewRijndael(key, 32)
+	a := make([]byte, 16)
+	b := make([]byte, 32)
+	r16.Encrypt(a, pt[:16])
+	r32.Encrypt(b, pt)
+	if bytes.Equal(a, b[:16]) {
+		t.Error("Nb=4 and Nb=8 produced identical prefixes")
+	}
+}
+
+func TestRijndaelQuickProperty(t *testing.T) {
+	f := func(key [24]byte, pt [24]byte) bool {
+		r, err := NewRijndael(key[:], 24)
+		if err != nil {
+			return false
+		}
+		ct := make([]byte, 24)
+		back := make([]byte, 24)
+		r.Encrypt(ct, pt[:])
+		r.Decrypt(back, ct)
+		return bytes.Equal(back, pt[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package aes is a from-scratch software reference implementation of the
+// Rijndael block cipher as standardized in FIPS-197 (AES), supporting 128-,
+// 192- and 256-bit cipher keys with the fixed 128-bit block size.
+//
+// This package is the golden model against which every hardware architecture
+// in this repository (the paper's mixed 32/128-bit IP and the baseline
+// datapaths) is verified. It favours clarity and direct correspondence to
+// the specification over speed; the hardware simulations are the performance
+// artifacts.
+package aes
+
+import "fmt"
+
+// BlockSize is the Rijndael/AES block size in bytes (128 bits).
+const BlockSize = 16
+
+// State is the 4x4 byte working variable of the cipher ("state_t" in the
+// paper, Fig. 1). It is stored column-major exactly as FIPS-197 maps input
+// bytes: input byte i goes to row i%4, column i/4.
+type State [4][4]byte
+
+// LoadState fills a State from a 16-byte block in the FIPS-197 byte order.
+func LoadState(block []byte) State {
+	if len(block) < BlockSize {
+		panic("aes: LoadState needs 16 bytes")
+	}
+	var s State
+	for i := 0; i < BlockSize; i++ {
+		s[i%4][i/4] = block[i]
+	}
+	return s
+}
+
+// Store writes the state back to a 16-byte block in the FIPS-197 byte order.
+func (s *State) Store(block []byte) {
+	if len(block) < BlockSize {
+		panic("aes: Store needs 16 bytes")
+	}
+	for i := 0; i < BlockSize; i++ {
+		block[i] = s[i%4][i/4]
+	}
+}
+
+// Bytes returns the state serialized as a fresh 16-byte slice.
+func (s *State) Bytes() []byte {
+	b := make([]byte, BlockSize)
+	s.Store(b)
+	return b
+}
+
+// Column returns column c of the state as a 4-byte word (row 0 first), the
+// 32-bit granule the paper's datapath processes per ByteSub cycle.
+func (s *State) Column(c int) [4]byte {
+	return [4]byte{s[0][c], s[1][c], s[2][c], s[3][c]}
+}
+
+// SetColumn replaces column c of the state.
+func (s *State) SetColumn(c int, w [4]byte) {
+	s[0][c], s[1][c], s[2][c], s[3][c] = w[0], w[1], w[2], w[3]
+}
+
+// String formats the state as four rows of hex bytes, matching the layout
+// of Fig. 1 in the paper.
+func (s State) String() string {
+	out := ""
+	for r := 0; r < 4; r++ {
+		out += fmt.Sprintf("%02x %02x %02x %02x", s[r][0], s[r][1], s[r][2], s[r][3])
+		if r != 3 {
+			out += "\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package aes
+
+import "rijndaelip/internal/gf256"
+
+// SubBytes applies the Rijndael S-box to every byte of the state (the
+// paper's "Byte Sub" transformation, Fig. 4).
+func SubBytes(s *State) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = gf256.SBox(s[r][c])
+		}
+	}
+}
+
+// InvSubBytes applies the inverse S-box to every byte of the state
+// ("IByte Sub").
+func InvSubBytes(s *State) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = gf256.InvSBox(s[r][c])
+		}
+	}
+}
+
+// ShiftRows rotates row r of the state left by r positions ("Shift Row",
+// Fig. 6 shows the inverse).
+func ShiftRows(s *State) {
+	for r := 1; r < 4; r++ {
+		var row [4]byte
+		for c := 0; c < 4; c++ {
+			row[c] = s[r][(c+r)%4]
+		}
+		for c := 0; c < 4; c++ {
+			s[r][c] = row[c]
+		}
+	}
+}
+
+// InvShiftRows rotates row r of the state right by r positions
+// ("IShift Row").
+func InvShiftRows(s *State) {
+	for r := 1; r < 4; r++ {
+		var row [4]byte
+		for c := 0; c < 4; c++ {
+			row[(c+r)%4] = s[r][c]
+		}
+		for c := 0; c < 4; c++ {
+			s[r][c] = row[c]
+		}
+	}
+}
+
+// MixColumnWord multiplies one state column by the fixed polynomial
+// {03}x^3 + {01}x^2 + {01}x + {02} modulo x^4+1 (FIPS-197 §5.1.3; the
+// paper's Fig. 7).
+func MixColumnWord(a [4]byte) [4]byte {
+	return [4]byte{
+		gf256.Mul(a[0], 2) ^ gf256.Mul(a[1], 3) ^ a[2] ^ a[3],
+		a[0] ^ gf256.Mul(a[1], 2) ^ gf256.Mul(a[2], 3) ^ a[3],
+		a[0] ^ a[1] ^ gf256.Mul(a[2], 2) ^ gf256.Mul(a[3], 3),
+		gf256.Mul(a[0], 3) ^ a[1] ^ a[2] ^ gf256.Mul(a[3], 2),
+	}
+}
+
+// InvMixColumnWord multiplies one state column by the inverse polynomial
+// {0b}x^3 + {0d}x^2 + {09}x + {0e} (FIPS-197 §5.3.3).
+func InvMixColumnWord(a [4]byte) [4]byte {
+	return [4]byte{
+		gf256.Mul(a[0], 0x0E) ^ gf256.Mul(a[1], 0x0B) ^ gf256.Mul(a[2], 0x0D) ^ gf256.Mul(a[3], 0x09),
+		gf256.Mul(a[0], 0x09) ^ gf256.Mul(a[1], 0x0E) ^ gf256.Mul(a[2], 0x0B) ^ gf256.Mul(a[3], 0x0D),
+		gf256.Mul(a[0], 0x0D) ^ gf256.Mul(a[1], 0x09) ^ gf256.Mul(a[2], 0x0E) ^ gf256.Mul(a[3], 0x0B),
+		gf256.Mul(a[0], 0x0B) ^ gf256.Mul(a[1], 0x0D) ^ gf256.Mul(a[2], 0x09) ^ gf256.Mul(a[3], 0x0E),
+	}
+}
+
+// MixColumns applies MixColumnWord to each column of the state
+// ("Mix Column").
+func MixColumns(s *State) {
+	for c := 0; c < 4; c++ {
+		s.SetColumn(c, MixColumnWord(s.Column(c)))
+	}
+}
+
+// InvMixColumns applies InvMixColumnWord to each column ("IMix Column").
+func InvMixColumns(s *State) {
+	for c := 0; c < 4; c++ {
+		s.SetColumn(c, InvMixColumnWord(s.Column(c)))
+	}
+}
+
+// AddRoundKey XORs a 16-byte round key (in FIPS byte order: key byte i is
+// applied to row i%4, column i/4) into the state ("Add Key"). It is its own
+// inverse.
+func AddRoundKey(s *State, rk []byte) {
+	if len(rk) < BlockSize {
+		panic("aes: AddRoundKey needs a 16-byte round key")
+	}
+	for i := 0; i < BlockSize; i++ {
+		s[i%4][i/4] ^= rk[i]
+	}
+}

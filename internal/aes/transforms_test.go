@@ -1,0 +1,227 @@
+package aes
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestStateLayout reproduces Fig. 1 of the paper: input bytes fill the 4x4
+// state column by column.
+func TestStateLayout(t *testing.T) {
+	block := make([]byte, 16)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	s := LoadState(block)
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			if s[r][c] != byte(4*c+r) {
+				t.Fatalf("state[%d][%d] = %d, want %d", r, c, s[r][c], 4*c+r)
+			}
+		}
+	}
+	out := s.Bytes()
+	if !bytes.Equal(out, block) {
+		t.Fatalf("Store/Load round trip failed: %x", out)
+	}
+}
+
+func TestStateColumns(t *testing.T) {
+	block := make([]byte, 16)
+	for i := range block {
+		block[i] = byte(i * 3)
+	}
+	s := LoadState(block)
+	for c := 0; c < 4; c++ {
+		w := s.Column(c)
+		for r := 0; r < 4; r++ {
+			if w[r] != s[r][c] {
+				t.Fatalf("Column(%d)[%d] mismatch", c, r)
+			}
+		}
+	}
+	s.SetColumn(2, [4]byte{9, 8, 7, 6})
+	if s[0][2] != 9 || s[3][2] != 6 {
+		t.Fatal("SetColumn did not write the column")
+	}
+}
+
+func TestShiftRowsKnown(t *testing.T) {
+	// Row r rotates left by r. Build a state where byte value encodes
+	// (row, col) and check destinations.
+	var s State
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = byte(16*r + c)
+		}
+	}
+	ShiftRows(&s)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := byte(16*r + (c+r)%4)
+			if s[r][c] != want {
+				t.Fatalf("ShiftRows s[%d][%d] = %#x, want %#x", r, c, s[r][c], want)
+			}
+		}
+	}
+}
+
+func TestShiftRowsRoundTrip(t *testing.T) {
+	f := func(b [16]byte) bool {
+		s := LoadState(b[:])
+		orig := s
+		ShiftRows(&s)
+		InvShiftRows(&s)
+		return s == orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubBytesRoundTrip(t *testing.T) {
+	f := func(b [16]byte) bool {
+		s := LoadState(b[:])
+		orig := s
+		SubBytes(&s)
+		InvSubBytes(&s)
+		return s == orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMixColumnKnown uses the classic MixColumns test column
+// db 13 53 45 -> 8e 4d a1 bc.
+func TestMixColumnKnown(t *testing.T) {
+	in := [4]byte{0xDB, 0x13, 0x53, 0x45}
+	want := [4]byte{0x8E, 0x4D, 0xA1, 0xBC}
+	if got := MixColumnWord(in); got != want {
+		t.Fatalf("MixColumnWord = %x, want %x", got, want)
+	}
+	if got := InvMixColumnWord(want); got != in {
+		t.Fatalf("InvMixColumnWord = %x, want %x", got, in)
+	}
+	// Identity column: 01 01 01 01 is fixed under MixColumns because the
+	// row sums of the MDS matrix are 1.
+	ones := [4]byte{1, 1, 1, 1}
+	if got := MixColumnWord(ones); got != ones {
+		t.Fatalf("MixColumnWord(1,1,1,1) = %x, want itself", got)
+	}
+}
+
+func TestMixColumnsRoundTrip(t *testing.T) {
+	f := func(b [16]byte) bool {
+		s := LoadState(b[:])
+		orig := s
+		MixColumns(&s)
+		InvMixColumns(&s)
+		return s == orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixColumnsLinear(t *testing.T) {
+	// MixColumns is GF(2)-linear: M(a^b) = M(a)^M(b).
+	f := func(a, b [4]byte) bool {
+		var x [4]byte
+		for i := range x {
+			x[i] = a[i] ^ b[i]
+		}
+		ma := MixColumnWord(a)
+		mb := MixColumnWord(b)
+		mx := MixColumnWord(x)
+		for i := range mx {
+			if mx[i] != ma[i]^mb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddRoundKeySelfInverse(t *testing.T) {
+	f := func(b, k [16]byte) bool {
+		s := LoadState(b[:])
+		orig := s
+		AddRoundKey(&s, k[:])
+		AddRoundKey(&s, k[:])
+		return s == orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundSchedule reproduces Fig. 2: the encryption executes ByteSub,
+// ShiftRow, MixColumn, AddKey per round with MixColumn skipped in the last
+// round; the composed sequence must equal Cipher.Encrypt.
+func TestRoundSchedule(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := mustHex(t, "3243f6a8885a308d313198a2e0370734")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := LoadState(pt)
+	AddRoundKey(&s, c.RoundKey(0))
+	for r := 1; r <= 10; r++ {
+		SubBytes(&s)
+		ShiftRows(&s)
+		if r != 10 {
+			MixColumns(&s)
+		}
+		AddRoundKey(&s, c.RoundKey(r))
+	}
+	got := s.Bytes()
+
+	want := make([]byte, 16)
+	c.Encrypt(want, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("manual round schedule %x != Encrypt %x", got, want)
+	}
+}
+
+// TestDecryptionOrder verifies the paper's stated inverse ordering:
+// Add Key, IMix Column, IShift Row, IByte Sub.
+func TestDecryptionOrder(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := mustHex(t, "00112233445566778899aabbccddeeff")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt)
+
+	s := LoadState(ct)
+	AddRoundKey(&s, c.RoundKey(10))
+	for r := 9; r >= 0; r-- {
+		InvShiftRows(&s)
+		InvSubBytes(&s)
+		AddRoundKey(&s, c.RoundKey(r))
+		if r != 0 {
+			InvMixColumns(&s)
+		}
+	}
+	if !bytes.Equal(s.Bytes(), pt) {
+		t.Fatalf("manual inverse schedule = %x, want %x", s.Bytes(), pt)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	var s State
+	s[0][0] = 0xAB
+	str := s.String()
+	if len(str) == 0 || str[:2] != "ab" {
+		t.Fatalf("State.String() = %q", str)
+	}
+}

@@ -1,0 +1,131 @@
+// Package baseline implements the alternative AES-128 datapath widths the
+// paper discusses around its mixed 32/128-bit choice:
+//
+//   - an all-32-bit datapath (every function runs 32 bits per cycle), the
+//     12-cycles-per-round organization §4 of the paper compares against;
+//   - a fully parallel 128-bit datapath (16 data S-boxes, one round per
+//     cycle), representative of the high-performance cores of Table 3
+//     ([1], [15]) and of §6's claim that wide cores are limited by the key
+//     schedule;
+//   - a byte-serial 8-bit datapath with a single shared S-box,
+//     representative of §6's "smaller architecture" discussion and the
+//     low-cost core of Table 3 ([14]).
+//
+// All three are encrypt-only, expose the same Table 1 bus interface as the
+// paper's IP, and are assembled from the same verified datapath networks,
+// so occupancy/timing comparisons reflect architecture alone.
+package baseline
+
+import (
+	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/gf256"
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/rtl"
+)
+
+// Core is a generated baseline encryptor.
+type Core struct {
+	Name           string
+	Design         *rtl.Design
+	BlockLatency   int
+	KeySetupCycles int
+	CyclesPerRound int
+	SBoxROMs       int
+}
+
+// NewDriver returns a bus-functional driver over a fresh simulation.
+func (c *Core) NewDriver() *bfm.Driver {
+	return bfm.NewDUT(bfm.DUT{
+		Sim:            c.Design.NewSimulator(),
+		BlockLatency:   c.BlockLatency,
+		KeySetupCycles: c.KeySetupCycles,
+		HasEncrypt:     true,
+		Name:           c.Name,
+	})
+}
+
+// frontend bundles the bus interface and handshake registers shared by all
+// baseline encryptors (the Data In / Key In / Out processes of Fig. 8).
+type frontend struct {
+	b *rtl.Builder
+	g *logic.Net
+
+	din       rtl.Bus
+	dinReg    *rtl.Reg
+	keyReg    *rtl.Reg
+	pending   *rtl.Reg
+	busy      *rtl.Reg
+	doutReg   *rtl.Reg
+	dataOkReg *rtl.Reg
+	// stall is a forward-declared occupancy extension: architectures with
+	// a key-setup walk (the precomputed-key baseline) connect it; finish
+	// ties it low otherwise.
+	stall *rtl.Reg
+
+	keyLoad logic.Lit
+	ld      logic.Lit
+	loadVal rtl.Bus // din (or buffered din) XOR cipher key: AddRoundKey(0)
+	busyQ   logic.Lit
+}
+
+func newFrontend(name string) *frontend {
+	b := rtl.NewBuilder(name)
+	g := b.Logic()
+	f := &frontend{b: b, g: g}
+
+	b.Input("clk", 1)
+	setup := b.Input("setup", 1)[0]
+	wrData := b.Input("wr_data", 1)[0]
+	wrKey := b.Input("wr_key", 1)[0]
+	f.din = b.Input("din", 128)
+
+	f.dinReg = b.Reg("din_reg", 128)
+	f.keyReg = b.Reg("key_reg", 128)
+	f.pending = b.Reg("pending", 1)
+	f.busy = b.Reg("busy", 1)
+	f.doutReg = b.Reg("dout_reg", 128)
+	keyvalid := b.Reg("keyvalid", 1)
+	dataOk := b.Reg("data_ok_reg", 1)
+
+	f.stall = b.Reg("stall", 1)
+	f.busyQ = f.busy.Q[0]
+	pendingQ := f.pending.Q[0]
+	f.keyLoad = g.AndN(wrKey, setup, logic.Not(f.busyQ), logic.Not(f.stall.Q[0]))
+	occupied := g.OrN(f.busyQ, logic.Not(keyvalid.Q[0]), f.keyLoad, f.stall.Q[0])
+	f.ld = g.AndN(logic.Not(occupied), g.Or(pendingQ, wrData))
+
+	src := g.MuxVector(pendingQ, f.dinReg.Q, f.din)
+	f.loadVal = g.XorVector(src, f.keyReg.Q)
+
+	f.dinReg.SetNext(f.din, wrData)
+	f.keyReg.SetNext(f.din, f.keyLoad)
+	keyvalid.SetNext(rtl.Bus{g.Or(keyvalid.Q[0], f.keyLoad)}, logic.True)
+	f.pending.SetNext(rtl.Bus{g.Mux(f.ld, g.And(pendingQ, wrData),
+		g.Or(pendingQ, g.And(wrData, occupied)))}, logic.True)
+
+	// dataOk set at completion, cleared when a new block loads; the
+	// completion literal arrives via finish().
+	f.dataOkReg = dataOk
+	return f
+}
+
+// finish wires the completion condition: final is the cycle whose edge
+// latches result into the output register and releases busy.
+func (f *frontend) finish(final logic.Lit, result rtl.Bus) {
+	g := f.g
+	if !f.stall.Connected() {
+		f.stall.SetNext(rtl.Const(1, 0), logic.True)
+	}
+	f.busy.SetNext(rtl.Bus{g.Or(f.ld, g.And(f.busyQ, logic.Not(final)))}, logic.True)
+	f.doutReg.SetNext(result, final)
+	f.dataOkReg.SetNext(rtl.Bus{g.Or(final, g.And(f.dataOkReg.Q[0], logic.Not(f.ld)))},
+		logic.True)
+	f.b.Output("dout", f.doutReg.Q)
+	f.b.Output("data_ok", rtl.Bus{f.dataOkReg.Q[0]})
+}
+
+// sboxTable returns the forward S-box contents for the ROM banks.
+func sboxTable() [256]byte { return gf256.SBoxTable() }
+
+// rconInit is the forward schedule's first round constant.
+func rconInit() rtl.Bus { return rtl.Const(8, 0x01) }

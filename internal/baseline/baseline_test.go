@@ -1,0 +1,226 @@
+package baseline
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"rijndaelip/internal/aes"
+	"rijndaelip/internal/rtl"
+)
+
+type maker struct {
+	name    string
+	mk      func(rtl.ROMStyle) (*Core, error)
+	latency int
+	roms    int
+}
+
+var makers = []maker{
+	{"w32", New32, 120, 8},
+	{"w128", New128, 10, 20},
+	{"w8", New8, 250, 1},
+}
+
+func TestBaselineFIPSVector(t *testing.T) {
+	key, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	pt, _ := hex.DecodeString("3243f6a8885a308d313198a2e0370734")
+	ct, _ := hex.DecodeString("3925841d02dc09fbdc118597196a0b32")
+	for _, m := range makers {
+		for _, style := range []rtl.ROMStyle{rtl.ROMAsync, rtl.ROMLogic} {
+			m, style := m, style
+			t.Run(m.name+"/"+style.String(), func(t *testing.T) {
+				core, err := m.mk(style)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drv := core.NewDriver()
+				if _, err := drv.LoadKey(key); err != nil {
+					t.Fatal(err)
+				}
+				got, lat, err := drv.Encrypt(pt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, ct) {
+					t.Fatalf("encrypt = %x, want %x", got, ct)
+				}
+				if lat != m.latency {
+					t.Errorf("latency %d, want %d", lat, m.latency)
+				}
+				if core.BlockLatency != m.latency {
+					t.Errorf("BlockLatency constant %d, want %d", core.BlockLatency, m.latency)
+				}
+			})
+		}
+	}
+}
+
+func TestBaselineRandomVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, m := range makers {
+		core, err := m.mk(rtl.ROMAsync)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drv := core.NewDriver()
+		for trial := 0; trial < 4; trial++ {
+			key := make([]byte, 16)
+			rng.Read(key)
+			if _, err := drv.LoadKey(key); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := aes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for blk := 0; blk < 3; blk++ {
+				data := make([]byte, 16)
+				rng.Read(data)
+				want := make([]byte, 16)
+				ref.Encrypt(want, data)
+				got, _, err := drv.Encrypt(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s: key=%x data=%x got %x want %x", m.name, key, data, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselineROMBudget(t *testing.T) {
+	for _, m := range makers {
+		core, err := m.mk(rtl.ROMAsync)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if core.SBoxROMs != m.roms {
+			t.Errorf("%s: %d ROMs, want %d", m.name, core.SBoxROMs, m.roms)
+		}
+	}
+}
+
+func TestBaselineRejectsSyncStyle(t *testing.T) {
+	for _, m := range makers {
+		if _, err := m.mk(rtl.ROMSync); err == nil {
+			t.Errorf("%s accepted ROMSync", m.name)
+		}
+	}
+}
+
+func TestBaselineDecryptRejected(t *testing.T) {
+	core, err := New32(rtl.ROMAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := core.NewDriver()
+	drv.LoadKey(make([]byte, 16))
+	if _, _, err := drv.Decrypt(make([]byte, 16)); err == nil {
+		t.Error("encrypt-only baseline accepted decrypt")
+	}
+}
+
+// TestPrecomputedKeysCore validates the stored-round-key architecture the
+// paper rejects, and quantifies the paper's central claim: the on-the-fly
+// schedule saves the register file and its read mux.
+func TestPrecomputedKeysCore(t *testing.T) {
+	key, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	pt, _ := hex.DecodeString("3243f6a8885a308d313198a2e0370734")
+	ct, _ := hex.DecodeString("3925841d02dc09fbdc118597196a0b32")
+	core, err := NewPrecomputedKeys(rtl.ROMAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := core.NewDriver()
+	setupCycles, err := drv.LoadKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setupCycles != 11 { // 1 load beat + 10 expansion cycles
+		t.Errorf("setup %d cycles, want 11", setupCycles)
+	}
+	got, lat, err := drv.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ct) {
+		t.Fatalf("encrypt = %x, want %x", got, ct)
+	}
+	if lat != 50 {
+		t.Errorf("latency %d, want 50", lat)
+	}
+	// Rekey and random cross-check.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 3; trial++ {
+		k := make([]byte, 16)
+		rng.Read(k)
+		if _, err := drv.LoadKey(k); err != nil {
+			t.Fatal(err)
+		}
+		ref, _ := aes.NewCipher(k)
+		data := make([]byte, 16)
+		rng.Read(data)
+		want := make([]byte, 16)
+		ref.Encrypt(want, data)
+		out, _, err := drv.Encrypt(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, want) {
+			t.Fatalf("rekey trial %d mismatch", trial)
+		}
+	}
+	// The stored-key architecture must carry far more flip-flops.
+	st := core.Design.Stats()
+	if st.RegBits < 1280 {
+		t.Errorf("register bits %d: the round-key file should dominate", st.RegBits)
+	}
+}
+
+// TestPrecomputedKeysStall: a wr_data issued during the expansion walk
+// must be buffered, not processed against a half-built key file.
+func TestPrecomputedKeysStall(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	core, err := NewPrecomputedKeys(rtl.ROMAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.Design.NewSimulator()
+	// Key beat.
+	sim.SetInput("setup", 1)
+	sim.SetInput("wr_key", 1)
+	sim.SetInputBits("din", key)
+	sim.Step()
+	sim.SetInput("setup", 0)
+	sim.SetInput("wr_key", 0)
+	// Immediately write data: must wait in din_reg until the walk ends.
+	sim.SetInput("wr_data", 1)
+	sim.SetInputBits("din", pt)
+	sim.Step()
+	sim.SetInput("wr_data", 0)
+	// Walk (9 more cycles) + 50 processing + margin.
+	deadline := 9 + 50 + 8
+	var got []byte
+	for c := 0; c < deadline; c++ {
+		sim.Eval()
+		if ok, _ := sim.Output("data_ok"); ok == 1 {
+			got, _ = sim.OutputBits("dout")
+			break
+		}
+		sim.Step()
+	}
+	if got == nil {
+		t.Fatal("no result before deadline")
+	}
+	ref, _ := aes.NewCipher(key)
+	want := make([]byte, 16)
+	ref.Encrypt(want, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stalled-load result %x, want %x", got, want)
+	}
+}

@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+)
+
+// NewPrecomputedKeys builds the architecture the paper's §4 explicitly
+// rejects: the same mixed 32/128-bit encryptor datapath, but with the ten
+// round keys expanded once at key load into a register file and read back
+// through a wide multiplexer during encryption ("there is no need to store
+// round keys, as in the case of a previous generating"). Comparing its fit
+// against the paper's core quantifies exactly what the on-the-fly schedule
+// saves: ~1280 flip-flops of key storage plus the 10:1 x 128-bit read mux,
+// in exchange for a 10-cycle key-setup pause the on-the-fly encryptor does
+// not need.
+func NewPrecomputedKeys(style rtl.ROMStyle) (*Core, error) {
+	if style == rtl.ROMSync {
+		return nil, fmt.Errorf("baseline: the precomputed-key core models combinational ByteSub only")
+	}
+	name := fmt.Sprintf("aes128_prekeys_%s", style)
+	f := newFrontend(name)
+	b, g := f.b, f.g
+
+	s := [4]*rtl.Reg{b.Reg("s0", 32), b.Reg("s1", 32), b.Reg("s2", 32), b.Reg("s3", 32)}
+	// The round-key register file: rk1..rk10 (rk0 is the cipher key held
+	// by the frontend's key register).
+	var rkFile [10]*rtl.Reg
+	for i := range rkFile {
+		rkFile[i] = b.Reg(fmt.Sprintf("rkf%d", i+1), 128)
+	}
+	walker := b.Reg("walker", 128) // key-expansion walker during setup
+	rcon := b.Reg("rcon", 8)
+	ksetup := b.Reg("ksetup", 1)
+	kround := b.Reg("kround", 4)
+	phase := b.Reg("phase", 3)
+	round := b.Reg("round", 4)
+
+	busyQ := f.busyQ
+	ld := f.ld
+	ksetupQ := ksetup.Q[0]
+	mix := g.And(busyQ, rijndael.EqConstNet(g, phase.Q, 4))
+	lastRound := rijndael.EqConstNet(g, round.Q, rijndael.Rounds)
+	final := g.And(mix, lastRound)
+
+	// Setup walk: after keyLoad, expand the schedule into the file, one
+	// round key per cycle (the KStran bank is only used here).
+	ks := rijndael.SBoxBankNet(b, "sbox_k", rijndael.KStranEncAddrNet(walker.Q),
+		sboxTable(), style)
+	nextRK := rijndael.NextRoundKeyNet(g, walker.Q, ks, rcon.Q)
+	setupDone := g.And(ksetupQ, rijndael.EqConstNet(g, kround.Q, rijndael.Rounds))
+	walker.SetNext(g.MuxVector(f.keyLoad, f.din, nextRK), g.Or(f.keyLoad, ksetupQ))
+	rcon.SetNext(g.MuxVector(f.keyLoad, rconInit(), rijndael.XtimeNet(g, rcon.Q)),
+		g.Or(f.keyLoad, ksetupQ))
+	ksetup.SetNext(rtl.Bus{g.Or(f.keyLoad, g.And(ksetupQ, logic.Not(setupDone)))}, logic.True)
+	kround.SetNext(g.MuxVector(f.keyLoad, rtl.Const(4, 1), rijndael.IncNet(g, kround.Q)),
+		g.Or(f.keyLoad, ksetupQ))
+	for i := range rkFile {
+		en := g.And(ksetupQ, rijndael.EqConstNet(g, kround.Q, uint64(i+1)))
+		rkFile[i].SetNext(nextRK, en)
+	}
+
+	// Round-key read mux: 10:1 over the register file, selected by the
+	// round counter — the wide multiplexer the paper avoids.
+	rkSel := rkFile[0].Q
+	for i := 1; i < 10; i++ {
+		hit := rijndael.EqConstNet(g, round.Q, uint64(i+1))
+		rkSel = g.MuxVector(hit, rkFile[i].Q, rkSel)
+	}
+
+	// ByteSub bank on the phase-selected word (identical to the paper's
+	// core).
+	p0, p1 := phase.Q[0], phase.Q[1]
+	sel := g.MuxVector(p1,
+		g.MuxVector(p0, s[3].Q, s[2].Q),
+		g.MuxVector(p0, s[1].Q, s[0].Q))
+	sbData := rijndael.SBoxBankNet(b, "sbox", sel, sboxTable(), style)
+
+	catS := rtl.Cat(s[0].Q, s[1].Q, s[2].Q, s[3].Q)
+	sr := rijndael.ShiftRowsNet(catS, false)
+	mc := rijndael.MixColumnsNet(g, sr)
+	pre := g.MuxVector(lastRound, sr, mc)
+	roundOut := g.XorVector(pre, rkSel)
+
+	for w := 0; w < 4; w++ {
+		bsEn := g.And(busyQ, rijndael.EqConstNet(g, phase.Q, uint64(w)))
+		en := g.OrN(ld, bsEn, mix)
+		next := g.MuxVector(ld, rijndael.WordOfNet(f.loadVal, w),
+			g.MuxVector(mix, rijndael.WordOfNet(roundOut, w), sbData))
+		s[w].SetNext(next, en)
+	}
+
+	phase.SetNext(g.MuxVector(g.Or(ld, mix), rtl.Const(3, 0), rijndael.IncNet(g, phase.Q)),
+		g.Or(ld, busyQ))
+	round.SetNext(g.MuxVector(ld, rtl.Const(4, 1), rijndael.IncNet(g, round.Q)),
+		g.Or(ld, mix))
+
+	// The schedule walk occupies the device: the frontend's stall register
+	// mirrors ksetup so no block can load against an incomplete file.
+	f.stall.SetNext(rtl.Bus{g.Or(f.keyLoad, g.And(ksetupQ, logic.Not(setupDone)))},
+		logic.True)
+	f.finish(final, roundOut)
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		Name:           name,
+		Design:         d,
+		BlockLatency:   5 * rijndael.Rounds,
+		KeySetupCycles: rijndael.Rounds,
+		CyclesPerRound: 5,
+		SBoxROMs:       8,
+	}, nil
+}

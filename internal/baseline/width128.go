@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+)
+
+// New128 builds the fully parallel encryptor: ByteSub over the whole state
+// (16 data S-boxes, 32 Kbit of ROM), Shift Row, Mix Column, Add Key and
+// the on-the-fly key schedule all complete in a single cycle, giving one
+// round per cycle and a 10-cycle block latency. This is the
+// high-performance organization of the paper's reference [1] and of the
+// commercial core [15] — and the architecture §6 predicts is "limited by
+// the key schedule", because the KStran S-box read plus the w0..w3 XOR
+// chain sits in series inside the same cycle as Add Key.
+func New128(style rtl.ROMStyle) (*Core, error) {
+	if style == rtl.ROMSync {
+		return nil, fmt.Errorf("baseline: the 128-bit core models combinational ByteSub only")
+	}
+	name := fmt.Sprintf("aes128_w128_%s", style)
+	f := newFrontend(name)
+	b, g := f.b, f.g
+
+	s := b.Reg("s", 128)
+	rk := b.Reg("rk", 128)
+	rcon := b.Reg("rcon", 8)
+	round := b.Reg("round", 4)
+
+	busyQ := f.busyQ
+	ld := f.ld
+	lastRound := rijndael.EqConstNet(g, round.Q, rijndael.Rounds)
+	final := g.And(busyQ, lastRound)
+
+	// Fully parallel ByteSub: one bank per state word.
+	sb := make(rtl.Bus, 0, 128)
+	for w := 0; w < 4; w++ {
+		sb = append(sb, rijndael.SBoxBankNet(b, fmt.Sprintf("sbox_w%d", w),
+			rijndael.WordOfNet(s.Q, w), sboxTable(), style)...)
+	}
+	sr := rijndael.ShiftRowsNet(sb, false)
+	mc := rijndael.MixColumnsNet(g, sr)
+	pre := g.MuxVector(lastRound, sr, mc)
+
+	// The round key for round r is produced in the same cycle it is added:
+	// the key schedule is on the critical path, as §6 of the paper warns.
+	ks := rijndael.SBoxBankNet(b, "sbox_k", rijndael.KStranEncAddrNet(rk.Q), sboxTable(), style)
+	nextRK := rijndael.NextRoundKeyNet(g, rk.Q, ks, rcon.Q)
+	out := g.XorVector(pre, nextRK)
+
+	s.SetNext(g.MuxVector(ld, f.loadVal, out), g.Or(ld, busyQ))
+	rk.SetNext(g.MuxVector(ld, f.keyReg.Q, nextRK), g.Or(ld, busyQ))
+	rcon.SetNext(g.MuxVector(ld, rconInit(), rijndael.XtimeNet(g, rcon.Q)), g.Or(ld, busyQ))
+	round.SetNext(g.MuxVector(ld, rtl.Const(4, 1), rijndael.IncNet(g, round.Q)),
+		g.Or(ld, busyQ))
+
+	f.finish(final, out)
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		Name:           name,
+		Design:         d,
+		BlockLatency:   rijndael.Rounds,
+		CyclesPerRound: 1,
+		SBoxROMs:       20,
+	}, nil
+}

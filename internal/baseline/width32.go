@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+)
+
+// New32 builds the all-32-bit encryptor: every function — Byte Sub, Shift
+// Row, Mix Column and Add Key — processes one 32-bit word per cycle, which
+// is the 12-cycles-per-round organization the paper's §4 rejects in favour
+// of the mixed 32/128 datapath. Shift Row needs a 128-bit temporary
+// register (and its write muxes) because rows cross words, which is
+// exactly why the paper found the 128-bit Shift Row cheaper.
+//
+// Round schedule: phases 0-3 ByteSub word w; 4-7 ShiftRow word into the
+// temporary; 8-11 MixColumn+AddKey word back into the state. 120-cycle
+// block latency.
+func New32(style rtl.ROMStyle) (*Core, error) {
+	if style == rtl.ROMSync {
+		return nil, fmt.Errorf("baseline: the 32-bit core models combinational ByteSub only")
+	}
+	name := fmt.Sprintf("aes128_w32_%s", style)
+	f := newFrontend(name)
+	b, g := f.b, f.g
+
+	s := [4]*rtl.Reg{b.Reg("s0", 32), b.Reg("s1", 32), b.Reg("s2", 32), b.Reg("s3", 32)}
+	tmp := [4]*rtl.Reg{b.Reg("t0", 32), b.Reg("t1", 32), b.Reg("t2", 32), b.Reg("t3", 32)}
+	rk := b.Reg("rk", 128)
+	rcon := b.Reg("rcon", 8)
+	phase := b.Reg("phase", 4)
+	round := b.Reg("round", 4)
+
+	busyQ := f.busyQ
+	ld := f.ld
+	lastPhase := rijndael.EqConstNet(g, phase.Q, 11)
+	endRound := g.And(busyQ, lastPhase)
+	lastRound := rijndael.EqConstNet(g, round.Q, rijndael.Rounds)
+	final := g.And(endRound, lastRound)
+	rkStep := g.And(busyQ, rijndael.EqConstNet(g, phase.Q, 0))
+
+	// Word select from the low two phase bits (valid in each phase group).
+	p0, p1 := phase.Q[0], phase.Q[1]
+	selS := g.MuxVector(p1,
+		g.MuxVector(p0, s[3].Q, s[2].Q),
+		g.MuxVector(p0, s[1].Q, s[0].Q))
+	selT := g.MuxVector(p1,
+		g.MuxVector(p0, tmp[3].Q, tmp[2].Q),
+		g.MuxVector(p0, tmp[1].Q, tmp[0].Q))
+	selRK := g.MuxVector(p1,
+		g.MuxVector(p0, rijndael.WordOfNet(rk.Q, 3), rijndael.WordOfNet(rk.Q, 2)),
+		g.MuxVector(p0, rijndael.WordOfNet(rk.Q, 1), rijndael.WordOfNet(rk.Q, 0)))
+
+	// One 32-bit S-box bank serves the ByteSub phases.
+	sbData := rijndael.SBoxBankNet(b, "sbox", selS, sboxTable(), style)
+
+	// KStran bank + on-the-fly round key, updated at phase 0 like the
+	// paper's core.
+	ks := rijndael.SBoxBankNet(b, "sbox_k", rijndael.KStranEncAddrNet(rk.Q), sboxTable(), style)
+	nextRK := rijndael.NextRoundKeyNet(g, rk.Q, ks, rcon.Q)
+	rk.SetNext(g.MuxVector(ld, f.keyReg.Q, nextRK), g.Or(ld, rkStep))
+	rcon.SetNext(g.MuxVector(ld, rconInit(), rijndael.XtimeNet(g, rcon.Q)), g.Or(ld, rkStep))
+
+	// Shift Row wiring: the full shifted state, written one word per cycle
+	// into the temporary register during phases 4-7.
+	catS := rtl.Cat(s[0].Q, s[1].Q, s[2].Q, s[3].Q)
+	sr := rijndael.ShiftRowsNet(catS, false)
+	for c := 0; c < 4; c++ {
+		en := g.And(busyQ, rijndael.EqConstNet(g, phase.Q, uint64(4+c)))
+		tmp[c].SetNext(rijndael.WordOfNet(sr, c), en)
+	}
+
+	// Mix Column + Add Key on the selected temporary word (single column
+	// network: a quarter of the mixed core's 128-bit network).
+	mc := rijndael.MixColumnWordNet(g, selT)
+	pre := g.MuxVector(lastRound, selT, mc)
+	mcak := g.XorVector(pre, selRK)
+
+	for w := 0; w < 4; w++ {
+		bsEn := g.And(busyQ, rijndael.EqConstNet(g, phase.Q, uint64(w)))
+		wbEn := g.And(busyQ, rijndael.EqConstNet(g, phase.Q, uint64(8+w)))
+		en := g.OrN(ld, bsEn, wbEn)
+		next := g.MuxVector(ld, rijndael.WordOfNet(f.loadVal, w),
+			g.MuxVector(wbEn, mcak, sbData))
+		s[w].SetNext(next, en)
+	}
+
+	phase.SetNext(g.MuxVector(g.Or(ld, endRound), rtl.Const(4, 0), rijndael.IncNet(g, phase.Q)),
+		g.Or(ld, busyQ))
+	round.SetNext(g.MuxVector(ld, rtl.Const(4, 1), rijndael.IncNet(g, round.Q)),
+		g.Or(ld, endRound))
+
+	// The final word written at phase 11 completes the block: the output
+	// register captures the first three (already updated) words plus the
+	// last word directly.
+	result := rtl.Cat(s[0].Q, s[1].Q, s[2].Q, mcak)
+	f.finish(final, result)
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		Name:           name,
+		Design:         d,
+		BlockLatency:   12 * rijndael.Rounds,
+		CyclesPerRound: 12,
+		SBoxROMs:       8,
+	}, nil
+}

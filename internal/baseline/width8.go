@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+)
+
+// New8 builds the byte-serial encryptor of the paper's §6 "smaller
+// architecture" discussion: a single S-box (2 Kbit of ROM) shared between
+// ByteSub and a serialized KStran, an 8-bit substitution path, and
+// column-at-a-time Mix Column/Add Key against a snapshot register.
+//
+// Round schedule (25 cycles): phases 0-15 substitute one state byte each;
+// 16-19 substitute one KStran byte each into the ks register; 20 updates
+// the round key and snapshots the state; 21-24 write one
+// ShiftRow+MixColumn+AddKey column each. As the paper predicts, the many
+// cycles are not bought back by a faster clock — the wide byte-select
+// muxes keep the period comparable to the 32-bit organizations.
+func New8(style rtl.ROMStyle) (*Core, error) {
+	if style == rtl.ROMSync {
+		return nil, fmt.Errorf("baseline: the 8-bit core models combinational ByteSub only")
+	}
+	name := fmt.Sprintf("aes128_w8_%s", style)
+	f := newFrontend(name)
+	b, g := f.b, f.g
+
+	// Sixteen 8-bit state registers for per-byte writes.
+	var s [16]*rtl.Reg
+	for i := range s {
+		s[i] = b.Reg(fmt.Sprintf("s%d", i), 8)
+	}
+	snap := b.Reg("snap", 128) // state snapshot for the column phases
+	ks := b.Reg("ks", 32)      // serialized KStran result
+	rk := b.Reg("rk", 128)
+	rcon := b.Reg("rcon", 8)
+	phase := b.Reg("phase", 5)
+	round := b.Reg("round", 4)
+
+	busyQ := f.busyQ
+	ld := f.ld
+	endRound := g.And(busyQ, rijndael.EqConstNet(g, phase.Q, 24))
+	lastRound := rijndael.EqConstNet(g, round.Q, rijndael.Rounds)
+	final := g.And(endRound, lastRound)
+
+	catS := func() rtl.Bus {
+		var out rtl.Bus
+		for i := range s {
+			out = append(out, s[i].Q...)
+		}
+		return out
+	}()
+
+	// Single shared S-box: the address is the phase-selected state byte
+	// during ByteSub, or the phase-selected byte of RotWord(w3) during the
+	// serialized KStran phases.
+	// Phases 16-19 have bit4 set and bits 2-3 clear (binary 100xx).
+	ksPhase := g.AndN(phase.Q[4], logic.Not(phase.Q[3]), logic.Not(phase.Q[2]))
+	bsByte := muxByte16(g, catS, phase.Q[:4])
+	kaddr := rijndael.KStranEncAddrNet(rk.Q)
+	ksByte := muxByte4(g, kaddr, phase.Q[:2])
+	addr := g.MuxVector(ksPhase, ksByte, bsByte)
+	sbOut := b.ROM("sbox", addr, sboxTable(), style)
+
+	// KStran accumulation: ks is written every KStran phase with only the
+	// phase-selected byte replaced.
+	{
+		next := make(rtl.Bus, 0, 32)
+		for k := 0; k < 4; k++ {
+			hit := rijndael.EqConstNet(g, phase.Q[:2], uint64(k))
+			next = append(next, g.MuxVector(hit, sbOut, rijndael.ByteOfNet(ks.Q, k))...)
+		}
+		ks.SetNext(next, ksPhase)
+	}
+
+	// Round-key update at phase 20 using the completed ks register, plus
+	// the state snapshot for the column phases.
+	rkStep := g.And(busyQ, rijndael.EqConstNet(g, phase.Q, 20))
+	ksWithRcon := append(rtl.Bus(nil), ks.Q...)
+	copy(ksWithRcon[0:8], g.XorVector(ks.Q[0:8], rcon.Q))
+	nextRK := chainRoundKey(g, rk.Q, ksWithRcon)
+	rk.SetNext(g.MuxVector(ld, f.keyReg.Q, nextRK), g.Or(ld, rkStep))
+	rcon.SetNext(g.MuxVector(ld, rconInit(), rijndael.XtimeNet(g, rcon.Q)), g.Or(ld, rkStep))
+	snap.SetNext(catS, rkStep)
+
+	// Column phases 21-24: fixed wiring per column from the snapshot.
+	sr := rijndael.ShiftRowsNet(snap.Q, false)
+	var colOut [4]rtl.Bus
+	for c := 0; c < 4; c++ {
+		col := rijndael.WordOfNet(sr, c)
+		mc := rijndael.MixColumnWordNet(g, col)
+		pre := g.MuxVector(lastRound, col, mc)
+		colOut[c] = g.XorVector(pre, rijndael.WordOfNet(rk.Q, c))
+	}
+
+	for i := 0; i < 16; i++ {
+		c := i / 4
+		bsEn := g.And(busyQ, rijndael.EqConstNet(g, phase.Q, uint64(i)))
+		colEn := g.And(busyQ, rijndael.EqConstNet(g, phase.Q, uint64(21+c)))
+		en := g.OrN(ld, bsEn, colEn)
+		next := g.MuxVector(ld, rijndael.ByteOfNet(f.loadVal, i),
+			g.MuxVector(colEn, rijndael.ByteOfNet(colOut[c], i%4), sbOut))
+		s[i].SetNext(next, en)
+	}
+
+	phase.SetNext(g.MuxVector(g.Or(ld, endRound), rtl.Const(5, 0), rijndael.IncNet(g, phase.Q)),
+		g.Or(ld, busyQ))
+	round.SetNext(g.MuxVector(ld, rtl.Const(4, 1), rijndael.IncNet(g, round.Q)),
+		g.Or(ld, endRound))
+
+	// At the final phase-24 edge, columns 0-2 are in the state registers
+	// and column 3 is on colOut[3].
+	result := rtl.Cat(
+		s[0].Q, s[1].Q, s[2].Q, s[3].Q,
+		s[4].Q, s[5].Q, s[6].Q, s[7].Q,
+		s[8].Q, s[9].Q, s[10].Q, s[11].Q,
+		colOut[3],
+	)
+	f.finish(final, result)
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		Name:           name,
+		Design:         d,
+		BlockLatency:   25 * rijndael.Rounds,
+		CyclesPerRound: 25,
+		SBoxROMs:       1,
+	}, nil
+}
+
+// muxByte16 selects one of sixteen bytes of a 128-bit bus.
+func muxByte16(g *logic.Net, bus rtl.Bus, sel rtl.Bus) rtl.Bus {
+	bytes := make([]rtl.Bus, 16)
+	for i := range bytes {
+		bytes[i] = rijndael.ByteOfNet(bus, i)
+	}
+	for level := 0; level < 4; level++ {
+		next := make([]rtl.Bus, len(bytes)/2)
+		for i := range next {
+			next[i] = g.MuxVector(sel[level], bytes[2*i+1], bytes[2*i])
+		}
+		bytes = next
+	}
+	return bytes[0]
+}
+
+// muxByte4 selects one of the four bytes of a 32-bit word.
+func muxByte4(g *logic.Net, w rtl.Bus, sel rtl.Bus) rtl.Bus {
+	b01 := g.MuxVector(sel[0], rijndael.ByteOfNet(w, 1), rijndael.ByteOfNet(w, 0))
+	b23 := g.MuxVector(sel[0], rijndael.ByteOfNet(w, 3), rijndael.ByteOfNet(w, 2))
+	return g.MuxVector(sel[1], b23, b01)
+}
+
+// chainRoundKey applies the w0..w3 XOR chain given the already substituted
+// (and Rcon-corrected) KStran word.
+func chainRoundKey(g *logic.Net, rk, t rtl.Bus) rtl.Bus {
+	w0 := g.XorVector(rijndael.WordOfNet(rk, 0), t)
+	w1 := g.XorVector(rijndael.WordOfNet(rk, 1), w0)
+	w2 := g.XorVector(rijndael.WordOfNet(rk, 2), w1)
+	w3 := g.XorVector(rijndael.WordOfNet(rk, 3), w2)
+	return rtl.Cat(w0, w1, w2, w3)
+}

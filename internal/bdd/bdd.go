@@ -1,0 +1,197 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs) with a unique table and ITE computed cache — the canonical-form
+// engine classical EDA uses next to SAT. Because ROBDDs are canonical for
+// a fixed variable order, two functions are equivalent exactly when they
+// reduce to the same node, which gives equivalence checking, tautology
+// and satisfiability checks in O(1) after construction, plus model
+// counting for free.
+package bdd
+
+import "fmt"
+
+// Node is a BDD node reference. The terminals are False (0) and True (1).
+type Node int32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeData struct {
+	level  int32 // variable index; terminals use a sentinel level
+	lo, hi Node
+}
+
+const termLevel = int32(1 << 30)
+
+// Manager owns the node store for one variable order.
+type Manager struct {
+	nVars  int
+	nodes  []nodeData
+	unique map[nodeData]Node
+	cache  map[[3]Node]Node // ITE cache
+}
+
+// New returns a manager over n ordered variables (variable 0 at the top).
+func New(n int) *Manager {
+	m := &Manager{
+		nVars:  n,
+		unique: map[nodeData]Node{},
+		cache:  map[[3]Node]Node{},
+	}
+	m.nodes = append(m.nodes,
+		nodeData{level: termLevel}, // False
+		nodeData{level: termLevel}, // True
+	)
+	return m
+}
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return m.nVars }
+
+// NumNodes returns the total allocated node count (including terminals).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// mk returns the canonical node for (level, lo, hi), applying the
+// reduction rule lo == hi.
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := nodeData{level: level, lo: lo, hi: hi}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = n
+	return n
+}
+
+// Var returns the BDD of variable i.
+func (m *Manager) Var(i int) Node {
+	if i < 0 || i >= m.nVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", i))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+func (m *Manager) level(n Node) int32 { return m.nodes[n].level }
+
+// ITE computes if-then-else(f, g, h), the universal ternary operator.
+func (m *Manager) ITE(f, g, h Node) Node {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := [3]Node{f, g, h}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	// Split on the top variable.
+	lv := m.level(f)
+	if l := m.level(g); l < lv {
+		lv = l
+	}
+	if l := m.level(h); l < lv {
+		lv = l
+	}
+	f0, f1 := m.cofactors(f, lv)
+	g0, g1 := m.cofactors(g, lv)
+	h0, h1 := m.cofactors(h, lv)
+	lo := m.ITE(f0, g0, h0)
+	hi := m.ITE(f1, g1, h1)
+	r := m.mk(lv, lo, hi)
+	m.cache[key] = r
+	return r
+}
+
+func (m *Manager) cofactors(n Node, level int32) (Node, Node) {
+	if m.level(n) != level {
+		return n, n
+	}
+	return m.nodes[n].lo, m.nodes[n].hi
+}
+
+// Not complements a function.
+func (m *Manager) Not(f Node) Node { return m.ITE(f, False, True) }
+
+// And conjoins two functions.
+func (m *Manager) And(f, g Node) Node { return m.ITE(f, g, False) }
+
+// Or disjoins two functions.
+func (m *Manager) Or(f, g Node) Node { return m.ITE(f, True, g) }
+
+// Xor returns the exclusive or.
+func (m *Manager) Xor(f, g Node) Node { return m.ITE(f, m.Not(g), g) }
+
+// Eval evaluates a function under a complete assignment.
+func (m *Manager) Eval(f Node, assign []bool) bool {
+	for f != True && f != False {
+		d := m.nodes[f]
+		if assign[d.level] {
+			f = d.hi
+		} else {
+			f = d.lo
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments over all nVars
+// variables (as float64; exact for the sizes used here).
+func (m *Manager) SatCount(f Node) float64 {
+	memo := map[Node]float64{}
+	var count func(n Node, level int32) float64
+	count = func(n Node, level int32) float64 {
+		nl := m.level(n)
+		if n == False {
+			return 0
+		}
+		scale := 1.0
+		top := int32(m.nVars)
+		if nl < top {
+			top = nl
+		}
+		for l := level; l < top; l++ {
+			scale *= 2
+		}
+		if n == True {
+			return scale
+		}
+		d := m.nodes[n]
+		if v, ok := memo[n]; ok {
+			return scale * v
+		}
+		v := count(d.lo, d.level+1) + count(d.hi, d.level+1)
+		memo[n] = v
+		return scale * v
+	}
+	return count(f, 0)
+}
+
+// AnySat returns one satisfying assignment, or false if none exists.
+func (m *Manager) AnySat(f Node) ([]bool, bool) {
+	if f == False {
+		return nil, false
+	}
+	assign := make([]bool, m.nVars)
+	for f != True {
+		d := m.nodes[f]
+		if d.lo != False {
+			f = d.lo
+		} else {
+			assign[d.level] = true
+			f = d.hi
+		}
+	}
+	return assign, true
+}

@@ -1,0 +1,245 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"rijndaelip/internal/gf256"
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/techmap"
+)
+
+func TestCanonicity(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	if m.And(a, b) != m.And(b, a) {
+		t.Error("AND not canonical")
+	}
+	// De Morgan.
+	if m.Not(m.And(a, b)) != m.Or(m.Not(a), m.Not(b)) {
+		t.Error("De Morgan violated")
+	}
+	// (a^b)^c == a^(b^c).
+	if m.Xor(m.Xor(a, b), c) != m.Xor(a, m.Xor(b, c)) {
+		t.Error("XOR associativity violated")
+	}
+	// Tautology and contradiction collapse to terminals.
+	if m.Or(a, m.Not(a)) != True {
+		t.Error("a|!a != True")
+	}
+	if m.And(a, m.Not(a)) != False {
+		t.Error("a&!a != False")
+	}
+	if m.Not(m.Not(b)) != b {
+		t.Error("double negation")
+	}
+}
+
+func TestEvalAgainstTruth(t *testing.T) {
+	m := New(4)
+	vars := []Node{m.Var(0), m.Var(1), m.Var(2), m.Var(3)}
+	f := m.Or(m.And(vars[0], m.Xor(vars[1], vars[2])), m.And(vars[3], m.Not(vars[0])))
+	for idx := 0; idx < 16; idx++ {
+		assign := make([]bool, 4)
+		for j := range assign {
+			assign[j] = idx>>uint(j)&1 != 0
+		}
+		want := (assign[0] && (assign[1] != assign[2])) || (assign[3] && !assign[0])
+		if m.Eval(f, assign) != want {
+			t.Fatalf("Eval mismatch at %04b", idx)
+		}
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	maj := m.Or(m.Or(m.And(a, b), m.And(b, c)), m.And(a, c))
+	if got := m.SatCount(maj); got != 4 {
+		t.Errorf("majority SatCount = %v, want 4", got)
+	}
+	if got := m.SatCount(True); got != 8 {
+		t.Errorf("True SatCount = %v, want 8", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("False SatCount = %v", got)
+	}
+	// Parity over n vars has 2^(n-1) models.
+	mp := New(10)
+	p := False
+	for i := 0; i < 10; i++ {
+		p = mp.Xor(p, mp.Var(i))
+	}
+	if got := mp.SatCount(p); got != 512 {
+		t.Errorf("parity SatCount = %v, want 512", got)
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	m := New(4)
+	f := m.And(m.Var(1), m.Not(m.Var(3)))
+	assign, ok := m.AnySat(f)
+	if !ok || !m.Eval(f, assign) {
+		t.Fatal("AnySat returned a non-model")
+	}
+	if _, ok := m.AnySat(False); ok {
+		t.Fatal("AnySat of False")
+	}
+}
+
+// TestSBoxBalanced: every output bit of the Rijndael S-box is a balanced
+// Boolean function (128 models) — checked by building each coordinate as
+// a BDD from its minterms.
+func TestSBoxBalanced(t *testing.T) {
+	table := gf256.SBoxTable()
+	m := New(8)
+	vars := make([]Node, 8)
+	for i := range vars {
+		vars[i] = m.Var(i)
+	}
+	for bit := 0; bit < 8; bit++ {
+		f := False
+		for x := 0; x < 256; x++ {
+			if table[x]>>uint(bit)&1 == 0 {
+				continue
+			}
+			cube := True
+			for j := 0; j < 8; j++ {
+				if x>>uint(j)&1 != 0 {
+					cube = m.And(cube, vars[j])
+				} else {
+					cube = m.And(cube, m.Not(vars[j]))
+				}
+			}
+			f = m.Or(f, cube)
+		}
+		if got := m.SatCount(f); got != 128 {
+			t.Errorf("S-box bit %d has %v models, want 128 (balanced)", bit, got)
+		}
+	}
+}
+
+// TestFromAIGMatchesSimulation cross-checks the AIG bridge against the
+// AIG's own 64-way simulation on random networks.
+func TestFromAIGMatchesSimulation(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		aig := logic.New()
+		const nin = 8
+		pool := make([]logic.Lit, nin)
+		for i := range pool {
+			pool[i] = aig.Input()
+		}
+		for step := 0; step < 60; step++ {
+			a := pool[rng.Intn(len(pool))]
+			b := pool[rng.Intn(len(pool))]
+			var l logic.Lit
+			switch rng.Intn(3) {
+			case 0:
+				l = aig.And(a, b)
+			case 1:
+				l = aig.Xor(a, b)
+			default:
+				l = aig.Mux(a, b, pool[rng.Intn(len(pool))])
+			}
+			pool = append(pool, l)
+		}
+		root := pool[len(pool)-1]
+
+		m := New(nin)
+		f := FromAIG(m, aig, root, func(ord int) Node { return m.Var(ord) })
+
+		inputs := make([]uint64, nin)
+		for i := range inputs {
+			inputs[i] = rng.Uint64()
+		}
+		simVal := aig.EvalLits([]logic.Lit{root}, inputs)[0]
+		for bit := 0; bit < 64; bit++ {
+			assign := make([]bool, nin)
+			for i := range assign {
+				assign[i] = inputs[i]>>uint(bit)&1 != 0
+			}
+			if m.Eval(f, assign) != (simVal>>uint(bit)&1 != 0) {
+				t.Fatalf("seed %d bit %d: BDD disagrees with AIG simulation", seed, bit)
+			}
+		}
+	}
+}
+
+// TestTechmapCrossVerification is the third-engine check: for random
+// logic, the BDD of every mapped-netlist root must be the *same node* as
+// the BDD of the specification root (canonical equality).
+func TestTechmapCrossVerification(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		aig := logic.New()
+		const nin = 10
+		pool := make([]logic.Lit, nin)
+		for i := range pool {
+			pool[i] = aig.Input()
+		}
+		for step := 0; step < 80; step++ {
+			a := pool[rng.Intn(len(pool))]
+			b := pool[rng.Intn(len(pool))]
+			c := pool[rng.Intn(len(pool))]
+			switch rng.Intn(4) {
+			case 0:
+				pool = append(pool, aig.And(a, b))
+			case 1:
+				pool = append(pool, aig.Or(logic.Not(a), b))
+			case 2:
+				pool = append(pool, aig.Xor(a, b))
+			default:
+				pool = append(pool, aig.Mux(a, b, c))
+			}
+		}
+		roots := pool[len(pool)-6:]
+		cov, err := techmap.Map(aig, roots, techmap.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl := netlist.New("x")
+		ins := nl.AddInput("in", nin)
+		rootNets, err := cov.Emit(techmap.EmitEnv{
+			NL:       nl,
+			InputNet: func(ord int) netlist.NetID { return ins[ord] },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl.AddOutput("out", rootNets)
+
+		m := New(nin)
+		netOrd := map[netlist.NetID]int{}
+		for i, n := range ins {
+			netOrd[n] = i
+		}
+		implBDD, err := FromNetlist(m, nl, func(n netlist.NetID) Node {
+			ord, ok := netOrd[n]
+			if !ok {
+				t.Fatalf("unexpected source net %d", n)
+			}
+			return m.Var(ord)
+		}, rootNets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range roots {
+			spec := FromAIG(m, aig, r, func(ord int) Node { return m.Var(ord) })
+			if implBDD[rootNets[i]] != spec {
+				t.Fatalf("seed %d root %d: canonical BDDs differ — mapping bug", seed, i)
+			}
+		}
+	}
+}
+
+func TestVarBounds(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Var accepted")
+		}
+	}()
+	m.Var(5)
+}

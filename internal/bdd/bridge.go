@@ -1,0 +1,96 @@
+package bdd
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/netlist"
+)
+
+// Bridges from the repository's circuit representations into BDDs, giving
+// a third verification engine (next to random simulation and SAT) whose
+// verdicts come from canonical-form equality.
+
+// FromAIG builds the BDD of an AIG literal. inputVar maps AIG input
+// ordinals to BDD functions (usually Manager.Var of a chosen order).
+func FromAIG(m *Manager, net *logic.Net, root logic.Lit, inputVar func(ord int) Node) Node {
+	memo := map[uint32]Node{0: False}
+	lit := func(l logic.Lit) Node {
+		n, ok := memo[l.Node()]
+		if !ok {
+			panic(fmt.Sprintf("bdd: node %d missing from cone order", l.Node()))
+		}
+		if l.Inverted() {
+			return m.Not(n)
+		}
+		return n
+	}
+	cone := net.Cone([]logic.Lit{root})
+	for _, id := range cone {
+		l := logic.Lit(id << 1)
+		if net.IsInput(l) {
+			memo[id] = inputVar(net.InputOrdinal(l))
+			continue
+		}
+		f0, f1 := net.Fanins(id)
+		memo[id] = m.And(lit(f0), lit(f1))
+	}
+	return lit(root)
+}
+
+// FromLUT builds the BDD of a LUT mask over input BDDs.
+func FromLUT(m *Manager, inputs []Node, mask uint16) Node {
+	return fromLUTRec(m, inputs, mask, len(inputs))
+}
+
+func fromLUTRec(m *Manager, inputs []Node, mask uint16, k int) Node {
+	if k == 0 {
+		if mask&1 != 0 {
+			return True
+		}
+		return False
+	}
+	half := 1 << uint(k-1)
+	loMask := mask & (1<<uint(half) - 1)
+	hiMask := mask >> uint(half)
+	lo := fromLUTRec(m, inputs, loMask, k-1)
+	hi := fromLUTRec(m, inputs, hiMask, k-1)
+	return m.ITE(inputs[k-1], hi, lo)
+}
+
+// FromNetlist builds BDDs for a set of netlist nets, treating primary
+// inputs, flip-flop outputs and ROM outputs as free variables supplied by
+// sourceVar. Only the combinational LUT network is traversed.
+func FromNetlist(m *Manager, nl *netlist.Netlist, sourceVar func(netlist.NetID) Node, want []netlist.NetID) (map[netlist.NetID]Node, error) {
+	if err := nl.Build(); err != nil {
+		return nil, err
+	}
+	val := map[netlist.NetID]Node{
+		netlist.Const0: False,
+		netlist.Const1: True,
+	}
+	get := func(n netlist.NetID) Node {
+		if v, ok := val[n]; ok {
+			return v
+		}
+		v := sourceVar(n)
+		val[n] = v
+		return v
+	}
+	for _, cn := range nl.CombOrder() {
+		if cn.Kind != netlist.CombLUT {
+			continue // ROM outputs act as sources
+		}
+		l := &nl.LUTs[cn.Index]
+		ins := make([]Node, len(l.Inputs))
+		for i, in := range l.Inputs {
+			ins[i] = get(in)
+		}
+		val[l.Out] = FromLUT(m, ins, l.Mask)
+	}
+	out := map[netlist.NetID]Node{}
+	for _, n := range want {
+		out[n] = get(n)
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+// Package bfm is a bus-functional model for the Rijndael IP: it drives the
+// device interface of Table 1 (setup/wr_key/wr_data/din/encdec), watches
+// data_ok/dout, and measures the protocol timing (latency in cycles,
+// sustained throughput) the way the paper's evaluation does. It works
+// against the cycle-accurate RTL simulator of a generated core.
+package bfm
+
+import (
+	"errors"
+	"fmt"
+
+	"rijndaelip/internal/rijndael"
+)
+
+// Sim is the simulator surface the driver needs. Both the RTL-level
+// simulator (rtl.Simulator) and the post-synthesis netlist simulator
+// (netlist.Simulator) satisfy it, so the same bus-functional model signs
+// off the design before and after technology mapping.
+type Sim interface {
+	Reset()
+	SetInput(name string, value uint64) error
+	SetInputBits(name string, bits []byte) error
+	Eval()
+	Step()
+	Output(name string) (uint64, error)
+	OutputBits(name string) ([]byte, error)
+	RegValue(name string) ([]byte, bool)
+}
+
+// DUT describes any device under test exposing the paper's Table 1
+// interface (the Rijndael IP itself or one of the baseline
+// architectures).
+type DUT struct {
+	Sim            Sim
+	BlockLatency   int
+	KeySetupCycles int
+	HasEncrypt     bool
+	HasDecrypt     bool
+	HasEncDecPin   bool
+	Name           string
+}
+
+// Driver drives one simulated device.
+type Driver struct {
+	DUT DUT
+	Sim Sim
+
+	// Timeout bounds, in cycles, how long Driver waits for data_ok before
+	// reporting a protocol error. Defaults to 4x the block latency.
+	Timeout int
+}
+
+// New builds a fresh simulator for a Rijndael IP core and returns a
+// driver.
+func New(core *rijndael.Core) *Driver {
+	return NewDUT(DUT{
+		Sim:            core.Design.NewSimulator(),
+		BlockLatency:   core.BlockLatency,
+		KeySetupCycles: core.KeySetupCycles,
+		HasEncrypt:     core.Config.Variant != rijndael.Decrypt,
+		HasDecrypt:     core.Config.Variant != rijndael.Encrypt,
+		HasEncDecPin:   core.Config.Variant == rijndael.Both,
+		Name:           core.Design.Name,
+	})
+}
+
+// NewDUT returns a driver over an arbitrary device with the Table 1
+// interface.
+func NewDUT(dut DUT) *Driver {
+	return &Driver{
+		DUT:     dut,
+		Sim:     dut.Sim,
+		Timeout: 4 * (dut.BlockLatency + dut.KeySetupCycles + 2),
+	}
+}
+
+// Reset puts the device back into its power-up state.
+func (d *Driver) Reset() {
+	d.Sim.Reset()
+}
+
+func (d *Driver) clearControl() {
+	d.Sim.SetInput("setup", 0)
+	d.Sim.SetInput("wr_data", 0)
+	d.Sim.SetInput("wr_key", 0)
+}
+
+// LoadKey performs the configuration sequence: raise setup and wr_key with
+// the key on din (one 128-bit beat, or two beats low-half-first for a
+// 256-bit key on an AES-256 core), then run the key-setup walk to
+// completion (10 cycles for the decrypt-capable variants, 0 for
+// encrypt-only). It returns the number of cycles consumed.
+func (d *Driver) LoadKey(key []byte) (int, error) {
+	if len(key) != 16 && len(key) != 32 {
+		return 0, fmt.Errorf("bfm: key must be 16 or 32 bytes, got %d", len(key))
+	}
+	cycles := 0
+	for beat := 0; beat < len(key)/16; beat++ {
+		d.clearControl()
+		d.Sim.SetInput("setup", 1)
+		d.Sim.SetInput("wr_key", 1)
+		if err := d.Sim.SetInputBits("din", key[16*beat:16*beat+16]); err != nil {
+			return 0, err
+		}
+		d.Sim.Step()
+		cycles++
+	}
+	d.clearControl()
+	for i := 0; i < d.DUT.KeySetupCycles; i++ {
+		d.Sim.Step()
+		cycles++
+	}
+	return cycles, nil
+}
+
+// ErrTimeout is returned when data_ok never rises.
+var ErrTimeout = errors.New("bfm: timeout waiting for data_ok")
+
+// encdecFor maps an operation direction onto the encdec input value.
+func (d *Driver) setDirection(encrypt bool) error {
+	if encrypt && !d.DUT.HasEncrypt {
+		return fmt.Errorf("bfm: %s cannot encrypt", d.DUT.Name)
+	}
+	if !encrypt && !d.DUT.HasDecrypt {
+		return fmt.Errorf("bfm: %s cannot decrypt", d.DUT.Name)
+	}
+	if !d.DUT.HasEncDecPin {
+		return nil
+	}
+	v := uint64(0)
+	if encrypt {
+		v = 1
+	}
+	return d.Sim.SetInput("encdec", v)
+}
+
+// Process pushes one block through the device and waits for the result.
+// It returns the output block and the latency in clock cycles from the
+// wr_data edge to the first cycle data_ok is observed high.
+func (d *Driver) Process(block []byte, encrypt bool) ([]byte, int, error) {
+	if len(block) != 16 {
+		return nil, 0, fmt.Errorf("bfm: block must be 16 bytes, got %d", len(block))
+	}
+	if err := d.setDirection(encrypt); err != nil {
+		return nil, 0, err
+	}
+	d.clearControl()
+	d.Sim.SetInput("wr_data", 1)
+	if err := d.Sim.SetInputBits("din", block); err != nil {
+		return nil, 0, err
+	}
+	d.Sim.Step() // load edge
+	d.clearControl()
+	cycles := 0
+	for {
+		d.Sim.Eval()
+		ok, err := d.Sim.Output("data_ok")
+		if err != nil {
+			return nil, 0, err
+		}
+		if ok == 1 {
+			out, err := d.Sim.OutputBits("dout")
+			if err != nil {
+				return nil, 0, err
+			}
+			return out, cycles, nil
+		}
+		if cycles >= d.Timeout {
+			return nil, 0, ErrTimeout
+		}
+		d.Sim.Step()
+		cycles++
+	}
+}
+
+// Encrypt processes one block in the encrypt direction.
+func (d *Driver) Encrypt(block []byte) ([]byte, int, error) { return d.Process(block, true) }
+
+// Decrypt processes one block in the decrypt direction.
+func (d *Driver) Decrypt(block []byte) ([]byte, int, error) { return d.Process(block, false) }
+
+// StreamResult reports the outcome of a streaming run.
+type StreamResult struct {
+	Blocks      int
+	TotalCycles int
+	// CyclesPerBlock is the sustained rate including load overlap.
+	CyclesPerBlock float64
+}
+
+// Stream pushes a sequence of blocks through the device back to back,
+// issuing the next wr_data as soon as the device will accept it (the
+// decoupled Data In process lets a load overlap processing). Outputs are
+// collected from data_ok edges. All blocks run in the same direction.
+func (d *Driver) Stream(blocks [][]byte, encrypt bool) ([][]byte, StreamResult, error) {
+	if err := d.setDirection(encrypt); err != nil {
+		return nil, StreamResult{}, err
+	}
+	var outs [][]byte
+	res := StreamResult{}
+	issued := 0
+	// data_ok may still be high from a previous transaction; only a rising
+	// edge after this stream's own loads signals a fresh result.
+	d.Sim.Eval()
+	prevOk, err := d.Sim.Output("data_ok")
+	if err != nil {
+		return nil, res, err
+	}
+	guard := d.Timeout * (len(blocks) + 1)
+	for cycles := 0; len(outs) < len(blocks); cycles++ {
+		if cycles > guard {
+			return outs, res, ErrTimeout
+		}
+		// The decoupled Data In process buffers exactly one block: issue the
+		// next wr_data whenever din_reg is free (pending flag clear).
+		d.clearControl()
+		if issued < len(blocks) && !d.pendingSet() {
+			d.Sim.SetInput("wr_data", 1)
+			if err := d.Sim.SetInputBits("din", blocks[issued]); err != nil {
+				return outs, res, err
+			}
+			issued++
+		}
+		d.Sim.Eval()
+		ok, err := d.Sim.Output("data_ok")
+		if err != nil {
+			return outs, res, err
+		}
+		if ok == 1 && prevOk == 0 {
+			out, err := d.Sim.OutputBits("dout")
+			if err != nil {
+				return outs, res, err
+			}
+			outs = append(outs, out)
+			res.TotalCycles = cycles
+		}
+		prevOk = ok
+		d.Sim.Step()
+	}
+	res.Blocks = len(outs)
+	if res.Blocks > 0 {
+		res.CyclesPerBlock = float64(res.TotalCycles) / float64(res.Blocks)
+	}
+	return outs, res, nil
+}
+
+// pendingSet peeks the device's din_reg occupancy flag. The BFM is a
+// testbench, so observing an internal register models the "bus permission"
+// the data_ok pin grants in a real deployment.
+func (d *Driver) pendingSet() bool {
+	v, ok := d.Sim.RegValue("pending")
+	return ok && v[0]&1 != 0
+}
+
+// NewPostSynthesis returns a driver over a post-synthesis simulation: the
+// technology-mapped netlist of the core is simulated gate by gate instead
+// of the RTL. This is the flow's sign-off check — the same vectors must
+// come back from the mapped design.
+func NewPostSynthesis(core *rijndael.Core, sim Sim) *Driver {
+	return NewDUT(DUT{
+		Sim:            sim,
+		BlockLatency:   core.BlockLatency,
+		KeySetupCycles: core.KeySetupCycles,
+		HasEncrypt:     core.Config.Variant != rijndael.Decrypt,
+		HasDecrypt:     core.Config.Variant != rijndael.Encrypt,
+		HasEncDecPin:   core.Config.Variant == rijndael.Both,
+		Name:           core.Design.Name + "(mapped)",
+	})
+}

@@ -1,0 +1,155 @@
+package bfm
+
+import (
+	"bytes"
+	"testing"
+
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+)
+
+// toyDevice builds a minimal Table-1 device: after wr_data it counts down
+// `delay` cycles, then presents din XOR key on dout with data_ok high.
+// It reuses the exact pending/handshake semantics the driver expects.
+func toyDevice(t *testing.T, delay uint64) *rtl.Design {
+	t.Helper()
+	b := rtl.NewBuilder("toy")
+	g := b.Logic()
+	b.Input("clk", 1)
+	setup := b.Input("setup", 1)[0]
+	wrData := b.Input("wr_data", 1)[0]
+	wrKey := b.Input("wr_key", 1)[0]
+	din := b.Input("din", 128)
+
+	dinReg := b.Reg("din_reg", 128)
+	keyReg := b.Reg("key_reg", 128)
+	pending := b.Reg("pending", 1)
+	keyvalid := b.Reg("keyvalid", 1)
+	busy := b.Reg("busy", 1)
+	cnt := b.Reg("cnt", 8)
+	work := b.Reg("work", 128)
+	doutReg := b.Reg("dout_reg", 128)
+	dataOk := b.Reg("data_ok_reg", 1)
+
+	busyQ := busy.Q[0]
+	pendingQ := pending.Q[0]
+	keyLoad := g.AndN(wrKey, setup, logic.Not(busyQ))
+	occupied := g.OrN(busyQ, logic.Not(keyvalid.Q[0]), keyLoad)
+	ld := g.AndN(logic.Not(occupied), g.Or(pendingQ, wrData))
+	done := g.And(busyQ, rijndael.EqConstNet(g, cnt.Q, delay))
+
+	src := g.MuxVector(pendingQ, dinReg.Q, din)
+	dinReg.SetNext(din, wrData)
+	keyReg.SetNext(din, keyLoad)
+	keyvalid.SetNext(rtl.Bus{g.Or(keyvalid.Q[0], keyLoad)}, logic.True)
+	pending.SetNext(rtl.Bus{g.Mux(ld, g.And(pendingQ, wrData),
+		g.Or(pendingQ, g.And(wrData, occupied)))}, logic.True)
+	busy.SetNext(rtl.Bus{g.Or(ld, g.And(busyQ, logic.Not(done)))}, logic.True)
+	cnt.SetNext(g.MuxVector(ld, rtl.Const(8, 1), rijndael.IncNet(g, cnt.Q)), g.Or(ld, busyQ))
+	work.SetNext(g.XorVector(src, keyReg.Q), ld)
+	doutReg.SetNext(work.Q, done)
+	dataOk.SetNext(rtl.Bus{g.Or(done, g.And(dataOk.Q[0], logic.Not(ld)))}, logic.True)
+
+	b.Output("dout", doutReg.Q)
+	b.Output("data_ok", rtl.Bus{dataOk.Q[0]})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func toyDriver(t *testing.T, delay uint64) *Driver {
+	t.Helper()
+	d := toyDevice(t, delay)
+	return NewDUT(DUT{
+		Sim:          d.NewSimulator(),
+		BlockLatency: int(delay),
+		HasEncrypt:   true,
+		Name:         "toy",
+	})
+}
+
+func TestDriverSingleTransaction(t *testing.T) {
+	drv := toyDriver(t, 7)
+	key := bytes.Repeat([]byte{0x5A}, 16)
+	if _, err := drv.LoadKey(key); err != nil {
+		t.Fatal(err)
+	}
+	block := bytes.Repeat([]byte{0x33}, 16)
+	out, cycles, err := drv.Encrypt(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x5A ^ 0x33}, 16)
+	if !bytes.Equal(out, want) {
+		t.Fatalf("toy result %x, want %x", out, want)
+	}
+	if cycles != 7 {
+		t.Errorf("latency %d, want 7", cycles)
+	}
+}
+
+func TestDriverKeySizeValidation(t *testing.T) {
+	drv := toyDriver(t, 3)
+	if _, err := drv.LoadKey(make([]byte, 8)); err == nil {
+		t.Error("8-byte key accepted")
+	}
+	if _, _, err := drv.Encrypt(make([]byte, 15)); err == nil {
+		t.Error("15-byte block accepted")
+	}
+}
+
+func TestDriverDirectionRejection(t *testing.T) {
+	drv := toyDriver(t, 3)
+	drv.LoadKey(make([]byte, 16))
+	if _, _, err := drv.Decrypt(make([]byte, 16)); err == nil {
+		t.Error("decrypt accepted by encrypt-only DUT")
+	}
+}
+
+func TestDriverTimeout(t *testing.T) {
+	// A device that never completes: delay beyond the timeout horizon.
+	drv := toyDriver(t, 200)
+	drv.Timeout = 20
+	drv.LoadKey(make([]byte, 16))
+	if _, _, err := drv.Encrypt(make([]byte, 16)); err != ErrTimeout {
+		t.Fatalf("expected ErrTimeout, got %v", err)
+	}
+}
+
+func TestDriverStreamOverlap(t *testing.T) {
+	drv := toyDriver(t, 9)
+	key := bytes.Repeat([]byte{0x0F}, 16)
+	drv.LoadKey(key)
+	blocks := make([][]byte, 5)
+	for i := range blocks {
+		blocks[i] = bytes.Repeat([]byte{byte(i + 1)}, 16)
+	}
+	outs, res, err := drv.Stream(blocks, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blocks {
+		want := bytes.Repeat([]byte{byte(i+1) ^ 0x0F}, 16)
+		if !bytes.Equal(outs[i], want) {
+			t.Fatalf("stream block %d: %x, want %x", i, outs[i], want)
+		}
+	}
+	if res.Blocks != 5 || res.CyclesPerBlock > 12 {
+		t.Errorf("stream result %+v", res)
+	}
+}
+
+func TestDriverReset(t *testing.T) {
+	drv := toyDriver(t, 4)
+	drv.LoadKey(make([]byte, 16))
+	drv.Encrypt(make([]byte, 16))
+	drv.Reset()
+	// After reset the key is gone: a process must time out (keyvalid off).
+	drv.Timeout = 30
+	if _, _, err := drv.Encrypt(make([]byte, 16)); err != ErrTimeout {
+		t.Fatalf("expected timeout after reset, got %v", err)
+	}
+}

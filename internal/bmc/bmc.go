@@ -1,0 +1,504 @@
+// Package bmc implements bounded model checking over mapped netlists: the
+// sequential circuit is unrolled frame by frame into one SAT instance and
+// temporal properties ("signal S equals v at cycle k, for every input
+// sequence") are proved by refuting their negation.
+//
+// Two standard model-checking reductions keep the instances tractable:
+//
+//   - cone-of-influence: only logic that can reach a property signal
+//     (through any number of cycles) is unrolled;
+//   - memory abstraction: ROM outputs are left as free variables, which is
+//     sound for proving — control-path properties like the paper's
+//     50-cycle latency cannot depend on what the S-boxes return, and the
+//     proof confirms exactly that.
+package bmc
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/sat"
+)
+
+// Frame fixes some input ports for one cycle; unlisted ports (and every
+// bit of wide ports not covered by FixedBits) are unconstrained.
+type Frame struct {
+	// Fixed pins ports of up to 64 bits to a value.
+	Fixed map[string]uint64
+}
+
+// Prop asserts a signal value at a frame. Signal is an output-port name
+// (bit 0 unless Bit set) or a flip-flop name (exact match).
+type Prop struct {
+	Frame  int
+	Signal string
+	Bit    int
+	Value  bool
+}
+
+func (p Prop) String() string {
+	return fmt.Sprintf("%s[%d]@%d == %v", p.Signal, p.Bit, p.Frame, p.Value)
+}
+
+// Verdict is the outcome for one property.
+type Verdict int
+
+// Property outcomes.
+const (
+	Proved Verdict = iota
+	Violated
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Proved:
+		return "proved"
+	case Violated:
+		return "violated"
+	}
+	return "unknown"
+}
+
+// Result reports one property's check.
+type Result struct {
+	Prop    Prop
+	Verdict Verdict
+}
+
+// Checker unrolls one netlist for a fixed frame count.
+type Checker struct {
+	nl     *netlist.Netlist
+	frames []Frame
+
+	coiNets map[netlist.NetID]bool
+	coiLUTs []int // indices into nl.LUTs, evaluation order
+	coiFFs  []int
+
+	s  *sat.Solver
+	ct sat.Lit
+	// vars[f][net] is the SAT literal of a net in frame f.
+	vars []map[netlist.NetID]sat.Lit
+}
+
+// New builds the unrolled instance for len(frames) cycles, restricted to
+// the cone of influence of the given property signals.
+func New(nl *netlist.Netlist, frames []Frame, props []Prop) (*Checker, error) {
+	if err := nl.Build(); err != nil {
+		return nil, err
+	}
+	c := &Checker{nl: nl, frames: frames}
+
+	targets, err := c.propNets(props)
+	if err != nil {
+		return nil, err
+	}
+	c.computeCOI(targets)
+
+	c.s = sat.New(0)
+	c.ct = sat.MkLit(c.s.NewVar(), false)
+	c.s.AddClause(c.ct)
+	c.unroll()
+	return c, nil
+}
+
+// propNets resolves property signals to nets.
+func (c *Checker) propNets(props []Prop) ([]netlist.NetID, error) {
+	var out []netlist.NetID
+	for _, p := range props {
+		n, err := c.resolve(p.Signal, p.Bit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func (c *Checker) resolve(signal string, bit int) (netlist.NetID, error) {
+	if nets, ok := c.nl.FindOutput(signal); ok {
+		if bit >= len(nets) {
+			return 0, fmt.Errorf("bmc: output %s has no bit %d", signal, bit)
+		}
+		return nets[bit], nil
+	}
+	for i := range c.nl.FFs {
+		if c.nl.FFs[i].Name == signal {
+			return c.nl.FFs[i].Q, nil
+		}
+	}
+	return 0, fmt.Errorf("bmc: unknown signal %q", signal)
+}
+
+// computeCOI walks backwards from the targets through LUTs and flip-flops
+// until a fixpoint; ROM outputs terminate the walk (memory abstraction).
+func (c *Checker) computeCOI(targets []netlist.NetID) {
+	driverLUT := map[netlist.NetID]int{}
+	for i := range c.nl.LUTs {
+		driverLUT[c.nl.LUTs[i].Out] = i
+	}
+	driverFF := map[netlist.NetID]int{}
+	for i := range c.nl.FFs {
+		driverFF[c.nl.FFs[i].Q] = i
+	}
+	c.coiNets = map[netlist.NetID]bool{}
+	var stack []netlist.NetID
+	push := func(n netlist.NetID) {
+		if n == netlist.Invalid || n < 2 || c.coiNets[n] {
+			return
+		}
+		c.coiNets[n] = true
+		stack = append(stack, n)
+	}
+	for _, t := range targets {
+		push(t)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if li, ok := driverLUT[n]; ok {
+			for _, in := range c.nl.LUTs[li].Inputs {
+				push(in)
+			}
+			continue
+		}
+		if fi, ok := driverFF[n]; ok {
+			push(c.nl.FFs[fi].D)
+			push(c.nl.FFs[fi].En)
+			continue
+		}
+		// PI or ROM output: free variable, walk stops.
+	}
+	for _, cn := range c.nl.CombOrder() {
+		if cn.Kind == netlist.CombLUT && c.coiNets[c.nl.LUTs[cn.Index].Out] {
+			c.coiLUTs = append(c.coiLUTs, cn.Index)
+		}
+	}
+	for i := range c.nl.FFs {
+		if c.coiNets[c.nl.FFs[i].Q] {
+			c.coiFFs = append(c.coiFFs, i)
+		}
+	}
+}
+
+// COISize reports the reduced model size (LUTs, FFs per frame).
+func (c *Checker) COISize() (luts, ffs int) { return len(c.coiLUTs), len(c.coiFFs) }
+
+// unroll builds the SAT instance.
+func (c *Checker) unroll() {
+	nFrames := len(c.frames)
+	c.vars = make([]map[netlist.NetID]sat.Lit, nFrames)
+	for f := 0; f < nFrames; f++ {
+		c.vars[f] = map[netlist.NetID]sat.Lit{
+			netlist.Const0: c.ct.Not(),
+			netlist.Const1: c.ct,
+		}
+		// Frame inputs: fixed ports become constants, everything else a
+		// fresh variable.
+		for _, p := range c.nl.Inputs {
+			fixed, has := c.frames[f].Fixed[p.Name]
+			for bit, n := range p.Nets {
+				if !c.coiNets[n] {
+					continue
+				}
+				if has && bit < 64 {
+					if fixed>>uint(bit)&1 != 0 {
+						c.vars[f][n] = c.ct
+					} else {
+						c.vars[f][n] = c.ct.Not()
+					}
+				} else {
+					c.vars[f][n] = sat.MkLit(c.s.NewVar(), false)
+				}
+			}
+		}
+		// Flip-flop outputs: init constants at frame 0, transition function
+		// afterwards.
+		for _, fi := range c.coiFFs {
+			ff := &c.nl.FFs[fi]
+			if f == 0 {
+				if ff.Init {
+					c.vars[0][ff.Q] = c.ct
+				} else {
+					c.vars[0][ff.Q] = c.ct.Not()
+				}
+				continue
+			}
+			q := sat.MkLit(c.s.NewVar(), false)
+			c.vars[f][ff.Q] = q
+			prevQ := c.vars[f-1][ff.Q]
+			prevD := c.litOf(f-1, ff.D)
+			if ff.En == netlist.Invalid {
+				c.equal(q, prevD)
+				continue
+			}
+			en := c.litOf(f-1, ff.En)
+			// q <-> en ? prevD : prevQ
+			c.s.AddClause(en.Not(), prevD.Not(), q)
+			c.s.AddClause(en.Not(), prevD, q.Not())
+			c.s.AddClause(en, prevQ.Not(), q)
+			c.s.AddClause(en, prevQ, q.Not())
+		}
+		// ROM outputs (async and sync alike): free variables under the
+		// memory abstraction.
+		for i := range c.nl.ROMs {
+			for _, o := range c.nl.ROMs[i].Out {
+				if c.coiNets[o] {
+					c.vars[f][o] = sat.MkLit(c.s.NewVar(), false)
+				}
+			}
+		}
+		// Combinational logic of this frame.
+		for _, li := range c.coiLUTs {
+			l := &c.nl.LUTs[li]
+			ins := make([]sat.Lit, len(l.Inputs))
+			for i, in := range l.Inputs {
+				ins[i] = c.litOf(f, in)
+			}
+			out := sat.MkLit(c.s.NewVar(), false)
+			c.vars[f][l.Out] = out
+			c.encodeLUT(ins, l.Mask, out)
+		}
+	}
+}
+
+func (c *Checker) litOf(f int, n netlist.NetID) sat.Lit {
+	l, ok := c.vars[f][n]
+	if !ok {
+		panic(fmt.Sprintf("bmc: net %d missing from frame %d (outside the COI)", int(n), f))
+	}
+	return l
+}
+
+func (c *Checker) equal(a, b sat.Lit) {
+	c.s.AddClause(a.Not(), b)
+	c.s.AddClause(a, b.Not())
+}
+
+func (c *Checker) encodeLUT(ins []sat.Lit, mask uint16, out sat.Lit) {
+	k := len(ins)
+	for idx := 0; idx < 1<<uint(k); idx++ {
+		clause := make([]sat.Lit, 0, k+1)
+		for j := 0; j < k; j++ {
+			if idx>>uint(j)&1 != 0 {
+				clause = append(clause, ins[j].Not())
+			} else {
+				clause = append(clause, ins[j])
+			}
+		}
+		if mask>>uint(idx)&1 != 0 {
+			clause = append(clause, out)
+		} else {
+			clause = append(clause, out.Not())
+		}
+		c.s.AddClause(clause...)
+	}
+}
+
+// Check proves or refutes each property under a conflict budget per
+// property (0 = unlimited).
+func (c *Checker) Check(props []Prop, budget int64) ([]Result, error) {
+	out := make([]Result, len(props))
+	for i, p := range props {
+		if p.Frame < 0 || p.Frame >= len(c.frames) {
+			return nil, fmt.Errorf("bmc: property frame %d outside unrolling", p.Frame)
+		}
+		n, err := c.resolve(p.Signal, p.Bit)
+		if err != nil {
+			return nil, err
+		}
+		l, ok := c.vars[p.Frame][n]
+		if !ok {
+			return nil, fmt.Errorf("bmc: %v is outside the unrolled cone of influence; include the signal in the properties passed to New", p)
+		}
+		want := l
+		if !p.Value {
+			want = l.Not()
+		}
+		// Refute the negation under an assumption.
+		c.s.MaxConflicts = budget
+		switch c.s.Solve(want.Not()) {
+		case sat.Unsat:
+			out[i] = Result{Prop: p, Verdict: Proved}
+		case sat.Sat:
+			out[i] = Result{Prop: p, Verdict: Violated}
+		default:
+			out[i] = Result{Prop: p, Verdict: Unknown}
+		}
+	}
+	return out, nil
+}
+
+// StateProp is a predicate literal over a flip-flop: FF (by name) == Value.
+type StateProp struct {
+	FF    string
+	Value bool
+}
+
+// Clause is a disjunction of state literals.
+type Clause []StateProp
+
+// Invariant is a conjunction of clauses over the flip-flop state —
+// expressive enough for range predicates like "the phase counter never
+// exceeds 4" (two binary clauses over its bits).
+type Invariant []Clause
+
+// CheckInductive proves an invariant by 1-induction:
+//
+//	base:  every clause holds in the initial state;
+//	step:  from ANY state satisfying the invariant (inputs
+//	       unconstrained), one transition preserves it.
+//
+// Success gives an unbounded proof (the invariant holds at every cycle of
+// every execution). A Violated step is inconclusive about reachability —
+// the invariant may hold but not be inductive; strengthening is the
+// caller's job.
+func CheckInductive(nl *netlist.Netlist, inv Invariant, budget int64) (Verdict, error) {
+	if err := nl.Build(); err != nil {
+		return Unknown, err
+	}
+	ffByName := map[string]int{}
+	for i := range nl.FFs {
+		ffByName[nl.FFs[i].Name] = i
+	}
+	type lit struct {
+		ff    int
+		value bool
+	}
+	clauses := make([][]lit, len(inv))
+	for ci, cl := range inv {
+		if len(cl) == 0 {
+			return Unknown, fmt.Errorf("bmc: empty invariant clause")
+		}
+		for _, p := range cl {
+			fi, ok := ffByName[p.FF]
+			if !ok {
+				return Unknown, fmt.Errorf("bmc: unknown flip-flop %q", p.FF)
+			}
+			clauses[ci] = append(clauses[ci], lit{ff: fi, value: p.Value})
+		}
+	}
+
+	// Base case: the initial state must satisfy every clause.
+	for _, cl := range clauses {
+		ok := false
+		for _, l := range cl {
+			if nl.FFs[l.ff].Init == l.value {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return Violated, nil
+		}
+	}
+
+	// Step: two frames, frame-0 state free but constrained by inv.
+	c := &Checker{nl: nl, frames: make([]Frame, 2)}
+	var targets []netlist.NetID
+	for _, cl := range clauses {
+		for _, l := range cl {
+			targets = append(targets, nl.FFs[l.ff].Q)
+		}
+	}
+	c.computeCOI(targets)
+	c.s = sat.New(0)
+	c.ct = sat.MkLit(c.s.NewVar(), false)
+	c.s.AddClause(c.ct)
+	c.unrollFreeInit()
+
+	stateLit := func(frame int, l lit) sat.Lit {
+		q := c.vars[frame][nl.FFs[l.ff].Q]
+		if l.value {
+			return q
+		}
+		return q.Not()
+	}
+	// Assume the invariant at frame 0.
+	for _, cl := range clauses {
+		sc := make([]sat.Lit, len(cl))
+		for i, l := range cl {
+			sc[i] = stateLit(0, l)
+		}
+		c.s.AddClause(sc...)
+	}
+	// Violation at frame 1: some clause entirely false. Tseitin each
+	// clause's negation and require at least one.
+	var bads []sat.Lit
+	for _, cl := range clauses {
+		b := sat.MkLit(c.s.NewVar(), false)
+		for _, l := range cl {
+			// b -> literal false
+			c.s.AddClause(b.Not(), stateLit(1, l).Not())
+		}
+		bads = append(bads, b)
+	}
+	sel := sat.MkLit(c.s.NewVar(), false)
+	c.s.AddClause(append([]sat.Lit{sel.Not()}, bads...)...)
+	c.s.MaxConflicts = budget
+	switch c.s.Solve(sel) {
+	case sat.Unsat:
+		return Proved, nil
+	case sat.Sat:
+		return Violated, nil
+	default:
+		return Unknown, nil
+	}
+}
+
+// unrollFreeInit is unroll with free (symbolic) frame-0 flip-flop state,
+// used by the induction step.
+func (c *Checker) unrollFreeInit() {
+	nFrames := len(c.frames)
+	c.vars = make([]map[netlist.NetID]sat.Lit, nFrames)
+	for f := 0; f < nFrames; f++ {
+		c.vars[f] = map[netlist.NetID]sat.Lit{
+			netlist.Const0: c.ct.Not(),
+			netlist.Const1: c.ct,
+		}
+		for _, p := range c.nl.Inputs {
+			for _, n := range p.Nets {
+				if c.coiNets[n] {
+					c.vars[f][n] = sat.MkLit(c.s.NewVar(), false)
+				}
+			}
+		}
+		for _, fi := range c.coiFFs {
+			ff := &c.nl.FFs[fi]
+			if f == 0 {
+				c.vars[0][ff.Q] = sat.MkLit(c.s.NewVar(), false)
+				continue
+			}
+			q := sat.MkLit(c.s.NewVar(), false)
+			c.vars[f][ff.Q] = q
+			prevQ := c.vars[f-1][ff.Q]
+			prevD := c.litOf(f-1, ff.D)
+			if ff.En == netlist.Invalid {
+				c.equal(q, prevD)
+				continue
+			}
+			en := c.litOf(f-1, ff.En)
+			c.s.AddClause(en.Not(), prevD.Not(), q)
+			c.s.AddClause(en.Not(), prevD, q.Not())
+			c.s.AddClause(en, prevQ.Not(), q)
+			c.s.AddClause(en, prevQ, q.Not())
+		}
+		for i := range c.nl.ROMs {
+			for _, o := range c.nl.ROMs[i].Out {
+				if c.coiNets[o] {
+					c.vars[f][o] = sat.MkLit(c.s.NewVar(), false)
+				}
+			}
+		}
+		for _, li := range c.coiLUTs {
+			l := &c.nl.LUTs[li]
+			ins := make([]sat.Lit, len(l.Inputs))
+			for i, in := range l.Inputs {
+				ins[i] = c.litOf(f, in)
+			}
+			out := sat.MkLit(c.s.NewVar(), false)
+			c.vars[f][l.Out] = out
+			c.encodeLUT(ins, l.Mask, out)
+		}
+	}
+}

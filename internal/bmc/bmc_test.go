@@ -1,0 +1,259 @@
+package bmc
+
+import (
+	"testing"
+
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+	"rijndaelip/internal/techmap"
+)
+
+// counterNetlist builds a 3-bit counter with enable.
+func counterNetlist(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("cnt")
+	en := nl.AddInput("en", 1)
+	q := nl.NewNets(3)
+	carry := netlist.Const1
+	var d []netlist.NetID
+	for i := 0; i < 3; i++ {
+		sum := nl.NewNet()
+		nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{q[i], carry}, Mask: 0b0110, Out: sum})
+		nc := nl.NewNet()
+		nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{q[i], carry}, Mask: 0b1000, Out: nc})
+		carry = nc
+		d = append(d, sum)
+	}
+	for i := 0; i < 3; i++ {
+		nl.AddFF(netlist.FF{D: d[i], En: en[0], Q: q[i], Name: "c" + string(rune('0'+i))})
+	}
+	nl.AddOutput("q", q)
+	if err := nl.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestCounterProperties(t *testing.T) {
+	nl := counterNetlist(t)
+	// Enable high for 5 frames: counter must read 5 (101) at frame 5.
+	frames := make([]Frame, 6)
+	for i := range frames {
+		frames[i] = Frame{Fixed: map[string]uint64{"en": 1}}
+	}
+	props := []Prop{
+		{Frame: 5, Signal: "q", Bit: 0, Value: true},
+		{Frame: 5, Signal: "q", Bit: 1, Value: false},
+		{Frame: 5, Signal: "q", Bit: 2, Value: true},
+		{Frame: 3, Signal: "q", Bit: 0, Value: true},
+		{Frame: 3, Signal: "q", Bit: 1, Value: true},
+	}
+	c, err := New(nl, frames, props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Check(props, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Verdict != Proved {
+			t.Errorf("%v: %v", r.Prop, r.Verdict)
+		}
+	}
+	// A wrong claim must be violated with a counterexample.
+	bad := []Prop{{Frame: 5, Signal: "q", Bit: 1, Value: true}}
+	res, err = c.Check(bad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Verdict != Violated {
+		t.Fatalf("wrong claim verdict: %v", res[0].Verdict)
+	}
+}
+
+func TestFreeInputBranches(t *testing.T) {
+	nl := counterNetlist(t)
+	// Enable free: at frame 2 the counter could be 0,1,2 — so "bit0 == 0"
+	// is violated (en=1,en=0 path gives 1) and "bit2 == 0" is proved (can
+	// reach at most 2).
+	frames := make([]Frame, 3)
+	c, err := New(nl, frames, []Prop{
+		{Frame: 2, Signal: "q", Bit: 2},
+		{Frame: 2, Signal: "q", Bit: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Check([]Prop{
+		{Frame: 2, Signal: "q", Bit: 2, Value: false},
+		{Frame: 2, Signal: "q", Bit: 0, Value: false},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Verdict != Proved {
+		t.Errorf("bit2 claim: %v", res[0].Verdict)
+	}
+	if res[1].Verdict != Violated {
+		t.Errorf("bit0 claim: %v", res[1].Verdict)
+	}
+}
+
+func TestUnknownSignals(t *testing.T) {
+	nl := counterNetlist(t)
+	if _, err := New(nl, make([]Frame, 2), []Prop{{Frame: 1, Signal: "nope"}}); err == nil {
+		t.Fatal("unknown signal accepted")
+	}
+}
+
+// TestAESLatencyTheorem is the flagship proof: for EVERY 128-bit key and
+// EVERY plaintext block, after wr_key at cycle 0 and wr_data at cycle 1,
+// the encryptor's data_ok stays low for exactly 50 processing cycles and
+// rises at cycle 52 — the paper's latency as a theorem, not a measurement.
+// (Cycle 1 loads the block; data_ok is observable one cycle after the
+// final round's edge.)
+func TestAESLatencyTheorem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency theorem skipped in -short mode")
+	}
+	core, err := rijndael.New(rijndael.Config{Variant: rijndael.Encrypt, ROMStyle: rtl.ROMAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := core.Design.Synthesize(techmap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const last = 53
+	frames := make([]Frame, last+1)
+	for i := range frames {
+		frames[i] = Frame{Fixed: map[string]uint64{
+			"setup": 0, "wr_key": 0, "wr_data": 0,
+		}}
+	}
+	frames[0].Fixed = map[string]uint64{"setup": 1, "wr_key": 1, "wr_data": 0}
+	frames[1].Fixed = map[string]uint64{"setup": 0, "wr_key": 0, "wr_data": 1}
+	// din is never fixed: the key and plaintext are universally quantified.
+
+	var props []Prop
+	// data_ok low from the load until the result is registered...
+	for f := 2; f <= 51; f++ {
+		props = append(props, Prop{Frame: f, Signal: "data_ok", Value: false})
+	}
+	// ...and high exactly at cycle 52 (50 processing cycles after the load
+	// edge at cycle 1, observable at the following cycle boundary).
+	props = append(props, Prop{Frame: 52, Signal: "data_ok", Value: true})
+	props = append(props, Prop{Frame: 53, Signal: "data_ok", Value: true})
+
+	c, err := New(nl, frames, props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	luts, ffs := c.COISize()
+	t.Logf("COI: %d LUTs, %d FFs per frame (of %d/%d)", luts, ffs, nl.NumLUTs(), nl.NumFFs())
+	if luts >= nl.NumLUTs()/2 {
+		t.Errorf("COI reduction ineffective: %d of %d LUTs", luts, nl.NumLUTs())
+	}
+	res, err := c.Check(props, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Verdict != Proved {
+			t.Errorf("%v: %v", r.Prop, r.Verdict)
+		}
+	}
+}
+
+// TestInductiveCounterRange proves, unboundedly, that a 0..4-cycling
+// counter never reaches 5, 6 or 7 — and that the analogous claim fails on
+// a free-running 3-bit counter.
+func TestInductiveCounterRange(t *testing.T) {
+	// mod-5 counter: q' = (q==4) ? 0 : q+1 when enabled.
+	nl := netlist.New("mod5")
+	en := nl.AddInput("en", 1)
+	q := nl.NewNets(3)
+	wrap := nl.NewNet() // q == 4 (100)
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{q[0], q[1], q[2]}, Mask: 0b00010000, Out: wrap})
+	carry := netlist.Const1
+	for i := 0; i < 3; i++ {
+		sum := nl.NewNet()
+		// inc bit, masked to 0 on wrap: (q XOR carry) AND NOT wrap.
+		nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{q[i], carry, wrap}, Mask: 0b00000110, Out: sum})
+		nc := nl.NewNet()
+		nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{q[i], carry}, Mask: 0b1000, Out: nc})
+		carry = nc
+		nl.AddFF(netlist.FF{D: sum, En: en[0], Q: q[i], Name: "m" + string(rune('0'+i))})
+	}
+	nl.AddOutput("q", q)
+	if err := nl.Build(); err != nil {
+		t.Fatal(err)
+	}
+	// Invariant: NOT(q in {5,6,7}) = (!m0 | !m2) & (!m1 | !m2).
+	inv := Invariant{
+		{{FF: "m0", Value: false}, {FF: "m2", Value: false}},
+		{{FF: "m1", Value: false}, {FF: "m2", Value: false}},
+	}
+	v, err := CheckInductive(nl, inv, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Proved {
+		t.Fatalf("mod-5 range invariant: %v", v)
+	}
+
+	// The same invariant on a plain wrap-around counter must fail the
+	// induction step (5..7 are reachable).
+	plain := counterNetlist(t)
+	inv2 := Invariant{
+		{{FF: "c0", Value: false}, {FF: "c2", Value: false}},
+		{{FF: "c1", Value: false}, {FF: "c2", Value: false}},
+	}
+	v, err = CheckInductive(plain, inv2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Violated {
+		t.Fatalf("free counter invariant should fail induction: %v", v)
+	}
+}
+
+// TestAESPhaseInvariant proves unboundedly that the paper core's phase
+// counter never leaves 0..4: five cycles per round, as §4 claims, in every
+// reachable state under every input sequence.
+func TestAESPhaseInvariant(t *testing.T) {
+	core, err := rijndael.New(rijndael.Config{Variant: rijndael.Encrypt, ROMStyle: rtl.ROMAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := core.Design.Synthesize(techmap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// phase is 3 bits named phase[0..2]; values 5,6,7 forbidden:
+	// (!p0|!p2) & (!p1|!p2).
+	inv := Invariant{
+		{{FF: "phase[0]", Value: false}, {FF: "phase[2]", Value: false}},
+		{{FF: "phase[1]", Value: false}, {FF: "phase[2]", Value: false}},
+	}
+	v, err := CheckInductive(nl, inv, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Proved {
+		t.Fatalf("phase range invariant: %v (the 5-cycle round claim should be inductive)", v)
+	}
+}
+
+func TestInductiveBadClause(t *testing.T) {
+	nl := counterNetlist(t)
+	if _, err := CheckInductive(nl, Invariant{{}}, 0); err == nil {
+		t.Fatal("empty clause accepted")
+	}
+	if _, err := CheckInductive(nl, Invariant{{{FF: "zz", Value: true}}}, 0); err == nil {
+		t.Fatal("unknown FF accepted")
+	}
+}

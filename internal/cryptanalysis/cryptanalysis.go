@@ -1,0 +1,170 @@
+// Package cryptanalysis computes the classical security metrics of the
+// Rijndael building blocks — the properties behind the paper's §2 remark
+// that the algorithm won the AES contest on "security, performance,
+// efficiency, implementability and flexibility". The S-box's differential
+// uniformity, nonlinearity and algebraic degree, and MixColumn's branch
+// number, are well-known published constants, so computing them from our
+// from-first-principles tables is a deep cross-check that the tables (and
+// hence every hardware ROM) are exactly Rijndael's.
+package cryptanalysis
+
+import (
+	"math/bits"
+
+	"rijndaelip/internal/aes"
+)
+
+// SBoxProfile carries the computed metrics of an 8-bit S-box.
+type SBoxProfile struct {
+	// DifferentialUniformity is the maximum count in the difference
+	// distribution table over nonzero input differences (Rijndael: 4).
+	DifferentialUniformity int
+	// Nonlinearity is the minimum Hamming distance to the affine functions
+	// (Rijndael: 112).
+	Nonlinearity int
+	// MaxLinearBias is the largest absolute Walsh coefficient over nonzero
+	// masks, divided by two (Rijndael: 16, i.e. probability bias 2^-4).
+	MaxLinearBias int
+	// AlgebraicDegree is the maximum degree over the eight coordinate
+	// functions' algebraic normal forms (Rijndael: 7).
+	AlgebraicDegree int
+	// FixedPoints counts x with S(x) == x (Rijndael: 0).
+	FixedPoints int
+	// Bijective reports whether the S-box is a permutation.
+	Bijective bool
+}
+
+// AnalyzeSBox computes the profile of an arbitrary 8-bit S-box.
+func AnalyzeSBox(table [256]byte) SBoxProfile {
+	p := SBoxProfile{Bijective: true}
+
+	var seen [256]bool
+	for x := 0; x < 256; x++ {
+		if seen[table[x]] {
+			p.Bijective = false
+		}
+		seen[table[x]] = true
+		if table[x] == byte(x) {
+			p.FixedPoints++
+		}
+	}
+
+	// Difference distribution table: ddt[a][b] = #{x : S(x^a)^S(x) == b}.
+	for a := 1; a < 256; a++ {
+		var row [256]int
+		for x := 0; x < 256; x++ {
+			row[table[x]^table[x^a]]++
+		}
+		for b := 0; b < 256; b++ {
+			if row[b] > p.DifferentialUniformity {
+				p.DifferentialUniformity = row[b]
+			}
+		}
+	}
+
+	// Walsh spectrum: W(a,b) = sum_x (-1)^(a.x ^ b.S(x)). Nonlinearity =
+	// 128 - max|W|/2 over b != 0.
+	maxWalsh := 0
+	for b := 1; b < 256; b++ {
+		for a := 0; a < 256; a++ {
+			sum := 0
+			for x := 0; x < 256; x++ {
+				t := bits.OnesCount8(uint8(a)&uint8(x)) ^ bits.OnesCount8(uint8(b)&uint8(table[x]))
+				if t&1 == 0 {
+					sum++
+				} else {
+					sum--
+				}
+			}
+			if sum < 0 {
+				sum = -sum
+			}
+			if sum > maxWalsh {
+				maxWalsh = sum
+			}
+		}
+	}
+	p.Nonlinearity = 128 - maxWalsh/2
+	p.MaxLinearBias = maxWalsh / 2
+
+	// Algebraic degree via the Möbius transform of each coordinate.
+	for bit := 0; bit < 8; bit++ {
+		f := make([]byte, 256)
+		for x := 0; x < 256; x++ {
+			f[x] = table[x] >> uint(bit) & 1
+		}
+		// In-place Möbius (binary) transform.
+		for step := 1; step < 256; step <<= 1 {
+			for x := 0; x < 256; x++ {
+				if x&step != 0 {
+					f[x] ^= f[x^step]
+				}
+			}
+		}
+		for m := 0; m < 256; m++ {
+			if f[m] != 0 {
+				if d := bits.OnesCount8(uint8(m)); d > p.AlgebraicDegree {
+					p.AlgebraicDegree = d
+				}
+			}
+		}
+	}
+	return p
+}
+
+// MixColumnsBranchNumber computes the differential branch number of the
+// MixColumn transformation: min over nonzero input columns of (input
+// weight + output weight) in nonzero bytes. The Rijndael MDS matrix
+// achieves the maximum possible value, 5.
+func MixColumnsBranchNumber() int {
+	best := 9
+	weight := func(col [4]byte) int {
+		w := 0
+		for _, v := range col {
+			if v != 0 {
+				w++
+			}
+		}
+		return w
+	}
+	check := func(col [4]byte, inverse bool) {
+		inW := weight(col)
+		if inW == 0 {
+			return
+		}
+		var out [4]byte
+		if inverse {
+			out = aes.InvMixColumnWord(col)
+		} else {
+			out = aes.MixColumnWord(col)
+		}
+		if s := inW + weight(out); s < best {
+			best = s
+		}
+	}
+	// A violation of branch number 5 means some nonzero (a, M·a) has total
+	// weight <= 4: the possibilities are input weight 1 or 2 (swept
+	// forward), or output weight 1 (swept through the inverse matrix —
+	// weight-1 outputs correspond to weight-1 inputs of M^-1). Output
+	// weight 2 with input weight 2 is already covered forward.
+	for pos := 0; pos < 4; pos++ {
+		for v := 1; v < 256; v++ {
+			var col [4]byte
+			col[pos] = byte(v)
+			check(col, false)
+			check(col, true)
+		}
+	}
+	for p1 := 0; p1 < 4; p1++ {
+		for p2 := p1 + 1; p2 < 4; p2++ {
+			for v1 := 1; v1 < 256; v1++ {
+				for v2 := 1; v2 < 256; v2++ {
+					var col [4]byte
+					col[p1], col[p2] = byte(v1), byte(v2)
+					check(col, false)
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,95 @@
+package cryptanalysis
+
+import (
+	"testing"
+
+	"rijndaelip/internal/gf256"
+)
+
+// TestRijndaelSBoxProfile checks our generated S-box against Rijndael's
+// published security constants. Any table error anywhere in the
+// generation chain (field inverse, affine map) would shift these numbers.
+func TestRijndaelSBoxProfile(t *testing.T) {
+	p := AnalyzeSBox(gf256.SBoxTable())
+	if !p.Bijective {
+		t.Error("S-box must be a permutation")
+	}
+	if p.FixedPoints != 0 {
+		t.Errorf("fixed points = %d, want 0", p.FixedPoints)
+	}
+	if p.DifferentialUniformity != 4 {
+		t.Errorf("differential uniformity = %d, want 4", p.DifferentialUniformity)
+	}
+	if p.Nonlinearity != 112 {
+		t.Errorf("nonlinearity = %d, want 112", p.Nonlinearity)
+	}
+	if p.MaxLinearBias != 16 {
+		t.Errorf("max linear bias = %d, want 16", p.MaxLinearBias)
+	}
+	if p.AlgebraicDegree != 7 {
+		t.Errorf("algebraic degree = %d, want 7", p.AlgebraicDegree)
+	}
+}
+
+// TestInverseSBoxProfile: the inverse permutation shares the differential
+// and linear profiles.
+func TestInverseSBoxProfile(t *testing.T) {
+	p := AnalyzeSBox(gf256.InvSBoxTable())
+	if p.DifferentialUniformity != 4 || p.Nonlinearity != 112 {
+		t.Errorf("inverse S-box profile: %+v", p)
+	}
+	if !p.Bijective {
+		t.Error("inverse S-box must be a permutation")
+	}
+}
+
+// TestWeakSBoxesDetected: the analyzer must expose weak constructions.
+func TestWeakSBoxesDetected(t *testing.T) {
+	// Identity: affine, no security at all.
+	var identity [256]byte
+	for i := range identity {
+		identity[i] = byte(i)
+	}
+	p := AnalyzeSBox(identity)
+	if p.Nonlinearity != 0 {
+		t.Errorf("identity nonlinearity = %d, want 0", p.Nonlinearity)
+	}
+	if p.DifferentialUniformity != 256 {
+		t.Errorf("identity differential uniformity = %d, want 256", p.DifferentialUniformity)
+	}
+	if p.AlgebraicDegree != 1 {
+		t.Errorf("identity degree = %d, want 1", p.AlgebraicDegree)
+	}
+	if p.FixedPoints != 256 {
+		t.Errorf("identity fixed points = %d", p.FixedPoints)
+	}
+
+	// A constant map is not bijective.
+	var constant [256]byte
+	pc := AnalyzeSBox(constant)
+	if pc.Bijective {
+		t.Error("constant map reported bijective")
+	}
+	if pc.AlgebraicDegree != 0 {
+		t.Errorf("constant degree = %d, want 0", pc.AlgebraicDegree)
+	}
+
+	// XOR with a constant: affine, degree 1, max differential uniformity.
+	var xorc [256]byte
+	for i := range xorc {
+		xorc[i] = byte(i) ^ 0x5A
+	}
+	px := AnalyzeSBox(xorc)
+	if px.Nonlinearity != 0 || px.AlgebraicDegree != 1 || !px.Bijective {
+		t.Errorf("xor-constant profile: %+v", px)
+	}
+}
+
+// TestMixColumnsBranchNumber confirms the MDS property: branch number 5,
+// the maximum for a 4x4 byte matrix — the diffusion guarantee behind the
+// wide-trail design.
+func TestMixColumnsBranchNumber(t *testing.T) {
+	if got := MixColumnsBranchNumber(); got != 5 {
+		t.Fatalf("branch number = %d, want 5 (MDS)", got)
+	}
+}

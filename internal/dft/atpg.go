@@ -1,0 +1,470 @@
+package dft
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/sat"
+)
+
+// The combinational ATPG works on the full-scan test model: flip-flop
+// outputs count as controllable inputs (loaded through the scan chain) and
+// flip-flop D pins as observable outputs (unloaded through the chain).
+// ROM macros are treated as test boundaries the way embedded memories are
+// in production flows: their outputs are controllable, their address pins
+// observable, and the memory arrays themselves are tested separately with
+// march-style patterns.
+
+// Fault is a single stuck-at fault on a net.
+type Fault struct {
+	Net     netlist.NetID
+	StuckAt bool // true = stuck-at-1
+}
+
+func (f Fault) String() string { return fmt.Sprintf("net%d/SA%d", int(f.Net), b2int(f.StuckAt)) }
+
+func b2int(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// circuitModel is the combinational view used by ATPG and fault
+// simulation.
+type circuitModel struct {
+	nl      *netlist.Netlist
+	sources []netlist.NetID // PIs, FF.Q, ROM outputs
+	observe []netlist.NetID // POs, FF.D, FF.En, ROM addresses
+	luts    []int           // LUT indices in evaluation order
+}
+
+func buildModel(nl *netlist.Netlist) (*circuitModel, error) {
+	if err := nl.Build(); err != nil {
+		return nil, err
+	}
+	m := &circuitModel{nl: nl}
+	seenSrc := map[netlist.NetID]bool{}
+	addSrc := func(n netlist.NetID) {
+		if n >= 2 && !seenSrc[n] { // skip constants
+			seenSrc[n] = true
+			m.sources = append(m.sources, n)
+		}
+	}
+	for _, p := range nl.Inputs {
+		for _, n := range p.Nets {
+			addSrc(n)
+		}
+	}
+	for i := range nl.FFs {
+		addSrc(nl.FFs[i].Q)
+	}
+	for i := range nl.ROMs {
+		for _, o := range nl.ROMs[i].Out {
+			addSrc(o)
+		}
+	}
+	seenObs := map[netlist.NetID]bool{}
+	addObs := func(n netlist.NetID) {
+		if n != netlist.Invalid && n >= 2 && !seenObs[n] {
+			seenObs[n] = true
+			m.observe = append(m.observe, n)
+		}
+	}
+	for _, p := range nl.Outputs {
+		for _, n := range p.Nets {
+			addObs(n)
+		}
+	}
+	for i := range nl.FFs {
+		addObs(nl.FFs[i].D)
+		addObs(nl.FFs[i].En)
+	}
+	for i := range nl.ROMs {
+		for _, a := range nl.ROMs[i].Addr {
+			addObs(a)
+		}
+	}
+	for _, cn := range nl.CombOrder() {
+		if cn.Kind == netlist.CombLUT {
+			m.luts = append(m.luts, cn.Index)
+		}
+	}
+	return m, nil
+}
+
+// FaultList enumerates collapsed stuck-at faults: both polarities on every
+// LUT output and every source net that feeds logic.
+func FaultList(nl *netlist.Netlist) ([]Fault, error) {
+	m, err := buildModel(nl)
+	if err != nil {
+		return nil, err
+	}
+	var faults []Fault
+	add := func(n netlist.NetID) {
+		faults = append(faults, Fault{Net: n, StuckAt: false}, Fault{Net: n, StuckAt: true})
+	}
+	for _, n := range m.sources {
+		if m.nl.Fanout(n) > 0 {
+			add(n)
+		}
+	}
+	for _, li := range m.luts {
+		add(m.nl.LUTs[li].Out)
+	}
+	return faults, nil
+}
+
+// evalPatterns evaluates the combinational network on 64 parallel
+// patterns into a dense per-net value slice. src holds source-net pattern
+// words; faultNet (if valid) is forced to faultVal after its driver
+// evaluates.
+func (m *circuitModel) evalPatterns(src []uint64, faultNet netlist.NetID, faultVal bool) []uint64 {
+	val := make([]uint64, m.nl.NumNets())
+	val[netlist.Const1] = ^uint64(0)
+	copy(val, src)
+	val[netlist.Const0] = 0
+	val[netlist.Const1] = ^uint64(0)
+	force := func(n netlist.NetID) {
+		if n == faultNet {
+			if faultVal {
+				val[n] = ^uint64(0)
+			} else {
+				val[n] = 0
+			}
+		}
+	}
+	if faultNet != netlist.Invalid {
+		force(faultNet) // covers source-net faults before any LUT reads it
+	}
+	for _, li := range m.luts {
+		l := &m.nl.LUTs[li]
+		out := uint64(0)
+		// Evaluate the LUT minterm by minterm on all 64 patterns.
+		k := len(l.Inputs)
+		for idx := 0; idx < 1<<uint(k); idx++ {
+			if l.Mask>>uint(idx)&1 == 0 {
+				continue
+			}
+			match := ^uint64(0)
+			for j := 0; j < k; j++ {
+				v := val[l.Inputs[j]]
+				if idx>>uint(j)&1 == 0 {
+					v = ^v
+				}
+				match &= v
+			}
+			out |= match
+		}
+		val[l.Out] = out
+		force(l.Out)
+	}
+	return val
+}
+
+// srcSlice builds the dense source-value slice for one pattern replicated
+// across all 64 lanes.
+func (m *circuitModel) srcSlice(pat Pattern) []uint64 {
+	src := make([]uint64, m.nl.NumNets())
+	for n, v := range pat {
+		if v {
+			src[n] = ^uint64(0)
+		}
+	}
+	return src
+}
+
+// Pattern is one generated test vector: values for every source net.
+type Pattern map[netlist.NetID]bool
+
+// Result summarizes an ATPG run.
+type Result struct {
+	TotalFaults  int
+	Detected     int
+	Redundant    int // proved untestable (UNSAT)
+	Aborted      int // conflict budget exhausted
+	RandomPasses int // 64-pattern random fault-simulation passes
+	Patterns     []Pattern
+}
+
+// Coverage returns detected / (total - redundant) as a percentage.
+func (r Result) Coverage() float64 {
+	testable := r.TotalFaults - r.Redundant
+	if testable == 0 {
+		return 100
+	}
+	return 100 * float64(r.Detected) / float64(testable)
+}
+
+// Generate runs the standard two-phase ATPG flow:
+//
+//  1. random-pattern fault simulation (64 patterns per pass, bitwise
+//     parallel) drops the easily testable majority of the fault list;
+//  2. SAT-based deterministic test generation targets each survivor with
+//     an incremental good/faulty cone miter (the faulty copy re-encodes
+//     only the fault's transitive fanout, gated by a per-fault assumption
+//     literal so one solver serves the whole run).
+//
+// budget caps SAT conflicts per fault; faults whose miter is UNSAT are
+// provably redundant.
+func Generate(nl *netlist.Netlist, budget int64) (Result, error) {
+	m, err := buildModel(nl)
+	if err != nil {
+		return Result{}, err
+	}
+	faults, err := FaultList(nl)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{TotalFaults: len(faults)}
+	detected := make([]bool, len(faults))
+	obsIsObserved := make([]bool, nl.NumNets())
+	for _, o := range m.observe {
+		obsIsObserved[o] = true
+	}
+
+	// --- Phase 1: random-pattern fault dropping, 64 lanes at a time. ---
+	rng := newXorshift(0x5eed)
+	strikes := 0
+	for pass := 0; pass < 200 && strikes < 3; pass++ {
+		src := make([]uint64, nl.NumNets())
+		for _, n := range m.sources {
+			src[n] = rng.next()
+		}
+		good := m.evalPatterns(src, netlist.Invalid, false)
+		progress := 0
+		for fi := range faults {
+			if detected[fi] {
+				continue
+			}
+			bad := m.evalPatterns(src, faults[fi].Net, faults[fi].StuckAt)
+			for _, o := range m.observe {
+				if good[o] != bad[o] {
+					detected[fi] = true
+					res.Detected++
+					progress++
+					break
+				}
+			}
+		}
+		res.RandomPasses++
+		if progress == 0 {
+			strikes++
+		} else {
+			strikes = 0
+		}
+	}
+
+	// --- Phase 2: incremental SAT for the survivors. ---
+	gen := newIncrementalATPG(m)
+	for fi := range faults {
+		if detected[fi] {
+			continue
+		}
+		pat, verdict := gen.target(faults[fi], budget)
+		switch verdict {
+		case genRedundant:
+			res.Redundant++
+			continue
+		case genAborted:
+			res.Aborted++
+			continue
+		}
+		res.Patterns = append(res.Patterns, pat)
+		// Drop everything else this deterministic pattern catches.
+		src := m.srcSlice(pat)
+		good := m.evalPatterns(src, netlist.Invalid, false)
+		for fj := range faults {
+			if detected[fj] {
+				continue
+			}
+			bad := m.evalPatterns(src, faults[fj].Net, faults[fj].StuckAt)
+			for _, o := range m.observe {
+				if good[o]&1 != bad[o]&1 {
+					detected[fj] = true
+					res.Detected++
+					break
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// xorshift is a tiny deterministic PRNG (no time-based seeding in library
+// code).
+type xorshift uint64
+
+func newXorshift(seed uint64) *xorshift {
+	x := xorshift(seed | 1)
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+type genVerdict int
+
+const (
+	genDetected genVerdict = iota
+	genRedundant
+	genAborted
+)
+
+// incrementalATPG keeps one solver holding the good circuit; each targeted
+// fault adds an assumption-gated faulty cone.
+type incrementalATPG struct {
+	m       *circuitModel
+	s       *sat.Solver
+	ct      sat.Lit
+	goodVar map[netlist.NetID]sat.Lit
+	// fanoutLUTs[n] lists LUT indices (into m.luts order) reading net n.
+	consumers map[netlist.NetID][]int
+}
+
+func newIncrementalATPG(m *circuitModel) *incrementalATPG {
+	g := &incrementalATPG{
+		m:         m,
+		s:         sat.New(0),
+		goodVar:   map[netlist.NetID]sat.Lit{},
+		consumers: map[netlist.NetID][]int{},
+	}
+	g.ct = sat.MkLit(g.s.NewVar(), false)
+	g.s.AddClause(g.ct)
+	g.goodVar[netlist.Const0] = g.ct.Not()
+	g.goodVar[netlist.Const1] = g.ct
+
+	for _, n := range m.sources {
+		g.goodVar[n] = sat.MkLit(g.s.NewVar(), false)
+	}
+	for pos, li := range m.luts {
+		l := &m.nl.LUTs[li]
+		for _, in := range l.Inputs {
+			g.consumers[in] = append(g.consumers[in], pos)
+		}
+		out := sat.MkLit(g.s.NewVar(), false)
+		g.goodVar[l.Out] = out
+		g.encodeLUT(l, g.varsOf(l.Inputs, g.goodVar), out, sat.Lit(-1))
+	}
+	return g
+}
+
+func (g *incrementalATPG) varsOf(nets []netlist.NetID, m map[netlist.NetID]sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(nets))
+	for i, n := range nets {
+		v, ok := m[n]
+		if !ok {
+			v = g.goodVar[n]
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// encodeLUT adds the CNF of out <-> LUT(inputs); if gate >= 0 every clause
+// is disabled unless the gate literal is assumed true.
+func (g *incrementalATPG) encodeLUT(l *netlist.LUT, ins []sat.Lit, out sat.Lit, gate sat.Lit) {
+	k := len(ins)
+	for idx := 0; idx < 1<<uint(k); idx++ {
+		clause := make([]sat.Lit, 0, k+2)
+		if gate >= 0 {
+			clause = append(clause, gate.Not())
+		}
+		for j := 0; j < k; j++ {
+			if idx>>uint(j)&1 != 0 {
+				clause = append(clause, ins[j].Not())
+			} else {
+				clause = append(clause, ins[j])
+			}
+		}
+		if l.Mask>>uint(idx)&1 != 0 {
+			clause = append(clause, out)
+		} else {
+			clause = append(clause, out.Not())
+		}
+		g.s.AddClause(clause...)
+	}
+}
+
+// target generates a pattern for one fault.
+func (g *incrementalATPG) target(f Fault, budget int64) (Pattern, genVerdict) {
+	m := g.m
+	s := g.s
+	gate := sat.MkLit(s.NewVar(), false)
+
+	// Transitive fanout cone of the fault net, in evaluation order.
+	inCone := map[netlist.NetID]bool{f.Net: true}
+	var coneLUTs []int
+	for pos, li := range m.luts {
+		l := &m.nl.LUTs[li]
+		_ = pos
+		touched := false
+		for _, in := range l.Inputs {
+			if inCone[in] {
+				touched = true
+				break
+			}
+		}
+		if touched {
+			inCone[l.Out] = true
+			coneLUTs = append(coneLUTs, li)
+		}
+	}
+
+	badVar := map[netlist.NetID]sat.Lit{}
+	// The fault site is stuck: gate -> badVar = const.
+	site := sat.MkLit(s.NewVar(), false)
+	badVar[f.Net] = site
+	if f.StuckAt {
+		s.AddClause(gate.Not(), site)
+	} else {
+		s.AddClause(gate.Not(), site.Not())
+	}
+	for _, li := range coneLUTs {
+		l := &m.nl.LUTs[li]
+		if l.Out == f.Net {
+			continue // overridden by the stuck value
+		}
+		out := sat.MkLit(s.NewVar(), false)
+		badVar[l.Out] = out
+		g.encodeLUT(l, g.varsOf(l.Inputs, badVar), out, gate)
+	}
+
+	// Difference at an observable inside the cone.
+	var diffs []sat.Lit
+	for _, o := range m.observe {
+		bv, ok := badVar[o]
+		if !ok {
+			continue
+		}
+		gv := g.goodVar[o]
+		d := sat.MkLit(s.NewVar(), false)
+		s.AddClause(gate.Not(), d.Not(), gv, bv)
+		s.AddClause(gate.Not(), d.Not(), gv.Not(), bv.Not())
+		diffs = append(diffs, d)
+	}
+	if len(diffs) == 0 {
+		return nil, genRedundant
+	}
+	// gate -> OR(diffs)
+	s.AddClause(append([]sat.Lit{gate.Not()}, diffs...)...)
+
+	s.MaxConflicts = budget
+	switch s.Solve(gate) {
+	case sat.Unsat:
+		return nil, genRedundant
+	case sat.Unknown:
+		return nil, genAborted
+	}
+	pat := Pattern{}
+	for _, n := range m.sources {
+		pat[n] = s.Value(g.goodVar[n].Var())
+	}
+	return pat, genDetected
+}

@@ -1,0 +1,150 @@
+// Package fpga models the Altera FPGA devices the paper targets and
+// implements a fitter that places a mapped netlist onto a device: packing
+// LUT/flip-flop pairs into logic elements, allocating embedded memory
+// blocks for ROM macros, assigning user I/O pins and reporting utilization
+// exactly the way the paper's Table 2 does (logic cells, memory bits, pins,
+// each with a percentage of device capacity).
+package fpga
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/timing"
+)
+
+// Device describes one FPGA part: capacities and a calibrated timing model.
+type Device struct {
+	Name       string // full ordering code, e.g. EP1K100FC484-1
+	Family     string
+	SpeedGrade string
+
+	LogicElements int // 4-LUT + FF logic cells
+	LABSize       int // logic elements per logic array block
+	MemBlocks     int // embedded memory blocks (EAB/ESB/M4K)
+	MemBlockBits  int // bits per embedded block
+	UserIOs       int // user I/O pins available on the package
+
+	// SupportsAsyncROM reports whether the embedded blocks can implement
+	// asynchronous (combinational-read) ROM. Acex1K EABs can; Cyclone M4K
+	// blocks cannot, which is why the paper's Cyclone builds burn logic
+	// cells for the S-boxes.
+	SupportsAsyncROM bool
+
+	// WirePitchNS is the placement-aware routing delay per LAB pitch of
+	// half-perimeter wirelength, used by timing.AnalyzePlaced.
+	WirePitchNS float64
+
+	Delay timing.DelayModel
+}
+
+// TotalMemBits returns the device's total embedded memory capacity.
+func (d Device) TotalMemBits() int { return d.MemBlocks * d.MemBlockBits }
+
+// EP1K100 returns the Acex1K device used by the paper:
+// EP1K100FC484-1. 4992 logic elements, 12 EABs of 4096 bits (49152 bits),
+// 333 user I/Os in the FC484 package, asynchronous EAB ROM supported.
+//
+// The delay model is calibrated for the -1 speed grade so that the paper's
+// reference design closes near its reported 14-17 ns periods; the
+// calibration is recorded in EXPERIMENTS.md.
+func EP1K100() Device {
+	return Device{
+		Name:             "EP1K100FC484-1",
+		Family:           "Acex1K",
+		SpeedGrade:       "-1",
+		LogicElements:    4992,
+		LABSize:          8,
+		MemBlocks:        12,
+		MemBlockBits:     4096,
+		UserIOs:          333,
+		SupportsAsyncROM: true,
+		WirePitchNS:      0.060,
+		Delay: timing.DelayModel{
+			LUT:       0.90,
+			ROMAsync:  3.80,
+			RouteBase: 0.90,
+			RouteFan:  0.12,
+			ClkToQ:    0.70,
+			Setup:     0.50,
+			PadIn:     2.20,
+			PadOut:    3.10,
+		},
+	}
+}
+
+// EP1C20 returns the Cyclone device used by the paper: EP1C20F400C6.
+// 20060 logic elements, 64 M4K blocks of 4608 bits, 301 user I/Os in the
+// F400 package. M4K memory is synchronous-only, so asynchronous ROM is not
+// supported and ROM macros must be expanded to logic (or use the sync-ROM
+// future-work variant).
+func EP1C20() Device {
+	return Device{
+		Name:             "EP1C20F400C6",
+		Family:           "Cyclone",
+		SpeedGrade:       "C6",
+		LogicElements:    20060,
+		LABSize:          10,
+		MemBlocks:        64,
+		MemBlockBits:     4608,
+		UserIOs:          301,
+		SupportsAsyncROM: false,
+		WirePitchNS:      0.035,
+		Delay: timing.DelayModel{
+			LUT:       0.48,
+			ROMAsync:  3.00, // only reachable via the sync-ROM register model
+			RouteBase: 0.55,
+			RouteFan:  0.08,
+			ClkToQ:    0.40,
+			Setup:     0.30,
+			PadIn:     1.60,
+			PadOut:    2.30,
+		},
+	}
+}
+
+// EP20K400E returns an Apex20KE-class device comparable to the parts used
+// by the literature implementations in the paper's Table 3 ([1], [15]).
+// 16640 logic elements, 104 ESBs of 2048 bits, asynchronous ESB ROM
+// supported.
+func EP20K400E() Device {
+	return Device{
+		Name:             "EP20K400EBC652-1X",
+		Family:           "Apex20KE",
+		SpeedGrade:       "-1X",
+		LogicElements:    16640,
+		LABSize:          10,
+		MemBlocks:        104,
+		MemBlockBits:     2048,
+		UserIOs:          488,
+		SupportsAsyncROM: true,
+		WirePitchNS:      0.050,
+		Delay: timing.DelayModel{
+			LUT:       0.70,
+			ROMAsync:  3.40,
+			RouteBase: 0.75,
+			RouteFan:  0.10,
+			ClkToQ:    0.55,
+			Setup:     0.40,
+			PadIn:     1.90,
+			PadOut:    2.70,
+		},
+	}
+}
+
+// Catalog returns all modeled devices keyed by ordering code.
+func Catalog() map[string]Device {
+	out := map[string]Device{}
+	for _, d := range []Device{EP1K100(), EP1C20(), EP20K400E()} {
+		out[d.Name] = d
+	}
+	return out
+}
+
+// ByName looks a device up in the catalog.
+func ByName(name string) (Device, error) {
+	d, ok := Catalog()[name]
+	if !ok {
+		return Device{}, fmt.Errorf("fpga: unknown device %q", name)
+	}
+	return d, nil
+}

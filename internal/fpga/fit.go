@@ -1,0 +1,138 @@
+package fpga
+
+import (
+	"fmt"
+	"strings"
+
+	"rijndaelip/internal/netlist"
+)
+
+// FitResult reports device occupation after fitting, in the same terms as
+// the paper's Table 2.
+type FitResult struct {
+	Device Device
+
+	// LogicCells is the number of logic elements consumed: every LUT plus
+	// every flip-flop that could not be packed into the LE of the LUT
+	// feeding it.
+	LogicCells  int
+	LUTs        int
+	FFs         int
+	PackedPairs int
+	LABs        int
+
+	MemBlocksUsed int
+	MemoryBits    int
+
+	Pins int
+}
+
+// LEPercent returns logic-cell utilization in percent.
+func (r FitResult) LEPercent() float64 {
+	return 100 * float64(r.LogicCells) / float64(r.Device.LogicElements)
+}
+
+// MemPercent returns embedded-memory-bit utilization in percent.
+func (r FitResult) MemPercent() float64 {
+	if r.Device.TotalMemBits() == 0 {
+		return 0
+	}
+	return 100 * float64(r.MemoryBits) / float64(r.Device.TotalMemBits())
+}
+
+// PinPercent returns user-I/O utilization in percent.
+func (r FitResult) PinPercent() float64 {
+	return 100 * float64(r.Pins) / float64(r.Device.UserIOs)
+}
+
+// String renders the fit the way Table 2 rows do.
+func (r FitResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "device %s\n", r.Device.Name)
+	fmt.Fprintf(&b, "  LCs    %d/%d (%.0f%%)  [%d LUTs, %d FFs, %d packed, %d LABs]\n",
+		r.LogicCells, r.Device.LogicElements, r.LEPercent(), r.LUTs, r.FFs, r.PackedPairs, r.LABs)
+	fmt.Fprintf(&b, "  Memory %d/%d (%.0f%%) in %d blocks\n",
+		r.MemoryBits, r.Device.TotalMemBits(), r.MemPercent(), r.MemBlocksUsed)
+	fmt.Fprintf(&b, "  Pins   %d/%d (%.0f%%)\n", r.Pins, r.Device.UserIOs, r.PinPercent())
+	return b.String()
+}
+
+// Fit places the netlist onto the device. It models Quartus-style register
+// packing: a flip-flop shares a logic element with the LUT driving its D
+// input when that LUT drives nothing else; every other flip-flop and every
+// LUT consumes one logic element. ROM macros are assigned one embedded
+// block each (a 256x8 ROM cannot share a block's single read port).
+//
+// Fit fails when the design exceeds the device's logic, memory-block or
+// I/O capacity, or when it needs asynchronous ROM on a device without it.
+func Fit(nl *netlist.Netlist, dev Device) (FitResult, error) {
+	if err := nl.Build(); err != nil {
+		return FitResult{}, err
+	}
+	res := FitResult{Device: dev, LUTs: nl.NumLUTs(), FFs: nl.NumFFs()}
+
+	// Register packing: FF.D driven by a single-fanout LUT.
+	lutByOut := make(map[netlist.NetID]bool, len(nl.LUTs))
+	for i := range nl.LUTs {
+		lutByOut[nl.LUTs[i].Out] = true
+	}
+	for i := range nl.FFs {
+		d := nl.FFs[i].D
+		if lutByOut[d] && nl.Fanout(d) == 1 {
+			res.PackedPairs++
+		}
+	}
+	res.LogicCells = res.LUTs + res.FFs - res.PackedPairs
+	res.LABs = (res.LogicCells + dev.LABSize - 1) / dev.LABSize
+
+	// Embedded-block allocation. ROMs sharing the exact same address nets
+	// (and read mode) read in lockstep, so the fitter widens the block's
+	// data port instead of spending another block: an Acex1K EAB holds two
+	// 256x8 ROMs as one 256x16 memory. Blocks too small for widening (Apex
+	// ESBs are exactly 2048 bits) hold one ROM each.
+	romsPerBlock := dev.MemBlockBits / netlist.ROMBits
+	if romsPerBlock < 1 {
+		romsPerBlock = 0 // flag: no ROM fits at all
+	} else if romsPerBlock > 2 {
+		romsPerBlock = 2 // a block has one read port; 16 bits is the widest mode
+	}
+	groups := map[[9]netlist.NetID]int{}
+	for i := range nl.ROMs {
+		r := &nl.ROMs[i]
+		if !r.Sync && !dev.SupportsAsyncROM {
+			return res, fmt.Errorf(
+				"fpga: %s (%s) cannot implement asynchronous ROM %q; synthesize it to logic or use a synchronous ROM",
+				dev.Name, dev.Family, r.Name)
+		}
+		if romsPerBlock == 0 {
+			return res, fmt.Errorf("fpga: ROM %q (%d bits) exceeds %s block size %d",
+				r.Name, netlist.ROMBits, dev.Name, dev.MemBlockBits)
+		}
+		var key [9]netlist.NetID
+		copy(key[:8], r.Addr[:])
+		if r.Sync {
+			key[8] = 1
+		}
+		groups[key]++
+		res.MemoryBits += netlist.ROMBits
+	}
+	for _, n := range groups {
+		res.MemBlocksUsed += (n + romsPerBlock - 1) / romsPerBlock
+	}
+
+	res.Pins = nl.PinCount()
+
+	if res.LogicCells > dev.LogicElements {
+		return res, fmt.Errorf("fpga: %d logic cells exceed %s capacity %d",
+			res.LogicCells, dev.Name, dev.LogicElements)
+	}
+	if res.MemBlocksUsed > dev.MemBlocks {
+		return res, fmt.Errorf("fpga: %d memory blocks exceed %s capacity %d",
+			res.MemBlocksUsed, dev.Name, dev.MemBlocks)
+	}
+	if res.Pins > dev.UserIOs {
+		return res, fmt.Errorf("fpga: %d pins exceed %s capacity %d",
+			res.Pins, dev.Name, dev.UserIOs)
+	}
+	return res, nil
+}

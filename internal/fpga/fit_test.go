@@ -1,0 +1,188 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+
+	"rijndaelip/internal/netlist"
+)
+
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	for _, name := range []string{"EP1K100FC484-1", "EP1C20F400C6", "EP20K400EBC652-1X"} {
+		if _, ok := cat[name]; !ok {
+			t.Errorf("catalog missing %s", name)
+		}
+	}
+	if _, err := ByName("EP1K100FC484-1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName accepted unknown device")
+	}
+}
+
+func TestDeviceCapacitiesMatchPaperPercentages(t *testing.T) {
+	// The paper reports 2114 LCs = 42% and 16384 bits = 33% on Acex1K, and
+	// 261 pins = 78%; 4057 LCs = 20% and 261 pins = 87% on Cyclone. Those
+	// percentages pin down the device capacities we model.
+	acex := EP1K100()
+	if p := 100 * 2114.0 / float64(acex.LogicElements); p < 41 || p > 43 {
+		t.Errorf("Acex LE capacity gives %0.1f%% for 2114 LCs, want ~42%%", p)
+	}
+	if p := 100 * 16384.0 / float64(acex.TotalMemBits()); p < 32 || p > 34 {
+		t.Errorf("Acex mem capacity gives %0.1f%% for 16384 bits, want ~33%%", p)
+	}
+	if p := 100 * 261.0 / float64(acex.UserIOs); p < 77 || p > 79 {
+		t.Errorf("Acex IO capacity gives %0.1f%% for 261 pins, want ~78%%", p)
+	}
+	cyc := EP1C20()
+	if p := 100 * 4057.0 / float64(cyc.LogicElements); p < 19 || p > 21 {
+		t.Errorf("Cyclone LE capacity gives %0.1f%% for 4057 LCs, want ~20%%", p)
+	}
+	if p := 100 * 261.0 / float64(cyc.UserIOs); p < 85 || p > 88 {
+		t.Errorf("Cyclone IO capacity gives %0.1f%% for 261 pins, want ~87%%", p)
+	}
+}
+
+// smallDesign builds in=2, one LUT, one packed FF, one standalone FF, one
+// async ROM.
+func smallDesign() *netlist.Netlist {
+	nl := netlist.New("small")
+	in := nl.AddInput("in", 2)
+	lutOut := nl.NewNet()
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{in[0], in[1]}, Mask: 0b0110, Out: lutOut})
+	q1 := nl.NewNet()
+	nl.AddFF(netlist.FF{D: lutOut, En: netlist.Invalid, Q: q1}) // packable
+	q2 := nl.NewNet()
+	nl.AddFF(netlist.FF{D: in[0], En: netlist.Invalid, Q: q2}) // standalone
+	var r netlist.ROM
+	for i := range r.Addr {
+		r.Addr[i] = netlist.Const0
+	}
+	r.Addr[0] = q1
+	out := nl.NewNets(8)
+	copy(r.Out[:], out)
+	nl.AddROM(r)
+	nl.AddOutput("y", append(out, q2))
+	return nl
+}
+
+func TestFitPacking(t *testing.T) {
+	res, err := Fit(smallDesign(), EP1K100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PackedPairs != 1 {
+		t.Errorf("PackedPairs = %d, want 1", res.PackedPairs)
+	}
+	// 1 LUT + 2 FFs - 1 packed = 2 LCs.
+	if res.LogicCells != 2 {
+		t.Errorf("LogicCells = %d, want 2", res.LogicCells)
+	}
+	if res.MemBlocksUsed != 1 || res.MemoryBits != 2048 {
+		t.Errorf("memory: %d blocks, %d bits", res.MemBlocksUsed, res.MemoryBits)
+	}
+	if res.Pins != 11 {
+		t.Errorf("pins = %d, want 11", res.Pins)
+	}
+	if res.LABs != 1 {
+		t.Errorf("LABs = %d, want 1", res.LABs)
+	}
+	s := res.String()
+	if !strings.Contains(s, "EP1K100") || !strings.Contains(s, "Pins") {
+		t.Errorf("report: %s", s)
+	}
+}
+
+func TestFitUnpackedSharedLUT(t *testing.T) {
+	// A LUT driving both an FF and another consumer cannot pack.
+	nl := netlist.New("shared")
+	in := nl.AddInput("in", 1)
+	lutOut := nl.NewNet()
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{in[0]}, Mask: 0b01, Out: lutOut})
+	q := nl.NewNet()
+	nl.AddFF(netlist.FF{D: lutOut, En: netlist.Invalid, Q: q})
+	nl.AddOutput("y", []netlist.NetID{q, lutOut})
+	res, err := Fit(nl, EP1K100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PackedPairs != 0 {
+		t.Errorf("PackedPairs = %d, want 0", res.PackedPairs)
+	}
+	if res.LogicCells != 2 {
+		t.Errorf("LogicCells = %d, want 2", res.LogicCells)
+	}
+}
+
+func TestFitAsyncROMRejectedOnCyclone(t *testing.T) {
+	_, err := Fit(smallDesign(), EP1C20())
+	if err == nil {
+		t.Fatal("Cyclone accepted asynchronous ROM")
+	}
+	if !strings.Contains(err.Error(), "asynchronous ROM") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestFitSyncROMAcceptedOnCyclone(t *testing.T) {
+	nl := netlist.New("sync")
+	var r netlist.ROM
+	r.Sync = true
+	for i := range r.Addr {
+		r.Addr[i] = netlist.Const0
+	}
+	out := nl.NewNets(8)
+	copy(r.Out[:], out)
+	nl.AddROM(r)
+	nl.AddOutput("y", out)
+	res, err := Fit(nl, EP1C20())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemBlocksUsed != 1 {
+		t.Errorf("blocks = %d", res.MemBlocksUsed)
+	}
+}
+
+func TestFitCapacityErrors(t *testing.T) {
+	// Tiny fictional device to trip every limit.
+	tiny := EP1K100()
+	tiny.LogicElements = 1
+	if _, err := Fit(smallDesign(), tiny); err == nil {
+		t.Error("LE overflow accepted")
+	}
+	tiny = EP1K100()
+	tiny.MemBlocks = 0
+	if _, err := Fit(smallDesign(), tiny); err == nil {
+		t.Error("memory overflow accepted")
+	}
+	tiny = EP1K100()
+	tiny.UserIOs = 3
+	if _, err := Fit(smallDesign(), tiny); err == nil {
+		t.Error("pin overflow accepted")
+	}
+	tiny = EP1K100()
+	tiny.MemBlockBits = 1024
+	if _, err := Fit(smallDesign(), tiny); err == nil {
+		t.Error("block size overflow accepted")
+	}
+}
+
+func TestFitPercentages(t *testing.T) {
+	res, err := Fit(smallDesign(), EP1K100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LEPercent() <= 0 || res.LEPercent() >= 1 {
+		t.Errorf("LEPercent = %f", res.LEPercent())
+	}
+	if res.MemPercent() <= 0 || res.MemPercent() > 5 {
+		t.Errorf("MemPercent = %f", res.MemPercent())
+	}
+	zero := FitResult{Device: Device{LogicElements: 10, UserIOs: 10}}
+	if zero.MemPercent() != 0 {
+		t.Error("MemPercent with no memory capacity should be 0")
+	}
+}

@@ -1,0 +1,173 @@
+// Package gf256 implements arithmetic in the finite field GF(2^8) as used by
+// the Rijndael cipher, i.e. polynomial arithmetic modulo the irreducible
+// polynomial m(x) = x^8 + x^4 + x^3 + x + 1 (0x11B).
+//
+// The package derives the Rijndael S-box and its inverse from first
+// principles (multiplicative inverse followed by the affine transformation
+// of FIPS-197 §5.1.1) so that the hardware ROM contents used elsewhere in
+// this repository are computed, not copied.
+package gf256
+
+// Poly is the Rijndael reduction polynomial x^8+x^4+x^3+x+1, written with the
+// implicit x^8 term as bit 8.
+const Poly = 0x11B
+
+// Add returns the sum of a and b in GF(2^8). Addition is carry-less, i.e.
+// bitwise XOR; it is its own inverse.
+func Add(a, b byte) byte { return a ^ b }
+
+// Xtime multiplies a by x (the polynomial {02}) modulo Poly.
+func Xtime(a byte) byte {
+	r := uint16(a) << 1
+	if r&0x100 != 0 {
+		r ^= Poly
+	}
+	return byte(r)
+}
+
+// Mul returns the product of a and b in GF(2^8) using shift-and-add
+// reduction. It does not use lookup tables and is therefore suitable for
+// generating them.
+func Mul(a, b byte) byte {
+	var p byte
+	aa := a
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= aa
+		}
+		b >>= 1
+		aa = Xtime(aa)
+	}
+	return p
+}
+
+// Pow returns a raised to the power n in GF(2^8) by square-and-multiply.
+// Pow(a, 0) is 1 for every a, including 0 (the empty product).
+func Pow(a byte, n uint) byte {
+	result := byte(1)
+	base := a
+	for n > 0 {
+		if n&1 != 0 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		n >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a in GF(2^8). By convention
+// (and as required by the Rijndael S-box definition) Inv(0) = 0.
+//
+// The inverse is computed as a^254, since the multiplicative group of
+// GF(2^8) has order 255.
+func Inv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return Pow(a, 254)
+}
+
+// Generator is the canonical generator {03} of the multiplicative group of
+// GF(2^8) used to build the exp/log tables.
+const Generator = 0x03
+
+var (
+	expTable [256]byte // expTable[i] = Generator^i, with index 255 wrapping to 1
+	logTable [256]byte // logTable[Generator^i] = i; logTable[0] is unused (0)
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 256; i++ {
+		expTable[i] = x
+		if i < 255 {
+			logTable[x] = byte(i)
+		}
+		x = Mul(x, Generator)
+	}
+}
+
+// Exp returns Generator^n for n in [0,255]. Exp(255) wraps to Exp(0) = 1.
+func Exp(n byte) byte { return expTable[n%255] }
+
+// Log returns the discrete logarithm of a to base Generator, for a != 0.
+// The second return value reports whether the logarithm exists (a != 0).
+func Log(a byte) (byte, bool) {
+	if a == 0 {
+		return 0, false
+	}
+	return logTable[a], true
+}
+
+// MulTable multiplies using the exp/log tables; behaviourally identical to
+// Mul but O(1). It exists so tests can cross-check the two implementations.
+func MulTable(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	s := int(logTable[a]) + int(logTable[b])
+	return expTable[s%255]
+}
+
+// affineForward applies the FIPS-197 §5.1.1 affine transformation
+// b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^ b_{i+6} ^ b_{i+7} ^ c_i with c = 0x63.
+func affineForward(a byte) byte {
+	var r byte
+	for i := uint(0); i < 8; i++ {
+		bit := (a >> i) ^ (a >> ((i + 4) % 8)) ^ (a >> ((i + 5) % 8)) ^
+			(a >> ((i + 6) % 8)) ^ (a >> ((i + 7) % 8)) ^ (0x63 >> i)
+		r |= (bit & 1) << i
+	}
+	return r
+}
+
+// affineInverse applies the inverse affine transformation of FIPS-197
+// §5.3.2: b'_i = b_{i+2} ^ b_{i+5} ^ b_{i+7} ^ d_i with d = 0x05.
+func affineInverse(a byte) byte {
+	var r byte
+	for i := uint(0); i < 8; i++ {
+		bit := (a >> ((i + 2) % 8)) ^ (a >> ((i + 5) % 8)) ^ (a >> ((i + 7) % 8)) ^
+			(0x05 >> i)
+		r |= (bit & 1) << i
+	}
+	return r
+}
+
+// SBox returns the Rijndael S-box value for a: the affine transformation of
+// the multiplicative inverse of a.
+func SBox(a byte) byte { return affineForward(Inv(a)) }
+
+// InvSBox returns the inverse Rijndael S-box value for a.
+func InvSBox(a byte) byte { return Inv(affineInverse(a)) }
+
+// SBoxTable returns the complete 256-entry S-box as a freshly allocated
+// array, e.g. for loading into a hardware ROM model.
+func SBoxTable() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = SBox(byte(i))
+	}
+	return t
+}
+
+// InvSBoxTable returns the complete 256-entry inverse S-box.
+func InvSBoxTable() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = InvSBox(byte(i))
+	}
+	return t
+}
+
+// Rcon returns the round constant for round i (1-based, as in FIPS-197):
+// Rcon(i) = x^{i-1} in GF(2^8). Rcon(0) is not defined by the standard; this
+// implementation returns x^{-1 mod 255} for symmetry but callers should use
+// i >= 1.
+func Rcon(i int) byte {
+	r := byte(1)
+	for ; i > 1; i-- {
+		r = Xtime(r)
+	}
+	return r
+}

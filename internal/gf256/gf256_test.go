@@ -1,0 +1,224 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x57, 0x83) != 0xD4 {
+		t.Fatalf("Add(0x57,0x83) = %#x, want 0xd4", Add(0x57, 0x83))
+	}
+	if Add(0xFF, 0xFF) != 0 {
+		t.Fatal("a+a must be 0 in GF(2^8)")
+	}
+}
+
+func TestXtimeKnown(t *testing.T) {
+	// FIPS-197 §4.2.1 example chain: {57}·{02}={ae}, ·{02}={47}, ·{02}={8e},
+	// ·{02}={07}.
+	cases := []struct{ in, want byte }{
+		{0x57, 0xAE}, {0xAE, 0x47}, {0x47, 0x8E}, {0x8E, 0x07},
+	}
+	for _, c := range cases {
+		if got := Xtime(c.in); got != c.want {
+			t.Errorf("Xtime(%#x) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	// FIPS-197 §4.2: {57}·{83} = {c1} and §4.2.1: {57}·{13} = {fe}.
+	if got := Mul(0x57, 0x83); got != 0xC1 {
+		t.Errorf("Mul(0x57,0x83) = %#x, want 0xc1", got)
+	}
+	if got := Mul(0x57, 0x13); got != 0xFE {
+		t.Errorf("Mul(0x57,0x13) = %#x, want 0xfe", got)
+	}
+}
+
+func TestMulProperties(t *testing.T) {
+	commutative := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error(err)
+	}
+	associative := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(associative, nil); err != nil {
+		t.Error(err)
+	}
+	distributive := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(distributive, nil); err != nil {
+		t.Error(err)
+	}
+	identity := func(a byte) bool { return Mul(a, 1) == a }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error(err)
+	}
+	zero := func(a byte) bool { return Mul(a, 0) == 0 }
+	if err := quick.Check(zero, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulTableMatchesMul(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if Mul(byte(a), byte(b)) != MulTable(byte(a), byte(b)) {
+				t.Fatalf("Mul and MulTable disagree at %#x,%#x", a, b)
+			}
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	if Inv(0) != 0 {
+		t.Fatal("Inv(0) must be 0 by Rijndael convention")
+	}
+	for a := 1; a < 256; a++ {
+		if got := Mul(byte(a), Inv(byte(a))); got != 1 {
+			t.Fatalf("a * Inv(a) = %#x for a=%#x, want 1", got, a)
+		}
+	}
+	// FIPS-197 example: the inverse of {53} is {ca}.
+	if Inv(0x53) != 0xCA {
+		t.Fatalf("Inv(0x53) = %#x, want 0xca", Inv(0x53))
+	}
+}
+
+func TestExpLog(t *testing.T) {
+	if Exp(0) != 1 {
+		t.Fatalf("Exp(0) = %#x, want 1", Exp(0))
+	}
+	for a := 1; a < 256; a++ {
+		l, ok := Log(byte(a))
+		if !ok {
+			t.Fatalf("Log(%#x) reported undefined", a)
+		}
+		if Exp(l) != byte(a) {
+			t.Fatalf("Exp(Log(%#x)) = %#x", a, Exp(l))
+		}
+	}
+	if _, ok := Log(0); ok {
+		t.Fatal("Log(0) must be undefined")
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	// {03} generates the full multiplicative group: order 255, and no proper
+	// divisor of 255 gives 1.
+	if Pow(Generator, 255) != 1 {
+		t.Fatal("generator^255 != 1")
+	}
+	for _, d := range []uint{3, 5, 17, 15, 51, 85} {
+		if Pow(Generator, d) == 1 {
+			t.Fatalf("generator has order dividing %d", d)
+		}
+	}
+}
+
+func TestSBoxKnownValues(t *testing.T) {
+	// Values from the FIPS-197 Figure 7 S-box table.
+	cases := []struct{ in, want byte }{
+		{0x00, 0x63}, {0x01, 0x7C}, {0x53, 0xED}, {0xFF, 0x16},
+		{0x10, 0xCA}, {0x9A, 0xB8}, {0xC5, 0xA6}, {0x30, 0x04},
+	}
+	for _, c := range cases {
+		if got := SBox(c.in); got != c.want {
+			t.Errorf("SBox(%#02x) = %#02x, want %#02x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestInvSBoxKnownValues(t *testing.T) {
+	// Values from the FIPS-197 Figure 14 inverse S-box table.
+	cases := []struct{ in, want byte }{
+		{0x00, 0x52}, {0x63, 0x00}, {0x7C, 0x01}, {0x16, 0xFF},
+	}
+	for _, c := range cases {
+		if got := InvSBox(c.in); got != c.want {
+			t.Errorf("InvSBox(%#02x) = %#02x, want %#02x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSBoxBijective(t *testing.T) {
+	var seen [256]bool
+	for a := 0; a < 256; a++ {
+		v := SBox(byte(a))
+		if seen[v] {
+			t.Fatalf("S-box not injective at %#x", a)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSBoxInverseRoundTrip(t *testing.T) {
+	roundTrip := func(a byte) bool { return InvSBox(SBox(a)) == a && SBox(InvSBox(a)) == a }
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSBoxNoFixedPoints(t *testing.T) {
+	// Design property of Rijndael: S(a) != a and S(a) != complement(a).
+	for a := 0; a < 256; a++ {
+		if SBox(byte(a)) == byte(a) {
+			t.Fatalf("S-box has fixed point at %#x", a)
+		}
+		if SBox(byte(a)) == ^byte(a) {
+			t.Fatalf("S-box has anti-fixed point at %#x", a)
+		}
+	}
+}
+
+func TestSBoxTables(t *testing.T) {
+	s := SBoxTable()
+	inv := InvSBoxTable()
+	for a := 0; a < 256; a++ {
+		if s[a] != SBox(byte(a)) {
+			t.Fatalf("SBoxTable mismatch at %#x", a)
+		}
+		if inv[s[a]] != byte(a) {
+			t.Fatalf("InvSBoxTable is not the inverse permutation at %#x", a)
+		}
+	}
+}
+
+func TestRcon(t *testing.T) {
+	// FIPS-197: Rcon values 01,02,04,08,10,20,40,80,1b,36 for rounds 1..10.
+	want := []byte{0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36}
+	for i, w := range want {
+		if got := Rcon(i + 1); got != w {
+			t.Errorf("Rcon(%d) = %#02x, want %#02x", i+1, got, w)
+		}
+	}
+}
+
+func TestPowZero(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Fatal("Pow(0,0) should be the empty product 1")
+	}
+	if Pow(0, 5) != 0 {
+		t.Fatal("Pow(0,5) should be 0")
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= Mul(byte(i), byte(i>>8))
+	}
+	_ = acc
+}
+
+func BenchmarkMulTable(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= MulTable(byte(i), byte(i>>8))
+	}
+	_ = acc
+}

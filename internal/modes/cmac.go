@@ -1,0 +1,72 @@
+package modes
+
+import "fmt"
+
+// CMAC computes the NIST SP 800-38B / RFC 4493 message authentication code
+// of msg with a 128-bit block cipher. The subkeys K1/K2 come from doubling
+// E(0) in GF(2^128) with the standard polynomial x^128+x^7+x^2+x+1
+// (constant Rb = 0x87).
+func CMAC(b Block, msg []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if bs != 16 {
+		return nil, fmt.Errorf("modes: CMAC requires a 128-bit block cipher, got %d bytes", bs)
+	}
+	l := make([]byte, bs)
+	b.Encrypt(l, l)
+	k1 := dbl(l)
+	k2 := dbl(k1)
+
+	var last [16]byte
+	full := len(msg) / bs
+	rem := len(msg) % bs
+	complete := rem == 0 && len(msg) > 0
+	if complete {
+		full--
+		xorBytes(last[:], msg[len(msg)-bs:], k1, bs)
+	} else {
+		copy(last[:], msg[full*bs:])
+		last[rem] = 0x80
+		xorBytes(last[:], last[:], k2, bs)
+	}
+
+	mac := make([]byte, bs)
+	tmp := make([]byte, bs)
+	for i := 0; i < full; i++ {
+		xorBytes(tmp, mac, msg[i*bs:], bs)
+		b.Encrypt(mac, tmp)
+	}
+	xorBytes(tmp, mac, last[:], bs)
+	b.Encrypt(mac, tmp)
+	return mac, nil
+}
+
+// dbl doubles a 128-bit value in GF(2^128): left shift with conditional
+// XOR of Rb into the last byte.
+func dbl(v []byte) []byte {
+	out := make([]byte, 16)
+	carry := byte(0)
+	for i := 15; i >= 0; i-- {
+		out[i] = v[i]<<1 | carry
+		carry = v[i] >> 7
+	}
+	if carry != 0 {
+		out[15] ^= 0x87
+	}
+	return out
+}
+
+// VerifyCMAC recomputes the MAC and compares in constant time.
+func VerifyCMAC(b Block, msg, mac []byte) (bool, error) {
+	want, err := CMAC(b, msg)
+	if err != nil {
+		return false, err
+	}
+	if len(mac) != len(want) {
+		return false, nil
+	}
+	var diff byte
+	for i := range want {
+		diff |= want[i] ^ mac[i]
+	}
+	return diff == 0, nil
+}

@@ -1,0 +1,230 @@
+// Package modes implements the standard block-cipher modes of operation
+// (ECB, CBC, CTR, CFB, OFB), PKCS#7 padding, the CMAC message
+// authentication code (NIST SP 800-38B / RFC 4493) and GCM authenticated
+// encryption (NIST SP 800-38D) over this repository's from-scratch
+// Rijndael cipher — the software half of deploying the paper's IP in a
+// real system (the hardware core produces raw block operations; modes turn
+// them into usable protocols).
+//
+// Everything is implemented from first principles on the Block interface;
+// the tests cross-check each mode against the Go standard library.
+package modes
+
+import (
+	"fmt"
+)
+
+// Block is the block-cipher surface the modes need (satisfied by
+// aes.Cipher and by crypto/cipher.Block implementations).
+type Block interface {
+	BlockSize() int
+	Encrypt(dst, src []byte)
+	Decrypt(dst, src []byte)
+}
+
+// xorBytes sets dst = a ^ b over the first n bytes.
+func xorBytes(dst, a, b []byte, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// PadPKCS7 appends PKCS#7 padding up to the block size.
+func PadPKCS7(data []byte, blockSize int) []byte {
+	if blockSize <= 0 || blockSize > 255 {
+		panic("modes: invalid block size")
+	}
+	n := blockSize - len(data)%blockSize
+	out := make([]byte, len(data)+n)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+// UnpadPKCS7 removes PKCS#7 padding, validating it fully.
+func UnpadPKCS7(data []byte, blockSize int) ([]byte, error) {
+	if len(data) == 0 || len(data)%blockSize != 0 {
+		return nil, fmt.Errorf("modes: padded data length %d invalid", len(data))
+	}
+	n := int(data[len(data)-1])
+	if n == 0 || n > blockSize || n > len(data) {
+		return nil, fmt.Errorf("modes: bad padding byte %d", n)
+	}
+	for _, b := range data[len(data)-n:] {
+		if int(b) != n {
+			return nil, fmt.Errorf("modes: corrupt padding")
+		}
+	}
+	return data[:len(data)-n], nil
+}
+
+// EncryptECB encrypts src (a multiple of the block size) block by block.
+// ECB leaks plaintext structure and exists for test vectors and as the
+// primitive the hardware core implements directly.
+func EncryptECB(b Block, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(src)%bs != 0 {
+		return nil, fmt.Errorf("modes: ECB input %d not a multiple of %d", len(src), bs)
+	}
+	dst := make([]byte, len(src))
+	for i := 0; i < len(src); i += bs {
+		b.Encrypt(dst[i:], src[i:])
+	}
+	return dst, nil
+}
+
+// DecryptECB inverts EncryptECB.
+func DecryptECB(b Block, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(src)%bs != 0 {
+		return nil, fmt.Errorf("modes: ECB input %d not a multiple of %d", len(src), bs)
+	}
+	dst := make([]byte, len(src))
+	for i := 0; i < len(src); i += bs {
+		b.Decrypt(dst[i:], src[i:])
+	}
+	return dst, nil
+}
+
+// EncryptCBC encrypts src (multiple of the block size) in cipher-block
+// chaining mode.
+func EncryptCBC(b Block, iv, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(iv) != bs {
+		return nil, fmt.Errorf("modes: CBC iv must be %d bytes", bs)
+	}
+	if len(src)%bs != 0 {
+		return nil, fmt.Errorf("modes: CBC input %d not a multiple of %d", len(src), bs)
+	}
+	dst := make([]byte, len(src))
+	prev := iv
+	tmp := make([]byte, bs)
+	for i := 0; i < len(src); i += bs {
+		xorBytes(tmp, src[i:], prev, bs)
+		b.Encrypt(dst[i:], tmp)
+		prev = dst[i : i+bs]
+	}
+	return dst, nil
+}
+
+// DecryptCBC inverts EncryptCBC.
+func DecryptCBC(b Block, iv, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(iv) != bs {
+		return nil, fmt.Errorf("modes: CBC iv must be %d bytes", bs)
+	}
+	if len(src)%bs != 0 {
+		return nil, fmt.Errorf("modes: CBC input %d not a multiple of %d", len(src), bs)
+	}
+	dst := make([]byte, len(src))
+	prev := iv
+	for i := 0; i < len(src); i += bs {
+		b.Decrypt(dst[i:], src[i:])
+		xorBytes(dst[i:], dst[i:], prev, bs)
+		prev = src[i : i+bs]
+	}
+	return dst, nil
+}
+
+// CTRStream XORs src with the counter-mode keystream derived from iv
+// (big-endian increment over the whole block). Encryption and decryption
+// are the same operation; src may be any length.
+func CTRStream(b Block, iv, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(iv) != bs {
+		return nil, fmt.Errorf("modes: CTR iv must be %d bytes", bs)
+	}
+	dst := make([]byte, len(src))
+	counter := append([]byte(nil), iv...)
+	ks := make([]byte, bs)
+	for i := 0; i < len(src); i += bs {
+		b.Encrypt(ks, counter)
+		n := len(src) - i
+		if n > bs {
+			n = bs
+		}
+		xorBytes(dst[i:], src[i:], ks, n)
+		incCounter(counter)
+	}
+	return dst, nil
+}
+
+// incCounter increments a big-endian counter block in place.
+func incCounter(c []byte) {
+	for i := len(c) - 1; i >= 0; i-- {
+		c[i]++
+		if c[i] != 0 {
+			return
+		}
+	}
+}
+
+// EncryptCFB encrypts src in full-block cipher feedback mode (any length).
+func EncryptCFB(b Block, iv, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(iv) != bs {
+		return nil, fmt.Errorf("modes: CFB iv must be %d bytes", bs)
+	}
+	dst := make([]byte, len(src))
+	shift := append([]byte(nil), iv...)
+	ks := make([]byte, bs)
+	for i := 0; i < len(src); i += bs {
+		b.Encrypt(ks, shift)
+		n := len(src) - i
+		if n > bs {
+			n = bs
+		}
+		xorBytes(dst[i:], src[i:], ks, n)
+		copy(shift, dst[i:i+n])
+		if n < bs {
+			break
+		}
+	}
+	return dst, nil
+}
+
+// DecryptCFB inverts EncryptCFB.
+func DecryptCFB(b Block, iv, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(iv) != bs {
+		return nil, fmt.Errorf("modes: CFB iv must be %d bytes", bs)
+	}
+	dst := make([]byte, len(src))
+	shift := append([]byte(nil), iv...)
+	ks := make([]byte, bs)
+	for i := 0; i < len(src); i += bs {
+		b.Encrypt(ks, shift)
+		n := len(src) - i
+		if n > bs {
+			n = bs
+		}
+		copy(shift[:n], src[i:i+n])
+		xorBytes(dst[i:], src[i:], ks, n)
+		if n < bs {
+			break
+		}
+	}
+	return dst, nil
+}
+
+// OFBStream XORs src with the output feedback keystream (any length;
+// encryption == decryption).
+func OFBStream(b Block, iv, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(iv) != bs {
+		return nil, fmt.Errorf("modes: OFB iv must be %d bytes", bs)
+	}
+	dst := make([]byte, len(src))
+	ks := append([]byte(nil), iv...)
+	for i := 0; i < len(src); i += bs {
+		b.Encrypt(ks, ks)
+		n := len(src) - i
+		if n > bs {
+			n = bs
+		}
+		xorBytes(dst[i:], src[i:], ks, n)
+	}
+	return dst, nil
+}

@@ -1,0 +1,282 @@
+// Package narrowbus implements the narrow external bus interface the
+// paper's §4 sketches: "If the implementations require only the Rijndael
+// core, a simple interface could be built using 32 or 16 data bus. Lower
+// bus sizes could not be sufficient to provide or to take the data from
+// device in full rate operation."
+//
+// The adapter is its own RTL design: it assembles W-bit words into the
+// core's 128-bit din, fires wr_key/wr_data when a block completes,
+// captures dout on the data_ok edge and streams it back out W bits at a
+// time. A System couples the adapter and core simulations in lockstep,
+// demonstrating hierarchical composition of generated designs.
+package narrowbus
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+)
+
+// Adapter is the generated bus-width converter.
+type Adapter struct {
+	Width  int // host bus width: 16 or 32
+	Words  int // words per 128-bit block
+	Design *rtl.Design
+	// HostPins is the host-side pin count (clk + controls + two W-bit
+	// buses), the figure §4 trades against the 261-pin full interface.
+	HostPins int
+}
+
+// NewAdapter generates the converter for a 16- or 32-bit host bus.
+func NewAdapter(width int) (*Adapter, error) {
+	if width != 16 && width != 32 {
+		return nil, fmt.Errorf("narrowbus: width must be 16 or 32, got %d", width)
+	}
+	n := 128 / width
+	cntBits := 2
+	if n == 8 {
+		cntBits = 3
+	}
+
+	b := rtl.NewBuilder(fmt.Sprintf("narrowbus%d", width))
+	g := b.Logic()
+
+	b.Input("clk", 1)
+	modeKey := b.Input("mode_key", 1)[0]
+	wrw := b.Input("wrw", 1)[0]
+	wordIn := b.Input("word_in", width)
+	rd := b.Input("rd", 1)[0]
+	coreOk := b.Input("core_ok", 1)[0]
+	coreDout := b.Input("core_dout", 128)
+
+	acc := b.Reg("acc", 128)
+	wcount := b.Reg("wcount", cntBits)
+	fire := b.Reg("fire", 1)
+	firekey := b.Reg("firekey", 1)
+	okPrev := b.Reg("ok_prev", 1)
+	outAcc := b.Reg("out_acc", 128)
+	outValid := b.Reg("out_valid", 1)
+	rdcount := b.Reg("rdcount", cntBits)
+
+	// Input assembly: write the selected W-bit segment of acc.
+	{
+		next := make(rtl.Bus, 0, 128)
+		for w := 0; w < n; w++ {
+			hit := g.And(wrw, rijndael.EqConstNet(g, wcount.Q, uint64(w)))
+			next = append(next, g.MuxVector(hit, wordIn, acc.Q[w*width:(w+1)*width])...)
+		}
+		acc.SetNext(next, wrw)
+	}
+	lastWord := rijndael.EqConstNet(g, wcount.Q, uint64(n-1))
+	wcount.SetNext(
+		g.MuxVector(lastWord, rtl.Const(cntBits, 0), rijndael.IncNet(g, wcount.Q)),
+		wrw)
+	fire.SetNext(rtl.Bus{g.And(wrw, lastWord)}, logic.True)
+	firekey.SetNext(rtl.Bus{modeKey}, g.And(wrw, lastWord))
+
+	// Output capture on the data_ok rising edge, then W bits per rd pulse.
+	okRise := g.And(coreOk, logic.Not(okPrev.Q[0]))
+	okPrev.SetNext(rtl.Bus{coreOk}, logic.True)
+	outAcc.SetNext(coreDout, okRise)
+	lastRead := rijndael.EqConstNet(g, rdcount.Q, uint64(n-1))
+	readStep := g.And(rd, outValid.Q[0])
+	outValid.SetNext(rtl.Bus{g.Or(okRise, g.And(outValid.Q[0],
+		logic.Not(g.And(readStep, lastRead))))}, logic.True)
+	rdcount.SetNext(
+		g.MuxVector(okRise, rtl.Const(cntBits, 0), rijndael.IncNet(g, rdcount.Q)),
+		g.Or(okRise, readStep))
+
+	// Word-out mux over the capture register.
+	wordOut := outAcc.Q[0:width]
+	for w := 1; w < n; w++ {
+		hit := rijndael.EqConstNet(g, rdcount.Q, uint64(w))
+		wordOut = g.MuxVector(hit, outAcc.Q[w*width:(w+1)*width], wordOut)
+	}
+
+	// Core-side outputs.
+	fireQ := fire.Q[0]
+	isKey := firekey.Q[0]
+	b.Output("din", acc.Q)
+	b.Output("wr_data", rtl.Bus{g.And(fireQ, logic.Not(isKey))})
+	b.Output("wr_key", rtl.Bus{g.And(fireQ, isKey)})
+	b.Output("setup", rtl.Bus{g.And(fireQ, isKey)})
+	// Host-side outputs.
+	b.Output("word_out", wordOut)
+	b.Output("out_valid", rtl.Bus{outValid.Q[0]})
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Adapter{
+		Width:  width,
+		Words:  n,
+		Design: d,
+		// clk + mode_key + wrw + rd + out_valid + two W-bit buses.
+		HostPins: 5 + 2*width,
+	}, nil
+}
+
+// System couples an adapter simulation with a Rijndael core simulation in
+// lockstep, presenting the narrow host-side interface.
+type System struct {
+	Adapter *Adapter
+	Core    *rijndael.Core
+
+	asim *rtl.Simulator
+	csim *rtl.Simulator
+}
+
+// NewSystem instantiates the adapter and fresh simulations of both
+// designs.
+func NewSystem(core *rijndael.Core, width int) (*System, error) {
+	ad, err := NewAdapter(width)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Adapter: ad,
+		Core:    core,
+		asim:    ad.Design.NewSimulator(),
+		csim:    core.Design.NewSimulator(),
+	}, nil
+}
+
+// step advances both designs one clock cycle, wiring adapter outputs to
+// core inputs and core outputs back to the adapter's capture registers.
+func (s *System) step() error {
+	// Adapter outputs (all registered) drive the core this cycle.
+	s.asim.Eval()
+	din, err := s.asim.OutputBits("din")
+	if err != nil {
+		return err
+	}
+	if err := s.csim.SetInputBits("din", din); err != nil {
+		return err
+	}
+	for _, sig := range []string{"wr_data", "wr_key", "setup"} {
+		v, err := s.asim.Output(sig)
+		if err != nil {
+			return err
+		}
+		if err := s.csim.SetInput(sig, v); err != nil {
+			return err
+		}
+	}
+	// Core outputs feed the adapter's edge detector and capture register.
+	s.csim.Eval()
+	ok, err := s.csim.Output("data_ok")
+	if err != nil {
+		return err
+	}
+	dout, err := s.csim.OutputBits("dout")
+	if err != nil {
+		return err
+	}
+	if err := s.asim.SetInput("core_ok", ok); err != nil {
+		return err
+	}
+	if err := s.asim.SetInputBits("core_dout", dout); err != nil {
+		return err
+	}
+	s.csim.Step()
+	s.asim.Step()
+	return nil
+}
+
+func (s *System) hostIdle() {
+	s.asim.SetInput("mode_key", 0)
+	s.asim.SetInput("wrw", 0)
+	s.asim.SetInput("rd", 0)
+}
+
+// writeBlock pushes 16 bytes over the narrow bus, W bits per cycle.
+func (s *System) writeBlock(data []byte, asKey bool) error {
+	bytesPerWord := s.Adapter.Width / 8
+	for w := 0; w < s.Adapter.Words; w++ {
+		s.hostIdle()
+		if asKey {
+			s.asim.SetInput("mode_key", 1)
+		}
+		s.asim.SetInput("wrw", 1)
+		if err := s.asim.SetInputBits("word_in", data[w*bytesPerWord:(w+1)*bytesPerWord]); err != nil {
+			return err
+		}
+		if err := s.step(); err != nil {
+			return err
+		}
+	}
+	s.hostIdle()
+	// One cycle for the fire pulse to reach the core.
+	return s.step()
+}
+
+// LoadKey sends a 16-byte key over the narrow bus and waits out the
+// core's key-setup walk.
+func (s *System) LoadKey(key []byte) error {
+	if len(key) != 16 {
+		return fmt.Errorf("narrowbus: key must be 16 bytes")
+	}
+	if err := s.writeBlock(key, true); err != nil {
+		return err
+	}
+	for i := 0; i < s.Core.KeySetupCycles+1; i++ {
+		if err := s.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Process sends one block over the narrow bus, waits for completion, and
+// reads the result back W bits per cycle. It returns the output block and
+// the total host-side cycle count for the transaction.
+func (s *System) Process(block []byte) ([]byte, int, error) {
+	if len(block) != 16 {
+		return nil, 0, fmt.Errorf("narrowbus: block must be 16 bytes")
+	}
+	cycles := 0
+	count := func(err error) error { cycles++; return err }
+	if err := s.writeBlock(block, false); err != nil {
+		return nil, 0, err
+	}
+	cycles += s.Adapter.Words + 1
+	// Wait for out_valid.
+	limit := 8 * (s.Core.BlockLatency + 8)
+	for {
+		s.asim.Eval()
+		v, err := s.asim.Output("out_valid")
+		if err != nil {
+			return nil, 0, err
+		}
+		if v == 1 {
+			break
+		}
+		if cycles > limit {
+			return nil, 0, fmt.Errorf("narrowbus: timeout waiting for out_valid")
+		}
+		if err := count(s.step()); err != nil {
+			return nil, 0, err
+		}
+	}
+	// Read the result W bits per cycle.
+	out := make([]byte, 16)
+	bytesPerWord := s.Adapter.Width / 8
+	for w := 0; w < s.Adapter.Words; w++ {
+		s.asim.Eval()
+		word, err := s.asim.OutputBits("word_out")
+		if err != nil {
+			return nil, 0, err
+		}
+		copy(out[w*bytesPerWord:], word[:bytesPerWord])
+		s.hostIdle()
+		s.asim.SetInput("rd", 1)
+		if err := count(s.step()); err != nil {
+			return nil, 0, err
+		}
+	}
+	s.hostIdle()
+	return out, cycles, nil
+}

@@ -1,0 +1,122 @@
+package narrowbus
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"rijndaelip/internal/aes"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+)
+
+func encCore(t *testing.T) *rijndael.Core {
+	t.Helper()
+	core, err := rijndael.New(rijndael.Config{Variant: rijndael.Encrypt, ROMStyle: rtl.ROMAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+func TestAdapterWidths(t *testing.T) {
+	for _, w := range []int{16, 32} {
+		ad, err := NewAdapter(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ad.Words != 128/w {
+			t.Errorf("width %d: %d words", w, ad.Words)
+		}
+		if ad.HostPins != 5+2*w {
+			t.Errorf("width %d: %d host pins", w, ad.HostPins)
+		}
+	}
+	if _, err := NewAdapter(8); err == nil {
+		t.Error("8-bit bus accepted (the paper says it cannot sustain full rate)")
+	}
+}
+
+func TestNarrowBusFIPSVector(t *testing.T) {
+	key, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	pt, _ := hex.DecodeString("3243f6a8885a308d313198a2e0370734")
+	ct, _ := hex.DecodeString("3925841d02dc09fbdc118597196a0b32")
+	for _, w := range []int{16, 32} {
+		sys, err := NewSystem(encCore(t), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.LoadKey(key); err != nil {
+			t.Fatal(err)
+		}
+		got, cycles, err := sys.Process(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ct) {
+			t.Fatalf("width %d: %x, want %x", w, got, ct)
+		}
+		// Transaction cost: load words + latency + unload words (plus small
+		// protocol overhead).
+		min := 128/w + sys.Core.BlockLatency + 128/w
+		if cycles < min || cycles > min+8 {
+			t.Errorf("width %d: %d cycles, expected about %d", w, cycles, min)
+		}
+	}
+}
+
+func TestNarrowBusRandomBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	sys, err := NewSystem(encCore(t), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		key := make([]byte, 16)
+		rng.Read(key)
+		if err := sys.LoadKey(key); err != nil {
+			t.Fatal(err)
+		}
+		ref, _ := aes.NewCipher(key)
+		for blk := 0; blk < 3; blk++ {
+			data := make([]byte, 16)
+			rng.Read(data)
+			want := make([]byte, 16)
+			ref.Encrypt(want, data)
+			got, _, err := sys.Process(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("narrow bus result %x, want %x", got, want)
+			}
+		}
+	}
+}
+
+// TestNarrowBusPinSavings quantifies §4's trade: the 32-bit host interface
+// needs about a quarter of the pins of the native 128-bit one.
+func TestNarrowBusPinSavings(t *testing.T) {
+	ad32, _ := NewAdapter(32)
+	if ad32.HostPins >= 120 {
+		t.Errorf("32-bit host interface uses %d pins, expected well under the native 261", ad32.HostPins)
+	}
+	ad16, _ := NewAdapter(16)
+	if ad16.HostPins >= ad32.HostPins {
+		t.Error("16-bit interface should use fewer pins than 32-bit")
+	}
+}
+
+func TestBadBlockSizes(t *testing.T) {
+	sys, err := NewSystem(encCore(t), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadKey(make([]byte, 8)); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, _, err := sys.Process(make([]byte, 8)); err == nil {
+		t.Error("short block accepted")
+	}
+}

@@ -1,0 +1,326 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadBLIF parses a BLIF model back into a netlist. It supports the
+// subset the exporter emits — single-output .names with 1-terminated
+// minterm rows (don't-cares in input columns accepted), rising-edge
+// .latch with an initial value — plus arbitrary .names tables from other
+// tools. ROM macros are not reconstructed: a ROM exported to BLIF comes
+// back as the equivalent .names logic, which is semantically identical
+// (and is exactly what a BLIF consumer would see).
+//
+// Signals named const0/const1 are tied to the constant nets. Multi-bit
+// ports are reassembled from the name_index convention used by the
+// exporter when present; otherwise each signal becomes a 1-bit port.
+func ReadBLIF(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	// Join continuation lines (trailing backslash) and strip comments.
+	var lines []string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for strings.HasSuffix(line, "\\") && sc.Scan() {
+			line = strings.TrimSuffix(line, "\\") + " " + strings.TrimSpace(sc.Text())
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	nl := New("blif")
+	sig := map[string]NetID{"const0": Const0, "const1": Const1}
+	getNet := func(name string) NetID {
+		if n, ok := sig[name]; ok {
+			return n
+		}
+		n := nl.NewNet()
+		sig[name] = n
+		return n
+	}
+
+	var inputs, outputs []string
+	type namesBlock struct {
+		ins  []string
+		out  string
+		rows []string
+	}
+	var pending *namesBlock
+	flush := func() error {
+		if pending == nil {
+			return nil
+		}
+		nb := pending
+		pending = nil
+		if len(nb.ins) > 4 {
+			return expandWideNames(nl, getNet, nb.ins, nb.out, nb.rows)
+		}
+		mask, err := rowsToMask(nb.ins, nb.rows)
+		if err != nil {
+			return err
+		}
+		ins := make([]NetID, len(nb.ins))
+		for i, s := range nb.ins {
+			ins[i] = getNet(s)
+		}
+		// A .names redefining const0/const1 is a constant declaration.
+		if nb.out == "const0" || nb.out == "const1" {
+			return nil
+		}
+		nl.AddLUT(LUT{Inputs: ins, Mask: mask, Out: getNet(nb.out), Name: nb.out})
+		return nil
+	}
+
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, ".model"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			if len(fields) > 1 {
+				nl.Name = fields[1]
+			}
+		case strings.HasPrefix(line, ".inputs"):
+			inputs = append(inputs, fields[1:]...)
+		case strings.HasPrefix(line, ".outputs"):
+			outputs = append(outputs, fields[1:]...)
+		case strings.HasPrefix(line, ".names"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			args := fields[1:]
+			if len(args) == 0 {
+				return nil, fmt.Errorf("netlist: .names with no signals")
+			}
+			pending = &namesBlock{ins: args[:len(args)-1], out: args[len(args)-1]}
+		case strings.HasPrefix(line, ".latch"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			// .latch <input> <output> [type clk] [init]
+			args := fields[1:]
+			if len(args) < 2 {
+				return nil, fmt.Errorf("netlist: malformed .latch %q", line)
+			}
+			init := false
+			if last := args[len(args)-1]; last == "1" {
+				init = true
+			}
+			nl.AddFF(FF{D: getNet(args[0]), En: Invalid, Q: getNet(args[1]),
+				Init: init, Name: args[1]})
+		case strings.HasPrefix(line, ".end"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "."):
+			return nil, fmt.Errorf("netlist: unsupported BLIF construct %q", fields[0])
+		default:
+			if pending == nil {
+				return nil, fmt.Errorf("netlist: truth-table row outside .names: %q", line)
+			}
+			pending.rows = append(pending.rows, line)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
+	// Ports: inputs become 1-bit ports (grouping is cosmetic); outputs
+	// reassemble name_index groups.
+	for _, in := range inputs {
+		n, ok := sig[in]
+		if !ok {
+			n = nl.NewNet()
+			sig[in] = n
+		}
+		nl.Inputs = append(nl.Inputs, Port{Name: in, Nets: []NetID{n}})
+	}
+	groups := map[string][]NetID{}
+	var order []string
+	for _, out := range outputs {
+		base, idx := splitIndexed(out)
+		g, seen := groups[base]
+		if !seen {
+			order = append(order, base)
+		}
+		for len(g) <= idx {
+			g = append(g, Invalid)
+		}
+		n, ok := sig[out]
+		if !ok {
+			return nil, fmt.Errorf("netlist: output %q is undriven", out)
+		}
+		g[idx] = n
+		groups[base] = g
+	}
+	for _, base := range order {
+		nets := groups[base]
+		for i, n := range nets {
+			if n == Invalid {
+				return nil, fmt.Errorf("netlist: output bus %s missing bit %d", base, i)
+			}
+		}
+		nl.AddOutput(base, nets)
+	}
+	if err := nl.Build(); err != nil {
+		return nil, fmt.Errorf("netlist: imported BLIF invalid: %w", err)
+	}
+	return nl, nil
+}
+
+// splitIndexed splits "name_3" into ("name", 3); a name without a numeric
+// suffix becomes index 0.
+func splitIndexed(s string) (string, int) {
+	i := strings.LastIndexByte(s, '_')
+	if i < 0 {
+		return s, 0
+	}
+	idx, err := strconv.Atoi(s[i+1:])
+	if err != nil || idx < 0 {
+		return s, 0
+	}
+	return s[:i], idx
+}
+
+// rowsToMask converts minterm rows (with don't-cares) into a LUT mask.
+func rowsToMask(ins []string, rows []string) (uint16, error) {
+	k := len(ins)
+	var mask uint16
+	for _, row := range rows {
+		fields := strings.Fields(row)
+		var pattern, val string
+		switch len(fields) {
+		case 1:
+			if k != 0 {
+				return 0, fmt.Errorf("netlist: row %q missing inputs", row)
+			}
+			pattern, val = "", fields[0]
+		case 2:
+			pattern, val = fields[0], fields[1]
+		default:
+			return 0, fmt.Errorf("netlist: malformed row %q", row)
+		}
+		if val != "1" {
+			return 0, fmt.Errorf("netlist: only 1-terminated rows supported, got %q", row)
+		}
+		if len(pattern) != k {
+			return 0, fmt.Errorf("netlist: row %q width != %d inputs", row, k)
+		}
+		// Expand don't-cares.
+		idxs := []int{0}
+		for j := 0; j < k; j++ {
+			switch pattern[j] {
+			case '0':
+			case '1':
+				for i := range idxs {
+					idxs[i] |= 1 << uint(j)
+				}
+			case '-':
+				n := len(idxs)
+				for i := 0; i < n; i++ {
+					idxs = append(idxs, idxs[i]|1<<uint(j))
+				}
+			default:
+				return 0, fmt.Errorf("netlist: bad row char %q", pattern[j])
+			}
+		}
+		for _, idx := range idxs {
+			mask |= 1 << uint(idx)
+		}
+	}
+	if k == 0 && len(rows) > 0 {
+		mask = 1 // constant-1 table ("1" row with no inputs)
+	}
+	return mask, nil
+}
+
+// expandWideNames decomposes a >4-input .names table (e.g. the exporter's
+// 8-input ROM tables) into a tree of 4-input LUTs via Shannon expansion.
+func expandWideNames(nl *Netlist, getNet func(string) NetID, ins []string, out string, rows []string) error {
+	k := len(ins)
+	if k > 16 {
+		return fmt.Errorf("netlist: .names with %d inputs unsupported", k)
+	}
+	// Build the full truth table.
+	size := 1 << uint(k)
+	tt := make([]bool, size)
+	for _, row := range rows {
+		fields := strings.Fields(row)
+		if len(fields) != 2 || fields[1] != "1" {
+			return fmt.Errorf("netlist: unsupported wide row %q", row)
+		}
+		pattern := fields[0]
+		if len(pattern) != k {
+			return fmt.Errorf("netlist: row width mismatch %q", row)
+		}
+		idxs := []int{0}
+		for j := 0; j < k; j++ {
+			switch pattern[j] {
+			case '0':
+			case '1':
+				for i := range idxs {
+					idxs[i] |= 1 << uint(j)
+				}
+			case '-':
+				n := len(idxs)
+				for i := 0; i < n; i++ {
+					idxs = append(idxs, idxs[i]|1<<uint(j))
+				}
+			default:
+				return fmt.Errorf("netlist: bad row char %q", pattern[j])
+			}
+		}
+		for _, idx := range idxs {
+			tt[idx] = true
+		}
+	}
+	inNets := make([]NetID, k)
+	for i, s := range ins {
+		inNets[i] = getNet(s)
+	}
+	root := buildTTTree(nl, inNets, tt, out)
+	// Alias the tree root onto the named output net with a buffer LUT.
+	nl.AddLUT(LUT{Inputs: []NetID{root}, Mask: 0b10, Out: getNet(out), Name: out})
+	return nil
+}
+
+// buildTTTree recursively realizes a truth table with 4-input LUT leaves
+// and 2:1 mux nodes on the highest variable.
+func buildTTTree(nl *Netlist, ins []NetID, tt []bool, name string) NetID {
+	k := len(ins)
+	if k <= 4 {
+		var mask uint16
+		for i, v := range tt {
+			if v {
+				mask |= 1 << uint(i)
+			}
+		}
+		out := nl.NewNet()
+		nl.AddLUT(LUT{Inputs: ins, Mask: mask, Out: out, Name: name + "~leaf"})
+		return out
+	}
+	half := len(tt) / 2
+	lo := buildTTTree(nl, ins[:k-1], tt[:half], name)
+	hi := buildTTTree(nl, ins[:k-1], tt[half:], name)
+	out := nl.NewNet()
+	// mux: sel ? hi : lo with input order (sel, hi, lo).
+	nl.AddLUT(LUT{Inputs: []NetID{ins[k-1], hi, lo}, Mask: 0b11011000, Out: out,
+		Name: name + "~mux"})
+	return out
+}

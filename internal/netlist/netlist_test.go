@@ -1,0 +1,298 @@
+package netlist
+
+import (
+	"testing"
+
+	"rijndaelip/internal/gf256"
+)
+
+// buildXorLUT makes a 2-input XOR LUT.
+func xorLUT(nl *Netlist, a, b NetID) NetID {
+	out := nl.NewNet()
+	nl.AddLUT(LUT{Inputs: []NetID{a, b}, Mask: 0b0110, Out: out})
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	nl := New("t")
+	in := nl.AddInput("a", 1)
+	out := xorLUT(nl, in[0], Const1)
+	nl.AddOutput("y", []NetID{out})
+	if err := nl.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumLUTs() != 1 || nl.PinCount() != 2 {
+		t.Errorf("counts: %d LUTs, %d pins", nl.NumLUTs(), nl.PinCount())
+	}
+}
+
+func TestMultipleDriverRejected(t *testing.T) {
+	nl := New("t")
+	in := nl.AddInput("a", 1)
+	nl.AddLUT(LUT{Inputs: []NetID{Const1}, Mask: 0b10, Out: in[0]})
+	if err := nl.Build(); err == nil {
+		t.Fatal("multiply driven net accepted")
+	}
+}
+
+func TestUndrivenUseRejected(t *testing.T) {
+	nl := New("t")
+	ghost := nl.NewNet()
+	nl.AddOutput("y", []NetID{ghost})
+	if err := nl.Build(); err == nil {
+		t.Fatal("undriven net accepted")
+	}
+}
+
+func TestCombCycleRejected(t *testing.T) {
+	nl := New("t")
+	a := nl.NewNet()
+	b := nl.NewNet()
+	nl.AddLUT(LUT{Inputs: []NetID{b}, Mask: 0b01, Out: a})
+	nl.AddLUT(LUT{Inputs: []NetID{a}, Mask: 0b01, Out: b})
+	nl.AddOutput("y", []NetID{a})
+	if err := nl.Build(); err == nil {
+		t.Fatal("combinational cycle accepted")
+	}
+}
+
+func TestFFBreaksCycle(t *testing.T) {
+	// A toggle flip-flop: Q feeds an inverter LUT feeding D. Legal because
+	// the FF breaks the loop.
+	nl := New("t")
+	q := nl.NewNet()
+	d := nl.NewNet()
+	nl.AddLUT(LUT{Inputs: []NetID{q}, Mask: 0b01, Out: d})
+	nl.AddFF(FF{D: d, En: Invalid, Q: q})
+	nl.AddOutput("y", []NetID{q})
+	sim, err := NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := false
+	for cycle := 0; cycle < 8; cycle++ {
+		sim.Eval()
+		v, err := sim.Output("y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (v == 1) != want {
+			t.Fatalf("cycle %d: q = %v, want %v", cycle, v == 1, want)
+		}
+		sim.Step()
+		want = !want
+	}
+}
+
+func TestFFEnable(t *testing.T) {
+	nl := New("t")
+	en := nl.AddInput("en", 1)
+	d := nl.AddInput("d", 1)
+	q := nl.NewNet()
+	nl.AddFF(FF{D: d[0], En: en[0], Q: q})
+	nl.AddOutput("q", []NetID{q})
+	sim, err := NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetInput("d", 1)
+	sim.SetInput("en", 0)
+	sim.Step()
+	sim.Eval()
+	if v, _ := sim.Output("q"); v != 0 {
+		t.Fatal("FF latched without enable")
+	}
+	sim.SetInput("en", 1)
+	sim.Step()
+	sim.Eval()
+	if v, _ := sim.Output("q"); v != 1 {
+		t.Fatal("FF did not latch with enable")
+	}
+	sim.SetInput("en", 0)
+	sim.SetInput("d", 0)
+	sim.Step()
+	sim.Eval()
+	if v, _ := sim.Output("q"); v != 1 {
+		t.Fatal("FF lost state while disabled")
+	}
+}
+
+func TestAsyncROM(t *testing.T) {
+	// An async ROM holding the Rijndael S-box reads combinationally.
+	nl := New("t")
+	addr := nl.AddInput("addr", 8)
+	var r ROM
+	copy(r.Addr[:], addr)
+	table := gf256.SBoxTable()
+	copy(r.Contents[:], table[:])
+	out := nl.NewNets(8)
+	copy(r.Out[:], out)
+	nl.AddROM(r)
+	nl.AddOutput("data", out)
+	sim, err := NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []uint64{0x00, 0x01, 0x53, 0xFF, 0x9A} {
+		sim.SetInput("addr", a)
+		sim.Eval()
+		v, _ := sim.Output("data")
+		if byte(v) != gf256.SBox(byte(a)) {
+			t.Errorf("ROM[%#x] = %#x, want %#x", a, v, gf256.SBox(byte(a)))
+		}
+	}
+	if nl.MemoryBits() != 2048 {
+		t.Errorf("MemoryBits = %d, want 2048", nl.MemoryBits())
+	}
+}
+
+func TestSyncROM(t *testing.T) {
+	nl := New("t")
+	addr := nl.AddInput("addr", 8)
+	var r ROM
+	r.Sync = true
+	copy(r.Addr[:], addr)
+	table := gf256.SBoxTable()
+	copy(r.Contents[:], table[:])
+	out := nl.NewNets(8)
+	copy(r.Out[:], out)
+	nl.AddROM(r)
+	nl.AddOutput("data", out)
+	sim, err := NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetInput("addr", 0x53)
+	sim.Eval()
+	if v, _ := sim.Output("data"); byte(v) == gf256.SBox(0x53) {
+		t.Fatal("sync ROM must not read combinationally")
+	}
+	sim.Step() // latch address 0x53
+	sim.SetInput("addr", 0x00)
+	sim.Eval()
+	if v, _ := sim.Output("data"); byte(v) != gf256.SBox(0x53) {
+		t.Fatalf("sync ROM output = %#x, want %#x", v, gf256.SBox(0x53))
+	}
+}
+
+func TestChainedROMThroughLUTs(t *testing.T) {
+	// LUT -> async ROM -> LUT ordering must hold in the levelized order:
+	// invert the address LSB, look up, invert output bit 0.
+	nl := New("t")
+	addr := nl.AddInput("addr", 8)
+	inv0 := nl.NewNet()
+	nl.AddLUT(LUT{Inputs: []NetID{addr[0]}, Mask: 0b01, Out: inv0})
+	var r ROM
+	r.Addr[0] = inv0
+	for i := 1; i < 8; i++ {
+		r.Addr[i] = addr[i]
+	}
+	table := gf256.SBoxTable()
+	copy(r.Contents[:], table[:])
+	out := nl.NewNets(8)
+	copy(r.Out[:], out)
+	nl.AddROM(r)
+	final := nl.NewNet()
+	nl.AddLUT(LUT{Inputs: []NetID{out[0]}, Mask: 0b01, Out: final})
+	nl.AddOutput("y", []NetID{final})
+	sim, err := NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetInput("addr", 0x10)
+	sim.Eval()
+	want := gf256.SBox(0x11)&1 ^ 1
+	if v, _ := sim.Output("y"); byte(v) != want {
+		t.Fatalf("chained value = %v, want %v", v, want)
+	}
+}
+
+func TestSetInputErrors(t *testing.T) {
+	nl := New("t")
+	nl.AddInput("a", 1)
+	nl.AddOutput("y", []NetID{Const1})
+	sim, err := NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SetInput("nope", 0); err == nil {
+		t.Error("missing input accepted")
+	}
+	if _, err := sim.Output("nope"); err == nil {
+		t.Error("missing output accepted")
+	}
+}
+
+func TestWidePortBits(t *testing.T) {
+	nl := New("t")
+	in := nl.AddInput("din", 128)
+	nl.AddOutput("dout", in)
+	sim, err := NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 16)
+	for i := range data {
+		data[i] = byte(i*17 + 3)
+	}
+	if err := sim.SetInputBits("din", data); err != nil {
+		t.Fatal(err)
+	}
+	sim.Eval()
+	got, err := sim.OutputBits("dout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: %#x != %#x", i, got[i], data[i])
+		}
+	}
+	if err := sim.SetInput("din", 1); err == nil {
+		t.Error("SetInput on wide port should fail")
+	}
+	if _, err := sim.Output("dout"); err == nil {
+		t.Error("Output on wide port should fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	nl := New("t")
+	d := nl.AddInput("d", 1)
+	q := nl.NewNet()
+	nl.AddFF(FF{D: d[0], En: Invalid, Q: q, Init: true})
+	nl.AddOutput("q", []NetID{q})
+	sim, _ := NewSimulator(nl)
+	sim.Eval()
+	if v, _ := sim.Output("q"); v != 1 {
+		t.Fatal("init value not applied")
+	}
+	sim.SetInput("d", 0)
+	sim.Step()
+	sim.Eval()
+	if v, _ := sim.Output("q"); v != 0 {
+		t.Fatal("FF did not latch")
+	}
+	sim.Reset()
+	sim.Eval()
+	if v, _ := sim.Output("q"); v != 1 {
+		t.Fatal("Reset did not restore init value")
+	}
+}
+
+func TestFanout(t *testing.T) {
+	nl := New("t")
+	a := nl.AddInput("a", 1)
+	x := xorLUT(nl, a[0], Const1)
+	y := xorLUT(nl, a[0], x)
+	nl.AddOutput("y", []NetID{y})
+	if err := nl.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if nl.Fanout(a[0]) != 2 {
+		t.Errorf("fanout(a) = %d, want 2", nl.Fanout(a[0]))
+	}
+	if nl.Fanout(x) != 1 {
+		t.Errorf("fanout(x) = %d, want 1", nl.Fanout(x))
+	}
+}

@@ -1,0 +1,253 @@
+package netlist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Simulator evaluates a netlist cycle by cycle. It holds the current value
+// of every net plus the sequential state (flip-flops and synchronous ROM
+// output registers).
+type Simulator struct {
+	nl     *Netlist
+	values []bool // per-net current value (after last Eval)
+	ffQ    []bool // flip-flop state
+	romQ   [][8]bool
+	inputs map[string][]NetID
+
+	regIndex map[string][]int // lazy FF-name index for RegValue
+}
+
+// NewSimulator builds the netlist and returns a simulator with all state at
+// the flip-flops' init values.
+func NewSimulator(nl *Netlist) (*Simulator, error) {
+	if err := nl.Build(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		nl:     nl,
+		values: make([]bool, nl.NumNets()),
+		ffQ:    make([]bool, len(nl.FFs)),
+		romQ:   make([][8]bool, len(nl.ROMs)),
+		inputs: make(map[string][]NetID, len(nl.Inputs)),
+	}
+	for _, p := range nl.Inputs {
+		s.inputs[p.Name] = p.Nets
+	}
+	for i := range nl.FFs {
+		s.ffQ[i] = nl.FFs[i].Init
+	}
+	s.values[Const1] = true
+	return s, nil
+}
+
+// Reset returns all sequential state to initial values.
+func (s *Simulator) Reset() {
+	for i := range s.values {
+		s.values[i] = false
+	}
+	s.values[Const1] = true
+	for i := range s.nl.FFs {
+		s.ffQ[i] = s.nl.FFs[i].Init
+	}
+	for i := range s.romQ {
+		s.romQ[i] = [8]bool{}
+	}
+}
+
+// SetInput drives the named input port with the little-endian bits of
+// value. Ports wider than 64 bits must use SetInputBits.
+func (s *Simulator) SetInput(name string, value uint64) error {
+	nets, ok := s.inputs[name]
+	if !ok {
+		return fmt.Errorf("netlist: no input port %q", name)
+	}
+	if len(nets) > 64 {
+		return fmt.Errorf("netlist: input %q wider than 64 bits, use SetInputBits", name)
+	}
+	for i, n := range nets {
+		s.values[n] = value>>uint(i)&1 != 0
+	}
+	return nil
+}
+
+// SetInputBits drives the named input port from a byte slice, bit i of the
+// port taken from bits[i/8]>>(i%8).
+func (s *Simulator) SetInputBits(name string, bits []byte) error {
+	nets, ok := s.inputs[name]
+	if !ok {
+		return fmt.Errorf("netlist: no input port %q", name)
+	}
+	if len(bits)*8 < len(nets) {
+		return fmt.Errorf("netlist: input %q needs %d bits, got %d", name, len(nets), len(bits)*8)
+	}
+	for i, n := range nets {
+		s.values[n] = bits[i/8]>>(uint(i)%8)&1 != 0
+	}
+	return nil
+}
+
+// Eval propagates the current input and state values through the
+// combinational logic without advancing the clock.
+func (s *Simulator) Eval() {
+	nl := s.nl
+	// Present sequential state on the driven nets first.
+	for i := range nl.FFs {
+		s.values[nl.FFs[i].Q] = s.ffQ[i]
+	}
+	for i := range nl.ROMs {
+		if nl.ROMs[i].Sync {
+			for b, o := range nl.ROMs[i].Out {
+				s.values[o] = s.romQ[i][b]
+			}
+		}
+	}
+	for _, cn := range nl.order {
+		switch cn.Kind {
+		case CombLUT:
+			l := &nl.LUTs[cn.Index]
+			idx := 0
+			for i, in := range l.Inputs {
+				if s.values[in] {
+					idx |= 1 << uint(i)
+				}
+			}
+			s.values[l.Out] = l.Mask>>uint(idx)&1 != 0
+		case CombROM:
+			r := &nl.ROMs[cn.Index]
+			addr := 0
+			for i, a := range r.Addr {
+				if s.values[a] {
+					addr |= 1 << uint(i)
+				}
+			}
+			word := r.Contents[addr]
+			for b, o := range r.Out {
+				s.values[o] = word>>uint(b)&1 != 0
+			}
+		}
+	}
+}
+
+// Step performs one full clock cycle: evaluate combinational logic with the
+// current inputs, then latch flip-flops and synchronous ROM outputs on the
+// rising edge.
+func (s *Simulator) Step() {
+	s.Eval()
+	nl := s.nl
+	for i := range nl.FFs {
+		f := &nl.FFs[i]
+		if f.En == Invalid || s.values[f.En] {
+			s.ffQ[i] = s.values[f.D]
+		}
+	}
+	for i := range nl.ROMs {
+		r := &nl.ROMs[i]
+		if !r.Sync {
+			continue
+		}
+		addr := 0
+		for b, a := range r.Addr {
+			if s.values[a] {
+				addr |= 1 << uint(b)
+			}
+		}
+		word := r.Contents[addr]
+		for b := 0; b < 8; b++ {
+			s.romQ[i][b] = word>>uint(b)&1 != 0
+		}
+	}
+}
+
+// Net returns the current value of a net (after the last Eval/Step).
+func (s *Simulator) Net(n NetID) bool { return s.values[n] }
+
+// Output reads the named output port as a little-endian value. Ports wider
+// than 64 bits must use OutputBits. The combinational logic must have been
+// evaluated (Eval or Step) since inputs last changed.
+func (s *Simulator) Output(name string) (uint64, error) {
+	nets, ok := s.nl.FindOutput(name)
+	if !ok {
+		return 0, fmt.Errorf("netlist: no output port %q", name)
+	}
+	if len(nets) > 64 {
+		return 0, fmt.Errorf("netlist: output %q wider than 64 bits, use OutputBits", name)
+	}
+	var v uint64
+	for i, n := range nets {
+		if s.values[n] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, nil
+}
+
+// OutputBits reads the named output port into a byte slice, bit i of the
+// port stored at bits[i/8] bit i%8.
+func (s *Simulator) OutputBits(name string) ([]byte, error) {
+	nets, ok := s.nl.FindOutput(name)
+	if !ok {
+		return nil, fmt.Errorf("netlist: no output port %q", name)
+	}
+	bits := make([]byte, (len(nets)+7)/8)
+	for i, n := range nets {
+		if s.values[n] {
+			bits[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return bits, nil
+}
+
+// RegValue returns the packed current state of the flip-flops named
+// "name[i]" (the naming convention the RTL elaborator uses), bit i of the
+// register at bits[i/8]. The second result reports whether any such
+// flip-flop exists. This gives post-synthesis simulations the same
+// register visibility as RTL simulations.
+func (s *Simulator) RegValue(name string) ([]byte, bool) {
+	if s.regIndex == nil {
+		s.regIndex = make(map[string][]int)
+		for i := range s.nl.FFs {
+			n := s.nl.FFs[i].Name
+			open := strings.IndexByte(n, '[')
+			if open < 0 || !strings.HasSuffix(n, "]") {
+				continue
+			}
+			base := n[:open]
+			bit, err := strconv.Atoi(n[open+1 : len(n)-1])
+			if err != nil || bit < 0 {
+				continue
+			}
+			idx := s.regIndex[base]
+			for len(idx) <= bit {
+				idx = append(idx, -1)
+			}
+			idx[bit] = i
+			s.regIndex[base] = idx
+		}
+	}
+	idx, ok := s.regIndex[name]
+	if !ok {
+		return nil, false
+	}
+	bits := make([]byte, (len(idx)+7)/8)
+	for bit, ff := range idx {
+		if ff >= 0 && s.ffQ[ff] {
+			bits[bit/8] |= 1 << (uint(bit) % 8)
+		}
+	}
+	return bits, true
+}
+
+// NumFFs returns the number of flip-flops in the simulated netlist.
+func (s *Simulator) NumFFs() int { return len(s.ffQ) }
+
+// FlipFF injects a single-event upset: the state of flip-flop i is
+// inverted, as a particle strike would do to a configuration- or user-
+// register bit. The effect is visible at the next Eval.
+func (s *Simulator) FlipFF(i int) {
+	s.ffQ[i] = !s.ffQ[i]
+}
+
+// FFName returns the name of flip-flop i (for targeted fault campaigns).
+func (s *Simulator) FFName(i int) string { return s.nl.FFs[i].Name }

@@ -1,0 +1,451 @@
+// Package place implements FPGA placement: the mapped netlist's logic
+// cells are assigned to the device's LAB grid by simulated annealing over
+// the half-perimeter wirelength (HPWL) objective — the classical
+// VPR-style formulation. The resulting per-net wirelengths feed the
+// timing analyzer, upgrading its routing estimate from a fanout heuristic
+// to placement-aware delays.
+package place
+
+import (
+	"fmt"
+	"math"
+
+	"rijndaelip/internal/netlist"
+)
+
+// Grid describes the placement fabric: an array of LABs, each holding up
+// to LABSize logic elements.
+type Grid struct {
+	Rows, Cols int
+	LABSize    int
+}
+
+// Cells returns the total LE capacity.
+func (g Grid) Cells() int { return g.Rows * g.Cols * g.LABSize }
+
+// GridFor derives a square-ish grid from a device's LE count and LAB size.
+func GridFor(logicElements, labSize int) Grid {
+	labs := (logicElements + labSize - 1) / labSize
+	cols := int(math.Ceil(math.Sqrt(float64(labs))))
+	rows := (labs + cols - 1) / cols
+	return Grid{Rows: rows, Cols: cols, LABSize: labSize}
+}
+
+// cell is one placeable logic element.
+type cell struct {
+	lut int // LUT index or -1
+	ff  int // FF index packed with the LUT (or standalone), -1 if none
+}
+
+// pnet is one multi-terminal net: the cells (by index) it connects, plus
+// whether it touches the I/O ring.
+type pnet struct {
+	id    netlist.NetID
+	cells []int
+	io    bool
+}
+
+// Result is a finished placement.
+type Result struct {
+	Grid Grid
+	// LAB[i] is the LAB index of cell i.
+	LAB []int
+	// HPWL is the total half-perimeter wirelength (in LAB pitches).
+	HPWL float64
+	// InitialHPWL is the cost of the pre-annealing placement.
+	InitialHPWL float64
+	// NetLength maps nets to their individual HPWL, for timing.
+	NetLength map[netlist.NetID]float64
+	// Moves/Accepted record annealing effort.
+	Moves, Accepted int
+}
+
+// placer carries the annealing state.
+type placer struct {
+	grid    Grid
+	cells   []cell
+	nets    []pnet
+	netsOf  [][]int // cell -> net indices
+	labOf   []int   // cell -> LAB
+	occ     []int   // LAB -> occupancy
+	rng     *xorshift
+	netCost []float64
+}
+
+// Place assigns the netlist's logic cells to the grid and anneals.
+// The packing mirrors the fitter: a flip-flop shares a cell with the LUT
+// driving it when that LUT has no other load.
+func Place(nl *netlist.Netlist, grid Grid, seed uint64) (*Result, error) {
+	if err := nl.Build(); err != nil {
+		return nil, err
+	}
+	p := &placer{grid: grid, rng: newXorshift(seed)}
+	var cellOfNet map[netlist.NetID][]int
+	var ioNets map[netlist.NetID]bool
+	p.cells, cellOfNet, ioNets = buildCellsAndNets(nl)
+	if len(p.cells) > grid.Cells() {
+		return nil, fmt.Errorf("place: %d cells exceed grid capacity %d", len(p.cells), grid.Cells())
+	}
+	p.netsOf = make([][]int, len(p.cells))
+	for n, cs := range cellOfNet {
+		seen := map[int]bool{}
+		var uniq []int
+		for _, c := range cs {
+			if !seen[c] {
+				seen[c] = true
+				uniq = append(uniq, c)
+			}
+		}
+		if len(uniq) < 2 && !ioNets[n] {
+			continue // single-terminal internal net has no wirelength
+		}
+		ni := len(p.nets)
+		p.nets = append(p.nets, pnet{id: n, cells: uniq, io: ioNets[n]})
+		for _, c := range uniq {
+			p.netsOf[c] = append(p.netsOf[c], ni)
+		}
+	}
+
+	// Initial placement: sequential fill.
+	p.labOf = make([]int, len(p.cells))
+	p.occ = make([]int, grid.Rows*grid.Cols)
+	for ci := range p.cells {
+		lab := ci / grid.LABSize
+		p.labOf[ci] = lab
+		p.occ[lab]++
+	}
+	p.netCost = make([]float64, len(p.nets))
+	total := 0.0
+	for ni := range p.nets {
+		p.netCost[ni] = p.hpwl(ni)
+		total += p.netCost[ni]
+	}
+	res := &Result{Grid: grid, InitialHPWL: total}
+
+	// Simulated annealing with a geometric cooling schedule, windowed
+	// moves that shrink with temperature (the VPR recipe), best-state
+	// tracking and a final zero-temperature greedy pass.
+	t0 := total / float64(len(p.nets)+1)
+	if t0 < 0.5 {
+		t0 = 0.5
+	}
+	movesPerT := 24 * len(p.cells)
+	if movesPerT < 512 {
+		movesPerT = 512
+	}
+	maxDim := grid.Cols
+	if grid.Rows > maxDim {
+		maxDim = grid.Rows
+	}
+	cur := total
+	best := total
+	bestLab := append([]int(nil), p.labOf...)
+	anneal := func(temp float64, window int, moves int) {
+		for mv := 0; mv < moves; mv++ {
+			res.Moves++
+			delta, commit := p.proposeMove(window)
+			if commit == nil {
+				continue
+			}
+			if delta <= 0 || (temp > 0 && math.Exp(-delta/temp) > p.rng.float()) {
+				commit()
+				cur += delta
+				res.Accepted++
+				if cur < best {
+					best = cur
+					copy(bestLab, p.labOf)
+				}
+			}
+		}
+	}
+	temp := t0
+	for iter := 0; iter < 60 && temp > 0.005; iter++ {
+		window := 1 + int(float64(maxDim)*temp/t0)
+		anneal(temp, window, movesPerT)
+		temp *= 0.8
+	}
+	// Greedy finish from the best state seen.
+	copy(p.labOf, bestLab)
+	p.rebuildOcc()
+	p.recost()
+	cur = p.totalCost()
+	best = cur
+	anneal(0, 2, 4*movesPerT)
+	if cur > best {
+		copy(p.labOf, bestLab)
+		p.rebuildOcc()
+	}
+
+	res.LAB = p.labOf
+	res.NetLength = make(map[netlist.NetID]float64, len(p.nets))
+	res.HPWL = 0
+	for ni := range p.nets {
+		c := p.hpwl(ni)
+		res.NetLength[p.nets[ni].id] = c
+		res.HPWL += c
+	}
+	return res, nil
+}
+
+// hpwl computes the half-perimeter wirelength of net ni under the current
+// placement. I/O-touching nets include a pull to the nearest grid edge.
+func (p *placer) hpwl(ni int) float64 {
+	n := &p.nets[ni]
+	minX, maxX := math.MaxInt32, -1
+	minY, maxY := math.MaxInt32, -1
+	for _, c := range n.cells {
+		lab := p.labOf[c]
+		x, y := lab%p.grid.Cols, lab/p.grid.Cols
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if maxX < 0 {
+		return 0
+	}
+	w := float64(maxX-minX) + float64(maxY-minY)
+	if n.io {
+		// Distance from the box to the nearest edge of the grid.
+		dLeft := minX
+		dRight := p.grid.Cols - 1 - maxX
+		dTop := minY
+		dBot := p.grid.Rows - 1 - maxY
+		d := dLeft
+		for _, v := range []int{dRight, dTop, dBot} {
+			if v < d {
+				d = v
+			}
+		}
+		w += float64(d)
+	}
+	return w
+}
+
+// rebuildOcc recomputes LAB occupancy from labOf.
+func (p *placer) rebuildOcc() {
+	for i := range p.occ {
+		p.occ[i] = 0
+	}
+	for _, lab := range p.labOf {
+		p.occ[lab]++
+	}
+}
+
+// recost recomputes every net's cached cost.
+func (p *placer) recost() {
+	for ni := range p.nets {
+		p.netCost[ni] = p.hpwl(ni)
+	}
+}
+
+// totalCost sums the cached net costs.
+func (p *placer) totalCost() float64 {
+	t := 0.0
+	for _, c := range p.netCost {
+		t += c
+	}
+	return t
+}
+
+// proposeMove picks a random cell and a destination LAB within the given
+// Chebyshev window of its current LAB; it returns the cost delta and a
+// commit closure (nil when the move is illegal).
+func (p *placer) proposeMove(window int) (float64, func()) {
+	ci := int(p.rng.next() % uint64(len(p.cells)))
+	src := p.labOf[ci]
+	sx, sy := src%p.grid.Cols, src/p.grid.Cols
+	dx := int(p.rng.next()%uint64(2*window+1)) - window
+	dy := int(p.rng.next()%uint64(2*window+1)) - window
+	tx, ty := sx+dx, sy+dy
+	if tx < 0 || tx >= p.grid.Cols || ty < 0 || ty >= p.grid.Rows {
+		return 0, nil
+	}
+	dst := ty*p.grid.Cols + tx
+	if dst == src {
+		return 0, nil
+	}
+	var swap int = -1
+	if p.occ[dst] >= p.grid.LABSize {
+		// Pick a victim in the destination LAB to swap with.
+		for cj := range p.cells {
+			if p.labOf[cj] == dst {
+				swap = cj
+				break
+			}
+		}
+		if swap < 0 {
+			return 0, nil
+		}
+	}
+
+	affected := map[int]bool{}
+	for _, ni := range p.netsOf[ci] {
+		affected[ni] = true
+	}
+	if swap >= 0 {
+		for _, ni := range p.netsOf[swap] {
+			affected[ni] = true
+		}
+	}
+	before := 0.0
+	for ni := range affected {
+		before += p.netCost[ni]
+	}
+	p.labOf[ci] = dst
+	if swap >= 0 {
+		p.labOf[swap] = src
+	}
+	after := 0.0
+	newCost := map[int]float64{}
+	for ni := range affected {
+		c := p.hpwl(ni)
+		newCost[ni] = c
+		after += c
+	}
+	// Revert; the commit closure re-applies.
+	p.labOf[ci] = src
+	if swap >= 0 {
+		p.labOf[swap] = dst
+	}
+	delta := after - before
+	ciCapt, swapCapt, dstCapt, srcCapt := ci, swap, dst, src
+	return delta, func() {
+		p.labOf[ciCapt] = dstCapt
+		p.occ[srcCapt]--
+		p.occ[dstCapt]++
+		if swapCapt >= 0 {
+			p.labOf[swapCapt] = srcCapt
+			p.occ[dstCapt]--
+			p.occ[srcCapt]++
+		}
+		for ni, c := range newCost {
+			p.netCost[ni] = c
+		}
+	}
+}
+
+type xorshift uint64
+
+func newXorshift(seed uint64) *xorshift {
+	x := xorshift(seed | 1)
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+func (x *xorshift) float() float64 {
+	return float64(x.next()>>11) / float64(1<<53)
+}
+
+// buildCellsAndNets packs the netlist into placeable cells (mirroring the
+// fitter's LUT+FF pairing) and extracts each net's connected cell list
+// plus the set of nets touching the I/O ring or ROM macros.
+func buildCellsAndNets(nl *netlist.Netlist) ([]cell, map[netlist.NetID][]int, map[netlist.NetID]bool) {
+	var cells []cell
+	lutCell := make([]int, len(nl.LUTs))
+	lutByOut := map[netlist.NetID]int{}
+	for i := range nl.LUTs {
+		lutByOut[nl.LUTs[i].Out] = i
+	}
+	for i := range nl.LUTs {
+		lutCell[i] = len(cells)
+		cells = append(cells, cell{lut: i, ff: -1})
+	}
+	for i := range nl.FFs {
+		d := nl.FFs[i].D
+		if li, ok := lutByOut[d]; ok && nl.Fanout(d) == 1 && cells[lutCell[li]].ff < 0 {
+			cells[lutCell[li]].ff = i
+			continue
+		}
+		cells = append(cells, cell{lut: -1, ff: i})
+	}
+
+	cellOfNet := map[netlist.NetID][]int{}
+	add := func(n netlist.NetID, c int) {
+		if n < 2 || n == netlist.Invalid {
+			return
+		}
+		cellOfNet[n] = append(cellOfNet[n], c)
+	}
+	ffCell := make([]int, len(nl.FFs))
+	for ci, c := range cells {
+		if c.ff >= 0 {
+			ffCell[c.ff] = ci
+		}
+	}
+	for i := range nl.LUTs {
+		c := lutCell[i]
+		add(nl.LUTs[i].Out, c)
+		for _, in := range nl.LUTs[i].Inputs {
+			add(in, c)
+		}
+	}
+	for i := range nl.FFs {
+		c := ffCell[i]
+		add(nl.FFs[i].Q, c)
+		add(nl.FFs[i].D, c)
+		if nl.FFs[i].En != netlist.Invalid {
+			add(nl.FFs[i].En, c)
+		}
+	}
+	ioNets := map[netlist.NetID]bool{}
+	for _, pt := range nl.Inputs {
+		for _, n := range pt.Nets {
+			ioNets[n] = true
+		}
+	}
+	for _, pt := range nl.Outputs {
+		for _, n := range pt.Nets {
+			ioNets[n] = true
+		}
+	}
+	// ROM macro pins also pull their nets (model ROM blocks as sitting at
+	// the grid edge, like Acex EAB columns).
+	for i := range nl.ROMs {
+		for _, a := range nl.ROMs[i].Addr {
+			ioNets[a] = true
+		}
+		for _, o := range nl.ROMs[i].Out {
+			ioNets[o] = true
+		}
+	}
+	return cells, cellOfNet, ioNets
+}
+
+// CellTiles returns, for every net, the grid tiles (LAB indices) of the
+// cells it connects under the given placement — the terminal sets a
+// global router consumes.
+func CellTiles(nl *netlist.Netlist, r *Result) (map[netlist.NetID][]int, error) {
+	if err := nl.Build(); err != nil {
+		return nil, err
+	}
+	cells, cellOfNet, _ := buildCellsAndNets(nl)
+	if len(cells) != len(r.LAB) {
+		return nil, fmt.Errorf("place: placement has %d cells, netlist packs to %d", len(r.LAB), len(cells))
+	}
+	out := map[netlist.NetID][]int{}
+	for n, cs := range cellOfNet {
+		tiles := make([]int, len(cs))
+		for i, c := range cs {
+			tiles[i] = r.LAB[c]
+		}
+		out[n] = tiles
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package place
+
+import (
+	"testing"
+
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+	"rijndaelip/internal/techmap"
+	"rijndaelip/internal/timing"
+)
+
+func TestGridFor(t *testing.T) {
+	g := GridFor(4992, 8) // EP1K100: 624 LABs
+	if g.Cells() < 4992 {
+		t.Fatalf("grid capacity %d below LE count", g.Cells())
+	}
+	if g.Rows < 20 || g.Cols < 20 {
+		t.Fatalf("grid %dx%d not square-ish", g.Rows, g.Cols)
+	}
+}
+
+// chainDesign builds a long LUT chain whose optimal placement is a
+// compact path: annealing must shrink its wirelength substantially from a
+// deliberately scattered start.
+func chainDesign(t *testing.T, n int) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("chain")
+	in := nl.AddInput("a", 1)
+	cur := in[0]
+	for i := 0; i < n; i++ {
+		next := nl.NewNet()
+		nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{cur}, Mask: 0b01, Out: next})
+		cur = next
+	}
+	q := nl.NewNet()
+	nl.AddFF(netlist.FF{D: cur, En: netlist.Invalid, Q: q, Name: "q[0]"})
+	nl.AddOutput("y", []netlist.NetID{q})
+	if err := nl.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestPlaceLegality(t *testing.T) {
+	nl := chainDesign(t, 100)
+	grid := Grid{Rows: 8, Cols: 8, LABSize: 4} // 256 slots for 101 cells
+	res, err := Place(nl, grid, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := make([]int, grid.Rows*grid.Cols)
+	for _, lab := range res.LAB {
+		if lab < 0 || lab >= len(occ) {
+			t.Fatalf("cell placed out of grid: %d", lab)
+		}
+		occ[lab]++
+	}
+	for lab, n := range occ {
+		if n > grid.LABSize {
+			t.Fatalf("LAB %d holds %d cells, capacity %d", lab, n, grid.LABSize)
+		}
+	}
+}
+
+func TestAnnealingImproves(t *testing.T) {
+	nl := chainDesign(t, 150)
+	grid := Grid{Rows: 10, Cols: 10, LABSize: 4}
+	res, err := Place(nl, grid, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWL >= res.InitialHPWL {
+		t.Fatalf("annealing did not improve: %.1f -> %.1f", res.InitialHPWL, res.HPWL)
+	}
+	if res.Accepted == 0 || res.Moves == 0 {
+		t.Fatal("no annealing activity recorded")
+	}
+	// A 151-cell chain in 4-cell LABs spans ~38 LABs; a good placement
+	// keeps each chain net within a LAB or to a neighbour, so total HPWL
+	// should be well below one pitch per net.
+	if res.HPWL > float64(150) {
+		t.Errorf("final HPWL %.1f seems unoptimized for a chain", res.HPWL)
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	nl := chainDesign(t, 60)
+	grid := Grid{Rows: 6, Cols: 6, LABSize: 4}
+	a, err := Place(nl, grid, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(nl, grid, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HPWL != b.HPWL {
+		t.Fatalf("placement not deterministic: %.2f vs %.2f", a.HPWL, b.HPWL)
+	}
+	for i := range a.LAB {
+		if a.LAB[i] != b.LAB[i] {
+			t.Fatal("cell assignment differs between identical runs")
+		}
+	}
+}
+
+func TestPlaceOverCapacity(t *testing.T) {
+	nl := chainDesign(t, 100)
+	if _, err := Place(nl, Grid{Rows: 2, Cols: 2, LABSize: 4}, 1); err == nil {
+		t.Fatal("over-capacity placement accepted")
+	}
+}
+
+// TestPlacedTimingAESCore places the full encryptor on the EP1K100 grid
+// and reruns STA with placement-aware routing: the period must stay in the
+// same regime as the fanout-model estimate (the delay calibration holds),
+// and the wirelength data must cover the critical nets.
+func TestPlacedTimingAESCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement of the full core skipped in -short mode")
+	}
+	core, err := rijndael.New(rijndael.Config{Variant: rijndael.Encrypt, ROMStyle: rtl.ROMAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := core.Design.Synthesize(techmap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := GridFor(4992, 8)
+	res, err := Place(nl, grid, 2003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWL >= res.InitialHPWL {
+		t.Errorf("annealing did not improve the core placement: %.0f -> %.0f",
+			res.InitialHPWL, res.HPWL)
+	}
+
+	dm := timing.DelayModel{
+		LUT: 0.90, ROMAsync: 3.80, RouteBase: 0.65, RouteFan: 0.10,
+		ClkToQ: 0.70, Setup: 0.50, PadIn: 2.20, PadOut: 3.10,
+	}
+	base, err := timing.Analyze(nl, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, err := timing.AnalyzePlaced(nl, dm, res.NetLength, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed.Period <= base.Period {
+		t.Errorf("placed period %.2f should exceed the zero-wire estimate %.2f",
+			placed.Period, base.Period)
+	}
+	if placed.Period > 2.5*base.Period {
+		t.Errorf("placed period %.2f implausibly far from estimate %.2f",
+			placed.Period, base.Period)
+	}
+	t.Logf("AES core placement: HPWL %.0f -> %.0f, period %.2f -> %.2f ns",
+		res.InitialHPWL, res.HPWL, base.Period, placed.Period)
+}

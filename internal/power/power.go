@@ -1,0 +1,181 @@
+// Package power implements the power analysis the paper's §6 proposes as
+// future work ("As one of the possible applications are mobile systems,
+// this feature is very interesting").
+//
+// The estimator is the standard switching-activity model for SRAM FPGAs:
+// dynamic energy is charged per signal toggle (E = 1/2 C V^2 per
+// transition) with per-resource capacitances for LUT outputs and their
+// routing, flip-flop outputs, embedded-memory reads and the clock tree,
+// plus a static leakage term. Activity comes from cycle-accurate
+// simulation of the mapped netlist, so the numbers reflect the actual data
+// and control behaviour of each architecture rather than a blanket
+// activity factor.
+package power
+
+import (
+	"fmt"
+	"strings"
+
+	"rijndaelip/internal/netlist"
+)
+
+// Model carries per-toggle energies in picojoules and leakage in
+// milliwatts for one device family.
+type Model struct {
+	Name string
+	// Energy per output toggle (cell + average routing load), pJ.
+	LUTToggle float64
+	FFToggle  float64
+	// Energy per embedded-block read with a changed address, pJ.
+	ROMRead float64
+	// Clock-tree energy per flip-flop per cycle, pJ.
+	ClockPerFF float64
+	// Static leakage, mW.
+	LeakageMW float64
+}
+
+// Acex1KModel returns switching energies representative of the 0.22 um
+// Acex1K family at 2.5 V.
+func Acex1KModel() Model {
+	return Model{
+		Name:       "Acex1K",
+		LUTToggle:  1.80,
+		FFToggle:   1.10,
+		ROMRead:    18.0,
+		ClockPerFF: 0.45,
+		LeakageMW:  8.0,
+	}
+}
+
+// CycloneModel returns switching energies representative of the 0.13 um
+// Cyclone family at 1.5 V.
+func CycloneModel() Model {
+	return Model{
+		Name:       "Cyclone",
+		LUTToggle:  0.55,
+		FFToggle:   0.35,
+		ROMRead:    6.5,
+		ClockPerFF: 0.15,
+		LeakageMW:  12.0,
+	}
+}
+
+// Monitor accumulates switching activity from a netlist simulation. Attach
+// it to a simulator and call Sample after every Step.
+type Monitor struct {
+	nl  *netlist.Netlist
+	sim *netlist.Simulator
+
+	lutOuts []netlist.NetID
+	ffQs    []netlist.NetID
+	romAddr [][8]netlist.NetID
+
+	prevLUT []bool
+	prevFF  []bool
+	prevROM []uint16 // address | 0x100 marker for "have previous"
+
+	Cycles     uint64
+	LUTToggles uint64
+	FFToggles  uint64
+	ROMReads   uint64
+}
+
+// NewMonitor builds a monitor over a simulator of nl.
+func NewMonitor(nl *netlist.Netlist, sim *netlist.Simulator) (*Monitor, error) {
+	if err := nl.Build(); err != nil {
+		return nil, err
+	}
+	m := &Monitor{nl: nl, sim: sim}
+	for i := range nl.LUTs {
+		m.lutOuts = append(m.lutOuts, nl.LUTs[i].Out)
+	}
+	for i := range nl.FFs {
+		m.ffQs = append(m.ffQs, nl.FFs[i].Q)
+	}
+	for i := range nl.ROMs {
+		m.romAddr = append(m.romAddr, nl.ROMs[i].Addr)
+	}
+	m.prevLUT = make([]bool, len(m.lutOuts))
+	m.prevFF = make([]bool, len(m.ffQs))
+	m.prevROM = make([]uint16, len(m.romAddr))
+	return m, nil
+}
+
+// Sample records activity for the current cycle. Call after sim.Step (the
+// simulator must have evaluated combinational logic).
+func (m *Monitor) Sample() {
+	for i, n := range m.lutOuts {
+		v := m.sim.Net(n)
+		if m.Cycles > 0 && v != m.prevLUT[i] {
+			m.LUTToggles++
+		}
+		m.prevLUT[i] = v
+	}
+	for i, n := range m.ffQs {
+		v := m.sim.Net(n)
+		if m.Cycles > 0 && v != m.prevFF[i] {
+			m.FFToggles++
+		}
+		m.prevFF[i] = v
+	}
+	for i, addr := range m.romAddr {
+		var a uint16
+		for b, n := range addr {
+			if m.sim.Net(n) {
+				a |= 1 << uint(b)
+			}
+		}
+		a |= 0x100
+		if m.Cycles > 0 && a != m.prevROM[i] {
+			m.ROMReads++
+		}
+		m.prevROM[i] = a
+	}
+	m.Cycles++
+}
+
+// Reset clears the accumulated activity.
+func (m *Monitor) Reset() {
+	m.Cycles, m.LUTToggles, m.FFToggles, m.ROMReads = 0, 0, 0, 0
+}
+
+// Report converts accumulated activity into energy and power figures.
+type Report struct {
+	Model  Model
+	Cycles uint64
+
+	DynamicEnergyNJ float64 // over the sampled window
+	EnergyPerCycle  float64 // pJ
+	// PowerMW is the total power at the given clock period: dynamic
+	// (energy/cycle x f) plus leakage.
+	PowerMW float64
+	// Breakdown in nJ.
+	LogicNJ, RegisterNJ, MemoryNJ, ClockNJ float64
+}
+
+// Report computes the figures for a clock period in nanoseconds.
+func (m *Monitor) Report(model Model, periodNS float64) Report {
+	r := Report{Model: model, Cycles: m.Cycles}
+	r.LogicNJ = float64(m.LUTToggles) * model.LUTToggle / 1000
+	r.RegisterNJ = float64(m.FFToggles) * model.FFToggle / 1000
+	r.MemoryNJ = float64(m.ROMReads) * model.ROMRead / 1000
+	r.ClockNJ = float64(m.Cycles) * float64(len(m.ffQs)) * model.ClockPerFF / 1000
+	r.DynamicEnergyNJ = r.LogicNJ + r.RegisterNJ + r.MemoryNJ + r.ClockNJ
+	if m.Cycles > 0 {
+		r.EnergyPerCycle = r.DynamicEnergyNJ * 1000 / float64(m.Cycles)
+	}
+	if periodNS > 0 {
+		r.PowerMW = r.EnergyPerCycle/periodNS + model.LeakageMW
+	}
+	return r
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "power (%s model): %.1f mW total over %d cycles\n", r.Model.Name, r.PowerMW, r.Cycles)
+	fmt.Fprintf(&b, "  dynamic %.2f nJ (%.1f pJ/cycle): logic %.2f, registers %.2f, memory %.2f, clock %.2f nJ\n",
+		r.DynamicEnergyNJ, r.EnergyPerCycle, r.LogicNJ, r.RegisterNJ, r.MemoryNJ, r.ClockNJ)
+	fmt.Fprintf(&b, "  leakage %.1f mW\n", r.Model.LeakageMW)
+	return b.String()
+}

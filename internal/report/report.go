@@ -1,0 +1,202 @@
+// Package report holds the paper's published evaluation numbers and
+// renders side-by-side paper-vs-measured tables for the reproduction
+// harness (Table 2: performance and occupation; Table 3: comparison with
+// other published FPGA implementations).
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table2Cell is one (variant, device) cell of the paper's Table 2.
+type Table2Cell struct {
+	Variant string // "Encrypt", "Decrypt", "Both"
+	Device  string // "Acex1K", "Cyclone"
+
+	LCs            int
+	LCPercent      float64
+	MemoryBits     int
+	MemPercent     float64
+	Pins           int
+	PinPercent     float64
+	LatencyNS      float64
+	ClkNS          float64
+	ThroughputMbps float64
+}
+
+// PaperTable2 reproduces the numbers printed in the paper's Table 2.
+var PaperTable2 = []Table2Cell{
+	{"Encrypt", "Acex1K", 2114, 42, 16384, 33, 261, 78, 700, 14, 182},
+	{"Encrypt", "Cyclone", 4057, 20, 0, 0, 261, 87, 500, 10, 256},
+	{"Decrypt", "Acex1K", 2217, 44, 16384, 33, 261, 78, 750, 15, 170},
+	{"Decrypt", "Cyclone", 4211, 20, 0, 0, 261, 87, 550, 11, 232},
+	{"Both", "Acex1K", 3222, 64, 32768, 66, 262, 78, 850, 17, 150},
+	{"Both", "Cyclone", 7034, 35, 0, 0, 262, 87, 650, 13, 197},
+}
+
+// FindPaperCell returns the paper's Table 2 cell for a variant/device pair.
+func FindPaperCell(variant, device string) (Table2Cell, bool) {
+	for _, c := range PaperTable2 {
+		if c.Variant == variant && c.Device == device {
+			return c, true
+		}
+	}
+	return Table2Cell{}, false
+}
+
+// Table2Pair couples a paper cell with the measured reproduction.
+type Table2Pair struct {
+	Paper    Table2Cell
+	Measured Table2Cell
+}
+
+// RenderTable2 renders paired rows the way the paper's Table 2 lays them
+// out, with the measured value next to each published one.
+func RenderTable2(pairs []Table2Pair) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-8s | %22s | %22s | %13s | %13s | %11s | %15s\n",
+		"System", "Device", "LCs (paper/measured)", "Memory bits", "Latency ns",
+		"Clk ns", "Pins", "Throughput Mbps")
+	b.WriteString(strings.Repeat("-", 126) + "\n")
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "%-8s %-8s | %6d/%-6d (%2.0f/%2.0f%%) | %6d/%-6d (%2.0f/%2.0f%%) | %5.0f/%-7.0f | %5.1f/%-7.1f | %4d/%-6d | %5.0f/%-9.0f\n",
+			p.Paper.Variant, p.Paper.Device,
+			p.Paper.LCs, p.Measured.LCs, p.Paper.LCPercent, p.Measured.LCPercent,
+			p.Paper.MemoryBits, p.Measured.MemoryBits, p.Paper.MemPercent, p.Measured.MemPercent,
+			p.Paper.LatencyNS, p.Measured.LatencyNS,
+			p.Paper.ClkNS, p.Measured.ClkNS,
+			p.Paper.Pins, p.Measured.Pins,
+			p.Paper.ThroughputMbps, p.Measured.ThroughputMbps)
+	}
+	return b.String()
+}
+
+// ShapeChecks verifies the qualitative claims of the paper's Table 2 on a
+// set of measured cells, returning a list of violated claims (empty when
+// the reproduction preserves the paper's shape).
+func ShapeChecks(measured []Table2Cell) []string {
+	get := func(variant, device string) (Table2Cell, bool) {
+		for _, c := range measured {
+			if c.Variant == variant && c.Device == device {
+				return c, true
+			}
+		}
+		return Table2Cell{}, false
+	}
+	var violations []string
+	check := func(ok bool, format string, args ...interface{}) {
+		if !ok {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+	}
+	for _, dev := range []string{"Acex1K", "Cyclone"} {
+		enc, okE := get("Encrypt", dev)
+		dec, okD := get("Decrypt", dev)
+		both, okB := get("Both", dev)
+		if !okE || !okD || !okB {
+			continue
+		}
+		check(enc.LCs < dec.LCs, "%s: encryptor (%d LCs) should be smaller than decryptor (%d)", dev, enc.LCs, dec.LCs)
+		check(dec.LCs < both.LCs, "%s: decryptor (%d LCs) should be smaller than combined (%d)", dev, dec.LCs, both.LCs)
+		check(both.LCs < enc.LCs+dec.LCs, "%s: combined core (%d LCs) should be smaller than enc+dec (%d)", dev, both.LCs, enc.LCs+dec.LCs)
+		check(enc.ClkNS <= dec.ClkNS, "%s: encryptor clock (%.1f) should not be slower than decryptor (%.1f)", dev, enc.ClkNS, dec.ClkNS)
+		check(enc.ClkNS < both.ClkNS, "%s: encryptor clock (%.1f) should beat the combined core (%.1f)", dev, enc.ClkNS, both.ClkNS)
+		check(enc.ThroughputMbps > both.ThroughputMbps, "%s: combined core should lose throughput vs encryptor", dev)
+		penalty := 1 - both.ThroughputMbps/enc.ThroughputMbps
+		check(penalty > 0.05 && penalty < 0.40,
+			"%s: combined-core throughput penalty %.0f%% out of the paper's ~22%% ballpark", dev, penalty*100)
+	}
+	for _, v := range []string{"Encrypt", "Decrypt", "Both"} {
+		acex, okA := get(v, "Acex1K")
+		cyc, okC := get(v, "Cyclone")
+		if !okA || !okC {
+			continue
+		}
+		check(cyc.MemoryBits == 0, "%s: Cyclone must implement S-boxes in logic (memory = 0)", v)
+		check(acex.MemoryBits > 0, "%s: Acex1K must use EAB memory", v)
+		check(cyc.LCs > 3*acex.LCs/2, "%s: Cyclone LC count (%d) should grow well beyond Acex (%d) from ROM expansion", v, cyc.LCs, acex.LCs)
+		check(cyc.ClkNS < acex.ClkNS, "%s: the newer Cyclone family should close faster than Acex1K", v)
+	}
+	return violations
+}
+
+// Table3Row is one row of the paper's Table 3 (comparison against other
+// published implementations). Zero values mean the figure was not reported
+// (printed as X in the paper).
+type Table3Row struct {
+	Author     string
+	Technology string
+	// Memory bits and logic cells per operation mode (E, D, C = combined),
+	// as laid out in the paper's Table 3.
+	MemoryBits     int
+	LCsEncrypt     int
+	LCsDecrypt     int
+	LCsCombined    int
+	ThroughputE    float64
+	ThroughputD    float64
+	ThroughputC    float64
+	Note           string
+	FromLiterature bool
+}
+
+// PaperTable3 holds the literature rows of Table 3. The camera-ready table
+// is partially garbled in the archived text of the paper; figures that are
+// not legible there are recorded as zero and flagged in Note. Legible
+// figures ([14]'s 1965 LCs / 61.2 Mbps encryptor, [15]'s 57344-bit memory)
+// are kept exactly.
+var PaperTable3 = []Table3Row{
+	{
+		Author: "[13] Mroczkowski", Technology: "Flex10KA",
+		Note:           "throughput/LC figures illegible in the archived text",
+		FromLiterature: true,
+	},
+	{
+		Author: "[14] Zigiotto/d'Amore", Technology: "Acex1K",
+		LCsEncrypt: 1965, ThroughputE: 61.2,
+		Note:           "low-cost encryptor",
+		FromLiterature: true,
+	},
+	{
+		Author: "[1] Panato et al. (SBCCI'02)", Technology: "Apex20K-1X",
+		Note:           "high-performance 128-bit core; figures illegible in the archived text",
+		FromLiterature: true,
+	},
+	{
+		Author: "[15] Altera Hammercores", Technology: "Apex20KE",
+		MemoryBits:     57344,
+		Note:           "commercial core; remaining figures illegible in the archived text",
+		FromLiterature: true,
+	},
+}
+
+// RenderTable3 renders literature rows and measured rows together.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %-12s %9s %7s %7s %7s %8s %8s %8s\n",
+		"Author", "Technology", "Mem bits", "LC(E)", "LC(D)", "LC(C)",
+		"Mbps(E)", "Mbps(D)", "Mbps(C)")
+	b.WriteString(strings.Repeat("-", 108) + "\n")
+	cell := func(v int) string {
+		if v == 0 {
+			return "X"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	fcell := func(v float64) string {
+		if v == 0 {
+			return "X"
+		}
+		return fmt.Sprintf("%.1f", v)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s %-12s %9s %7s %7s %7s %8s %8s %8s\n",
+			r.Author, r.Technology, cell(r.MemoryBits),
+			cell(r.LCsEncrypt), cell(r.LCsDecrypt), cell(r.LCsCombined),
+			fcell(r.ThroughputE), fcell(r.ThroughputD), fcell(r.ThroughputC))
+		if r.Note != "" {
+			fmt.Fprintf(&b, "%36s(%s)\n", "", r.Note)
+		}
+	}
+	return b.String()
+}

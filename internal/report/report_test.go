@@ -1,0 +1,113 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperTable2Complete(t *testing.T) {
+	if len(PaperTable2) != 6 {
+		t.Fatalf("PaperTable2 has %d cells, want 6", len(PaperTable2))
+	}
+	for _, v := range []string{"Encrypt", "Decrypt", "Both"} {
+		for _, d := range []string{"Acex1K", "Cyclone"} {
+			if _, ok := FindPaperCell(v, d); !ok {
+				t.Errorf("missing paper cell %s/%s", v, d)
+			}
+		}
+	}
+	if _, ok := FindPaperCell("Encrypt", "Virtex"); ok {
+		t.Error("found a cell that should not exist")
+	}
+}
+
+func TestPaperTable2InternallyConsistent(t *testing.T) {
+	// Throughput = 128 bits / latency for every published cell, and
+	// latency = 50 * clk (the 5-cycle round at 10 rounds).
+	for _, c := range PaperTable2 {
+		mbps := 128 / c.LatencyNS * 1000
+		if mbps/c.ThroughputMbps > 1.03 || mbps/c.ThroughputMbps < 0.97 {
+			t.Errorf("%s/%s: 128/latency = %.1f Mbps, table says %.1f", c.Variant, c.Device, mbps, c.ThroughputMbps)
+		}
+		if c.LatencyNS != 50*c.ClkNS {
+			t.Errorf("%s/%s: latency %.0f != 50 x clk %.0f", c.Variant, c.Device, c.LatencyNS, c.ClkNS)
+		}
+	}
+}
+
+func TestShapeChecksAcceptPaperData(t *testing.T) {
+	// The paper's own numbers must satisfy every shape claim we test
+	// reproductions against.
+	if v := ShapeChecks(PaperTable2); len(v) != 0 {
+		t.Fatalf("paper data violates its own shape: %v", v)
+	}
+}
+
+func TestShapeChecksCatchViolations(t *testing.T) {
+	bad := make([]Table2Cell, len(PaperTable2))
+	copy(bad, PaperTable2)
+	// Make the combined core smaller than the encryptor: must be flagged.
+	for i := range bad {
+		if bad[i].Variant == "Both" && bad[i].Device == "Acex1K" {
+			bad[i].LCs = 100
+		}
+	}
+	if v := ShapeChecks(bad); len(v) == 0 {
+		t.Fatal("shape check missed an inverted area ordering")
+	}
+	// Cyclone using memory must be flagged.
+	bad2 := make([]Table2Cell, len(PaperTable2))
+	copy(bad2, PaperTable2)
+	for i := range bad2 {
+		if bad2[i].Device == "Cyclone" {
+			bad2[i].MemoryBits = 2048
+		}
+	}
+	if v := ShapeChecks(bad2); len(v) == 0 {
+		t.Fatal("shape check missed Cyclone memory usage")
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	pairs := []Table2Pair{{Paper: PaperTable2[0], Measured: PaperTable2[0]}}
+	out := RenderTable2(pairs)
+	if !strings.Contains(out, "Encrypt") || !strings.Contains(out, "2114/2114") {
+		t.Errorf("render output unexpected:\n%s", out)
+	}
+}
+
+func TestRenderTable3(t *testing.T) {
+	rows := append([]Table3Row(nil), PaperTable3...)
+	rows = append(rows, Table3Row{
+		Author: "this work", Technology: "Acex1K",
+		MemoryBits: 16384, LCsEncrypt: 2114, ThroughputE: 182,
+	})
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "Zigiotto") {
+		t.Error("missing literature row")
+	}
+	if !strings.Contains(out, "61.2") {
+		t.Error("missing legible throughput")
+	}
+	if !strings.Contains(out, "X") {
+		t.Error("missing X placeholders for unreported figures")
+	}
+	if !strings.Contains(out, "this work") {
+		t.Error("missing measured row")
+	}
+}
+
+func TestPaperTable3LegibleFigures(t *testing.T) {
+	var zigiotto *Table3Row
+	for i := range PaperTable3 {
+		if strings.Contains(PaperTable3[i].Author, "Zigiotto") {
+			zigiotto = &PaperTable3[i]
+		}
+	}
+	if zigiotto == nil {
+		t.Fatal("Zigiotto row missing")
+	}
+	if zigiotto.LCsEncrypt != 1965 || zigiotto.ThroughputE != 61.2 {
+		t.Errorf("Zigiotto figures drifted: %+v", zigiotto)
+	}
+}

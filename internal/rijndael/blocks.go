@@ -1,0 +1,55 @@
+package rijndael
+
+import (
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/rtl"
+)
+
+// Exported datapath building blocks. The baseline architectures (all-32-bit,
+// fully parallel 128-bit, byte-serial) are assembled from the same verified
+// networks as the paper's core, so area/timing comparisons between
+// architectures reflect the architecture, not implementation drift.
+
+// ShiftRowsNet applies the (inverse) Shift Row wiring to a 128-bit bus.
+func ShiftRowsNet(state rtl.Bus, inverse bool) rtl.Bus { return shiftRowsBus(state, inverse) }
+
+// MixColumnsNet applies Mix Column to a full 128-bit state bus.
+func MixColumnsNet(g *logic.Net, state rtl.Bus) rtl.Bus { return mixColumnsBus(g, state) }
+
+// InvMixColumnsNet applies IMix Column to a full 128-bit state bus.
+func InvMixColumnsNet(g *logic.Net, state rtl.Bus) rtl.Bus { return invMixColumnsBus(g, state) }
+
+// MixColumnWordNet applies Mix Column to a single 32-bit column.
+func MixColumnWordNet(g *logic.Net, w rtl.Bus) rtl.Bus { return mixColumnWordBus(g, w) }
+
+// GFMulConstNet multiplies an 8-bit bus by a GF(2^8) constant.
+func GFMulConstNet(g *logic.Net, b rtl.Bus, c byte) rtl.Bus { return gfMulConst(g, b, c) }
+
+// SBoxBankNet instantiates four S-box ROMs over a 32-bit word.
+func SBoxBankNet(b *rtl.Builder, name string, word rtl.Bus, table [256]byte, style rtl.ROMStyle) rtl.Bus {
+	return sboxBank(b, name, word, table, style)
+}
+
+// KStranEncAddrNet returns the forward KStran bank address (RotWord(w3)).
+func KStranEncAddrNet(rk rtl.Bus) rtl.Bus { return kstranEncAddr(rk) }
+
+// NextRoundKeyNet computes the next round key from the current one, the
+// substituted KStran word and the round constant.
+func NextRoundKeyNet(g *logic.Net, rk, kstranOut, rcon rtl.Bus) rtl.Bus {
+	return nextRoundKeyBus(g, rk, kstranOut, rcon)
+}
+
+// XtimeNet multiplies an 8-bit bus by {02}.
+func XtimeNet(g *logic.Net, b rtl.Bus) rtl.Bus { return xtimeBus(g, b) }
+
+// EqConstNet compares a bus against a constant.
+func EqConstNet(g *logic.Net, b rtl.Bus, k uint64) logic.Lit { return eqConst(g, b, k) }
+
+// IncNet returns bus+1 (ripple carry).
+func IncNet(g *logic.Net, b rtl.Bus) rtl.Bus { return incBus(g, b) }
+
+// WordOfNet returns 32-bit word i of a wider bus.
+func WordOfNet(b rtl.Bus, i int) rtl.Bus { return wordOf(b, i) }
+
+// ByteOfNet returns byte i of a bus.
+func ByteOfNet(b rtl.Bus, i int) rtl.Bus { return byteOf(b, i) }

@@ -1,0 +1,416 @@
+package rijndael
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/gf256"
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/rtl"
+)
+
+// Variant selects which operations the generated device supports (the
+// paper's three implementations).
+type Variant int
+
+// Device variants.
+const (
+	// Encrypt is the encrypt-only device.
+	Encrypt Variant = iota
+	// Decrypt is the decrypt-only device.
+	Decrypt
+	// Both is the combined device with the enc/dec select input.
+	Both
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Encrypt:
+		return "encrypt"
+	case Decrypt:
+		return "decrypt"
+	case Both:
+		return "both"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Config selects the generated core's variant and S-box realization.
+type Config struct {
+	Variant Variant
+	// ROMStyle picks how the S-boxes are realized: rtl.ROMAsync for
+	// Acex1K-style EABs (the paper's primary implementation), rtl.ROMLogic
+	// for the Cyclone builds where asynchronous ROM is unavailable, and
+	// rtl.ROMSync for the paper's future-work synchronous-ROM variant.
+	ROMStyle rtl.ROMStyle
+	// Name overrides the design name; empty derives one from the options.
+	Name string
+}
+
+// Core is a generated Rijndael IP: the elaborated design plus its derived
+// protocol timing.
+type Core struct {
+	Config Config
+	Design *rtl.Design
+
+	// BlockLatency is the number of clock cycles from the edge that loads a
+	// block into the state register to the edge that latches the result
+	// into the output register (50 for the 5-cycle rounds, 60 for the
+	// synchronous-ROM variant).
+	BlockLatency int
+	// KeySetupCycles is the number of cycles after wr_key is accepted
+	// before the core will accept data (the decryptor's forward
+	// key-schedule walk; 0 for the encrypt-only device).
+	KeySetupCycles int
+	// CyclesPerRound is the paper's headline architecture number: 5 with
+	// combinational Byte Sub, 6 with registered (synchronous-ROM) Byte Sub.
+	CyclesPerRound int
+	// SBoxROMs is the number of 256x8 S-box memories instantiated (0 when
+	// ROMStyle is rtl.ROMLogic since they are expanded into logic cells).
+	SBoxROMs int
+}
+
+// Rounds is the AES-128 round count.
+const Rounds = 10
+
+// eqConst returns a literal that is true when the bus equals the constant.
+func eqConst(g *logic.Net, b rtl.Bus, k uint64) logic.Lit {
+	acc := logic.True
+	for i, l := range b {
+		if k>>uint(i)&1 != 0 {
+			acc = g.And(acc, l)
+		} else {
+			acc = g.And(acc, logic.Not(l))
+		}
+	}
+	return acc
+}
+
+// incBus returns bus+1 with a ripple-carry incrementer.
+func incBus(g *logic.Net, b rtl.Bus) rtl.Bus {
+	out := make(rtl.Bus, len(b))
+	carry := logic.True
+	for i, l := range b {
+		out[i] = g.Xor(l, carry)
+		carry = g.And(carry, l)
+	}
+	return out
+}
+
+// New generates a Rijndael AES-128 IP core per the configuration.
+func New(cfg Config) (*Core, error) {
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("aes128_%s_%s", cfg.Variant, cfg.ROMStyle)
+	}
+	hasEnc := cfg.Variant != Decrypt
+	hasDec := cfg.Variant != Encrypt
+	sync := cfg.ROMStyle == rtl.ROMSync
+	maxPhase := uint64(4)
+	if sync {
+		maxPhase = 5
+	}
+
+	b := rtl.NewBuilder(name)
+	g := b.Logic()
+
+	// --- Ports (Table 1 of the paper) ---
+	b.Input("clk", 1) // dedicated clock network; counted as a pin
+	setup := b.Input("setup", 1)[0]
+	wrData := b.Input("wr_data", 1)[0]
+	wrKey := b.Input("wr_key", 1)[0]
+	din := b.Input("din", 128)
+	var encdecIn logic.Lit
+	if cfg.Variant == Both {
+		encdecIn = b.Input("encdec", 1)[0]
+	}
+
+	// --- State registers ---
+	dinReg := b.Reg("din_reg", 128)
+	var keyReg *rtl.Reg
+	if hasEnc {
+		keyReg = b.Reg("key_reg", 128)
+	}
+	s := [4]*rtl.Reg{b.Reg("s0", 32), b.Reg("s1", 32), b.Reg("s2", 32), b.Reg("s3", 32)}
+	rk := b.Reg("rk", 128)
+	rcon := b.Reg("rcon", 8)
+	busy := b.Reg("busy", 1)
+	phase := b.Reg("phase", 3)
+	round := b.Reg("round", 4)
+	pending := b.Reg("pending", 1)
+	keyvalid := b.Reg("keyvalid", 1)
+	doutReg := b.Reg("dout_reg", 128)
+	dataOk := b.Reg("data_ok_reg", 1)
+
+	var lastKey, ksetup, kround, kphase, dirReg, pendDir *rtl.Reg
+	if hasDec {
+		lastKey = b.Reg("lastkey", 128)
+		ksetup = b.Reg("ksetup", 1)
+		kround = b.Reg("kround", 4)
+		if sync {
+			kphase = b.Reg("kphase", 1)
+		}
+	}
+	if cfg.Variant == Both {
+		dirReg = b.Reg("dir", 1)
+		pendDir = b.Reg("pend_dir", 1)
+	}
+
+	busyQ := busy.Q[0]
+	pendingQ := pending.Q[0]
+	keyvalidQ := keyvalid.Q[0]
+	dataOkQ := dataOk.Q[0]
+	ksetupQ := logic.False
+	if hasDec {
+		ksetupQ = ksetup.Q[0]
+	}
+
+	// --- Control ---
+	keyLoad := g.AndN(wrKey, setup, logic.Not(busyQ), logic.Not(ksetupQ))
+	occupied := g.OrN(busyQ, ksetupQ, logic.Not(keyvalidQ), keyLoad)
+	ld := g.AndN(logic.Not(occupied), g.Or(pendingQ, wrData))
+	mix := g.And(busyQ, eqConst(g, phase.Q, maxPhase))
+	lastRound := eqConst(g, round.Q, Rounds)
+	finalMix := g.And(mix, lastRound)
+	// The round key for the current round is computed during an early
+	// ByteSub cycle (the round-key register is stable for the whole round),
+	// keeping the S-box read and XOR chain of the key schedule out of the
+	// 128-bit cycle's critical path. With synchronous ROMs the update waits
+	// one cycle for the registered read.
+	rkPhase := uint64(0)
+	if sync {
+		rkPhase = 1
+	}
+	rkStep := g.And(busyQ, eqConst(g, phase.Q, rkPhase))
+
+	// Key-setup walk stepping: every cycle with async S-boxes, every second
+	// cycle with synchronous ones (address cycle + data cycle).
+	ksetupStep := logic.False
+	setupDone := logic.False
+	if hasDec {
+		ksetupStep = ksetupQ
+		if sync {
+			ksetupStep = g.And(ksetupQ, kphase.Q[0])
+		}
+		setupDone = g.And(ksetupStep, eqConst(g, kround.Q, Rounds))
+	}
+
+	// Direction literals: at-load (sampled with the data) and running
+	// (registered for the whole operation).
+	dirLd := logic.True // encrypt-only
+	dirRun := logic.True
+	switch cfg.Variant {
+	case Decrypt:
+		dirLd = logic.False
+		dirRun = logic.False
+	case Both:
+		dirLd = g.Mux(pendingQ, pendDir.Q[0], encdecIn)
+		dirRun = dirReg.Q[0]
+	}
+
+	// --- Byte Sub data path (mixed 32-bit part) ---
+	// One of the four state words is routed to the S-box bank each ByteSub
+	// cycle.
+	p0, p1 := phase.Q[0], phase.Q[1]
+	addrWord := mux2(g, p1,
+		mux2(g, p0, s[3].Q, s[2].Q),
+		mux2(g, p0, s[1].Q, s[0].Q))
+	sboxROMs := 0
+	var sbData rtl.Bus
+	var encData, decData rtl.Bus
+	if hasEnc {
+		encData = sboxBank(b, "sbox_e", addrWord, gf256.SBoxTable(), cfg.ROMStyle)
+		sboxROMs += 4
+	}
+	if hasDec {
+		decData = sboxBank(b, "sbox_d", addrWord, gf256.InvSBoxTable(), cfg.ROMStyle)
+		sboxROMs += 4
+	}
+	switch cfg.Variant {
+	case Encrypt:
+		sbData = encData
+	case Decrypt:
+		sbData = decData
+	case Both:
+		sbData = mux2(g, dirRun, encData, decData)
+	}
+
+	// --- KStran banks and on-the-fly round keys ---
+	var nextRK, prevRK rtl.Bus
+	switch cfg.Variant {
+	case Encrypt:
+		ks := sboxBank(b, "sbox_ke", kstranEncAddr(rk.Q), gf256.SBoxTable(), cfg.ROMStyle)
+		sboxROMs += 4
+		nextRK = nextRoundKeyBus(g, rk.Q, ks, rcon.Q)
+	case Decrypt:
+		// One forward-S-box bank shared between the setup walk (forward
+		// schedule) and the backward runtime walk, with a muxed address.
+		addr := g.MuxVector(ksetupQ, kstranEncAddr(rk.Q), kstranDecAddr(g, rk.Q))
+		ks := sboxBank(b, "sbox_k", addr, gf256.SBoxTable(), cfg.ROMStyle)
+		sboxROMs += 4
+		nextRK = nextRoundKeyBus(g, rk.Q, ks, rcon.Q)
+		prevRK = prevRoundKeyBus(g, rk.Q, ks, rcon.Q)
+	case Both:
+		// Separate banks per direction keep the addresses mux-free (and
+		// match the paper's 32-Kbit memory budget for the combined core).
+		kse := sboxBank(b, "sbox_ke", kstranEncAddr(rk.Q), gf256.SBoxTable(), cfg.ROMStyle)
+		ksd := sboxBank(b, "sbox_kd", kstranDecAddr(g, rk.Q), gf256.SBoxTable(), cfg.ROMStyle)
+		sboxROMs += 8
+		nextRK = nextRoundKeyBus(g, rk.Q, kse, rcon.Q)
+		prevRK = prevRoundKeyBus(g, rk.Q, ksd, rcon.Q)
+	}
+	if cfg.ROMStyle == rtl.ROMLogic {
+		sboxROMs = 0
+	}
+
+	// --- 128-bit round function (phase 4/5) ---
+	catS := rtl.Cat(s[0].Q, s[1].Q, s[2].Q, s[3].Q)
+	var roundOut rtl.Bus
+	var encOut, decOut rtl.Bus
+	// By the 128-bit cycle the round-key register already holds this
+	// round's key (updated during the rkStep ByteSub cycle), so Add Key
+	// reads rk.Q directly.
+	if hasEnc {
+		sr := shiftRowsBus(catS, false)
+		mc := mixColumnsBus(g, sr)
+		pre := g.MuxVector(lastRound, sr, mc)
+		encOut = g.XorVector(pre, rk.Q)
+	}
+	if hasDec {
+		isr := shiftRowsBus(catS, true)
+		ak := g.XorVector(isr, rk.Q)
+		imc := invMixColumnsBus(g, ak)
+		decOut = g.MuxVector(lastRound, ak, imc)
+	}
+	switch cfg.Variant {
+	case Encrypt:
+		roundOut = encOut
+	case Decrypt:
+		roundOut = decOut
+	case Both:
+		roundOut = g.MuxVector(dirRun, encOut, decOut)
+	}
+
+	// --- Initial AddRoundKey folded into the load cycle ---
+	var ikey rtl.Bus
+	switch cfg.Variant {
+	case Encrypt:
+		ikey = keyReg.Q
+	case Decrypt:
+		ikey = lastKey.Q
+	case Both:
+		ikey = g.MuxVector(dirLd, keyReg.Q, lastKey.Q)
+	}
+	src := g.MuxVector(pendingQ, dinReg.Q, din)
+	loadVal := g.XorVector(src, ikey)
+
+	// --- Register next-state connections ---
+	dinReg.SetNext(din, wrData)
+	if hasEnc {
+		keyReg.SetNext(din, keyLoad)
+	}
+
+	for w := 0; w < 4; w++ {
+		bsWrite := eqConst(g, phase.Q, uint64(w))
+		if sync {
+			bsWrite = eqConst(g, phase.Q, uint64(w+1))
+		}
+		en := g.OrN(ld, g.And(busyQ, bsWrite), mix)
+		next := g.MuxVector(ld, wordOf(loadVal, w),
+			g.MuxVector(mix, wordOf(roundOut, w), sbData))
+		s[w].SetNext(next, en)
+	}
+
+	// Round-key register: setup walk / load / per-round update.
+	{
+		runNext := nextRK
+		if cfg.Variant == Decrypt {
+			runNext = prevRK
+		} else if cfg.Variant == Both {
+			runNext = g.MuxVector(dirRun, nextRK, prevRK)
+		}
+		v := g.MuxVector(ksetupStep, nextRK, runNext)
+		v = g.MuxVector(ld, ikey, v)
+		en := g.OrN(ld, rkStep, ksetupStep)
+		if hasDec {
+			v = g.MuxVector(keyLoad, din, v)
+			en = g.Or(en, keyLoad)
+		}
+		rk.SetNext(v, en)
+	}
+
+	// Round-constant register.
+	{
+		fwdInit := rtl.Const(8, 0x01)
+		bwdInit := rtl.Const(8, uint64(gf256.Rcon(Rounds)))
+		v := g.MuxVector(rkStep, rconNextBus(g, rcon.Q, dirRun), xtimeBus(g, rcon.Q))
+		ldVal := fwdInit
+		if cfg.Variant == Decrypt {
+			ldVal = bwdInit
+		} else if cfg.Variant == Both {
+			ldVal = g.MuxVector(dirLd, fwdInit, bwdInit)
+		}
+		v = g.MuxVector(ld, ldVal, v)
+		en := g.OrN(ld, ksetupStep, rkStep)
+		if hasDec {
+			v = g.MuxVector(keyLoad, fwdInit, v)
+			en = g.Or(en, keyLoad)
+		}
+		rcon.SetNext(v, en)
+	}
+
+	if hasDec {
+		lastKey.SetNext(nextRK, setupDone)
+		ksetup.SetNext(rtl.Bus{g.Or(keyLoad, g.And(ksetupQ, logic.Not(setupDone)))}, logic.True)
+		kround.SetNext(g.MuxVector(keyLoad, rtl.Const(4, 1), incBus(g, kround.Q)),
+			g.Or(keyLoad, ksetupStep))
+		if sync {
+			kphase.SetNext(rtl.Bus{g.AndN(logic.Not(keyLoad), ksetupQ, logic.Not(kphase.Q[0]))},
+				g.Or(keyLoad, ksetupQ))
+		}
+		keyvalid.SetNext(rtl.Bus{g.And(logic.Not(keyLoad), g.Or(setupDone, keyvalidQ))},
+			logic.True)
+	} else {
+		keyvalid.SetNext(rtl.Bus{g.Or(keyvalidQ, keyLoad)}, logic.True)
+	}
+
+	busy.SetNext(rtl.Bus{g.Or(ld, g.And(busyQ, logic.Not(finalMix)))}, logic.True)
+	round.SetNext(g.MuxVector(ld, rtl.Const(4, 1), incBus(g, round.Q)), g.Or(ld, mix))
+	phase.SetNext(g.MuxVector(g.Or(ld, mix), rtl.Const(3, 0), incBus(g, phase.Q)),
+		g.Or(ld, busyQ))
+	pending.SetNext(rtl.Bus{g.Mux(ld, g.And(pendingQ, wrData),
+		g.Or(pendingQ, g.And(wrData, occupied)))}, logic.True)
+	if cfg.Variant == Both {
+		dirReg.SetNext(rtl.Bus{dirLd}, ld)
+		pendDir.SetNext(rtl.Bus{encdecIn}, wrData)
+	}
+	doutReg.SetNext(roundOut, finalMix)
+	dataOk.SetNext(rtl.Bus{g.Or(finalMix, g.And(dataOkQ, logic.Not(ld)))}, logic.True)
+
+	// --- Outputs ---
+	b.Output("dout", doutReg.Q)
+	b.Output("data_ok", rtl.Bus{dataOkQ})
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	cyc := 5
+	if sync {
+		cyc = 6
+	}
+	ksc := 0
+	if hasDec {
+		ksc = Rounds
+		if sync {
+			ksc = 2 * Rounds
+		}
+	}
+	return &Core{
+		Config:         cfg,
+		Design:         d,
+		BlockLatency:   Rounds * cyc,
+		KeySetupCycles: ksc,
+		CyclesPerRound: cyc,
+		SBoxROMs:       sboxROMs,
+	}, nil
+}

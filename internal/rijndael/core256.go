@@ -1,0 +1,390 @@
+package rijndael
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/gf256"
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/rtl"
+)
+
+// New256 generates an AES-256 core with the same mixed 32/128-bit
+// architecture — an extension beyond the paper, which notes that "the AES
+// defines three versions AES-128, AES-192 and AES-256" but implements only
+// AES-128.
+//
+// The 256-bit key schedule keeps a sliding eight-word window and produces
+// one four-word round key per round on the fly, alternating the
+// RotWord+Rcon and plain-SubWord KStran forms (even/odd group index).
+// Decryption first walks the schedule forward during setup (13 cycles,
+// after the two-beat key load) to capture the final window, then walks it
+// backwards round by round: the window inverse needs only the same KStran
+// bank plus the XOR chain, so — exactly as in the paper's AES-128
+// decryptor — no round keys are ever stored.
+//
+// Everything else (ByteSub bank, 128-bit round function, 5 cycles per
+// round) is the paper's datapath: 14 rounds, 70-cycle block latency, the
+// same 261/262-pin interface. The 256-bit key loads over the 128-bit bus
+// in two wr_key beats, low half first. AES-192's six-word stride does not
+// align with four-word round keys, so it is left to the software
+// reference.
+func New256(variant Variant, style rtl.ROMStyle) (*Core, error) {
+	if style == rtl.ROMSync {
+		return nil, fmt.Errorf("rijndael: New256 models combinational ByteSub only")
+	}
+	const rounds = 14
+	name := fmt.Sprintf("aes256_%s_%s", variant, style)
+	hasEnc := variant != Decrypt
+	hasDec := variant != Encrypt
+
+	b := rtl.NewBuilder(name)
+	g := b.Logic()
+
+	b.Input("clk", 1)
+	setup := b.Input("setup", 1)[0]
+	wrData := b.Input("wr_data", 1)[0]
+	wrKey := b.Input("wr_key", 1)[0]
+	din := b.Input("din", 128)
+	var encdecIn logic.Lit
+	if variant == Both {
+		encdecIn = b.Input("encdec", 1)[0]
+	}
+
+	dinReg := b.Reg("din_reg", 128)
+	keyLo := b.Reg("key_lo", 128) // w0..w3 of the cipher key
+	var keyHi *rtl.Reg            // w4..w7; only re-read by encrypt-capable cores
+	if hasEnc {
+		keyHi = b.Reg("key_hi", 128)
+	}
+	kw := b.Reg("kw", 256) // sliding eight-word schedule window
+	s := [4]*rtl.Reg{b.Reg("s0", 32), b.Reg("s1", 32), b.Reg("s2", 32), b.Reg("s3", 32)}
+	rcon := b.Reg("rcon", 8)
+	busy := b.Reg("busy", 1)
+	phase := b.Reg("phase", 3)
+	round := b.Reg("round", 4)
+	pending := b.Reg("pending", 1)
+	khalf := b.Reg("khalf", 1) // which key beat comes next (0 = low)
+	keyvalid := b.Reg("keyvalid", 1)
+	doutReg := b.Reg("dout_reg", 128)
+	dataOk := b.Reg("data_ok_reg", 1)
+
+	var lastWin, ksetup, kround, dirReg, pendDir *rtl.Reg
+	if hasDec {
+		lastWin = b.Reg("lastwin", 256) // schedule window after the forward walk
+		ksetup = b.Reg("ksetup", 1)
+		kround = b.Reg("kround", 4)
+	}
+	if variant == Both {
+		dirReg = b.Reg("dir", 1)
+		pendDir = b.Reg("pend_dir", 1)
+	}
+
+	busyQ := busy.Q[0]
+	pendingQ := pending.Q[0]
+	keyvalidQ := keyvalid.Q[0]
+	dataOkQ := dataOk.Q[0]
+	ksetupQ := logic.False
+	if hasDec {
+		ksetupQ = ksetup.Q[0]
+	}
+
+	keyBeat := g.AndN(wrKey, setup, logic.Not(busyQ), logic.Not(ksetupQ))
+	loadLo := g.And(keyBeat, logic.Not(khalf.Q[0]))
+	loadHi := g.And(keyBeat, khalf.Q[0])
+	occupied := g.OrN(busyQ, ksetupQ, logic.Not(keyvalidQ), keyBeat)
+	ld := g.AndN(logic.Not(occupied), g.Or(pendingQ, wrData))
+	mix := g.And(busyQ, eqConst(g, phase.Q, 4))
+	lastRound := eqConst(g, round.Q, rounds)
+	finalMix := g.And(mix, lastRound)
+
+	// Direction literals.
+	dirLd := logic.True
+	dirRun := logic.True
+	switch variant {
+	case Decrypt:
+		dirLd, dirRun = logic.False, logic.False
+	case Both:
+		dirLd = g.Mux(pendingQ, pendDir.Q[0], encdecIn)
+		dirRun = dirReg.Q[0]
+	}
+
+	// Key-schedule stepping. Forward generation runs rounds 2..14 (rounds
+	// 0 and 1 use the two cipher-key halves); the backward walk runs
+	// rounds 1..13 (round 14 adds the recovered cipher-key low half).
+	notRound1 := logic.Not(eqConst(g, round.Q, 1))
+	fwdStep := g.AndN(busyQ, eqConst(g, phase.Q, 0), notRound1)
+	bwdStep := g.AndN(busyQ, eqConst(g, phase.Q, 0), logic.Not(lastRound))
+	var rkStep logic.Lit
+	switch variant {
+	case Encrypt:
+		rkStep = fwdStep
+	case Decrypt:
+		rkStep = bwdStep
+	case Both:
+		rkStep = g.Mux(dirRun, fwdStep, bwdStep)
+	}
+
+	// ByteSub bank on the phase-selected state word.
+	p0, p1 := phase.Q[0], phase.Q[1]
+	addrWord := mux2(g, p1,
+		mux2(g, p0, s[3].Q, s[2].Q),
+		mux2(g, p0, s[1].Q, s[0].Q))
+	sboxROMs := 0
+	var sbData rtl.Bus
+	var encData, decData rtl.Bus
+	if hasEnc {
+		encData = sboxBank(b, "sbox_e", addrWord, gf256.SBoxTable(), style)
+		sboxROMs += 4
+	}
+	if hasDec {
+		decData = sboxBank(b, "sbox_d", addrWord, gf256.InvSBoxTable(), style)
+		sboxROMs += 4
+	}
+	switch variant {
+	case Encrypt:
+		sbData = encData
+	case Decrypt:
+		sbData = decData
+	case Both:
+		sbData = mux2(g, dirRun, encData, decData)
+	}
+
+	// Key window: kw = [older | newer].
+	older := kw.Q[0:128]
+	newer := kw.Q[128:256]
+
+	// Group parities. Forward: round r generates group g=r, even g uses
+	// RotWord+Rcon. During the decrypt setup walk, kround plays r's role.
+	// Backward: round ri recovers group g=15-ri; even g <=> ri odd.
+	fwdEven := logic.Not(round.Q[0])
+	if hasDec {
+		fwdEven = g.Mux(ksetupQ, logic.Not(kround.Q[0]), fwdEven)
+	}
+	bwdEven := round.Q[0]
+	var evenGroup logic.Lit
+	switch variant {
+	case Encrypt:
+		evenGroup = fwdEven
+	case Decrypt:
+		evenGroup = g.Mux(ksetupQ, fwdEven, bwdEven)
+	case Both:
+		evenGroup = g.Mux(g.Or(ksetupQ, dirRun), fwdEven, bwdEven)
+	}
+
+	// KStran input word: forward uses the last word of the newer group;
+	// backward uses the last word of the OLDER group (it is w[i-1] of the
+	// group being recovered).
+	fwdLast := wordOf(newer, 3)
+	bwdLast := wordOf(older, 3)
+	var ksWord rtl.Bus
+	switch variant {
+	case Encrypt:
+		ksWord = fwdLast
+	case Decrypt:
+		ksWord = g.MuxVector(ksetupQ, fwdLast, bwdLast)
+	case Both:
+		ksWord = g.MuxVector(g.Or(ksetupQ, dirRun), fwdLast, bwdLast)
+	}
+	kaddr := g.MuxVector(evenGroup, rtl.RotateByteLeft(ksWord), ksWord)
+	ks := sboxBank(b, "sbox_k", kaddr, gf256.SBoxTable(), style)
+	sboxROMs += 4
+	tWord := g.MuxVector(evenGroup, applyRcon(g, ks, rcon.Q), ks)
+
+	// Forward: new group N from [older A | newer B]: N0 = A0^t(B3), chain.
+	n0 := g.XorVector(wordOf(older, 0), tWord)
+	n1 := g.XorVector(wordOf(older, 1), n0)
+	n2 := g.XorVector(wordOf(older, 2), n1)
+	n3 := g.XorVector(wordOf(older, 3), n2)
+	fwdWindow := rtl.Cat(newer, rtl.Cat(n0, n1, n2, n3))
+
+	// Backward: recover A (= G_{g-2}) from [B | N]: A0 = N0^t(B3),
+	// A_j = N_j ^ N_{j-1}.
+	a0 := g.XorVector(wordOf(newer, 0), tWord)
+	a1 := g.XorVector(wordOf(newer, 1), wordOf(newer, 0))
+	a2 := g.XorVector(wordOf(newer, 2), wordOf(newer, 1))
+	a3 := g.XorVector(wordOf(newer, 3), wordOf(newer, 2))
+	bwdWindow := rtl.Cat(rtl.Cat(a0, a1, a2, a3), older)
+
+	// Round function: Add Key reads the window group for this round.
+	catS := rtl.Cat(s[0].Q, s[1].Q, s[2].Q, s[3].Q)
+	var encOut, decOut, roundOut rtl.Bus
+	if hasEnc {
+		sr := shiftRowsBus(catS, false)
+		mc := mixColumnsBus(g, sr)
+		pre := g.MuxVector(lastRound, sr, mc)
+		encOut = g.XorVector(pre, newer)
+	}
+	if hasDec {
+		// Backward rounds add the newer group after the shift; the final
+		// round adds the recovered cipher-key low half, which by then sits
+		// in the OLDER slot.
+		dk := g.MuxVector(lastRound, older, newer)
+		isr := shiftRowsBus(catS, true)
+		ak := g.XorVector(isr, dk)
+		imc := invMixColumnsBus(g, ak)
+		decOut = g.MuxVector(lastRound, ak, imc)
+	}
+	switch variant {
+	case Encrypt:
+		roundOut = encOut
+	case Decrypt:
+		roundOut = decOut
+	case Both:
+		roundOut = g.MuxVector(dirRun, encOut, decOut)
+	}
+
+	// Initial Add Key folded into the load: encrypt adds the cipher key's
+	// low half; decrypt adds G14 (the upper half of the stored window).
+	var ikey rtl.Bus
+	switch variant {
+	case Encrypt:
+		ikey = keyLo.Q
+	case Decrypt:
+		ikey = lastWin.Q[128:256]
+	case Both:
+		ikey = g.MuxVector(dirLd, keyLo.Q, lastWin.Q[128:256])
+	}
+	loadVal := g.XorVector(g.MuxVector(pendingQ, dinReg.Q, din), ikey)
+
+	// Setup walk control (decrypt variants): 13 forward steps after the
+	// high key beat.
+	ksetupStep := logic.False
+	setupDone := logic.False
+	if hasDec {
+		ksetupStep = ksetupQ
+		setupDone = g.And(ksetupStep, eqConst(g, kround.Q, rounds))
+	}
+
+	// --- Register connections ---
+	dinReg.SetNext(din, wrData)
+	keyLo.SetNext(din, loadLo)
+	if hasEnc {
+		keyHi.SetNext(din, loadHi)
+	}
+	khalf.SetNext(rtl.Bus{logic.Not(khalf.Q[0])}, keyBeat)
+	if hasDec {
+		// keyvalid falls on a new key's first beat and rises when the
+		// forward walk finishes; encrypt-only validity comes on the second
+		// beat directly.
+		keyvalid.SetNext(rtl.Bus{g.And(logic.Not(loadLo), g.Or(setupDone, keyvalidQ))},
+			logic.True)
+		ksetup.SetNext(rtl.Bus{g.Or(loadHi, g.And(ksetupQ, logic.Not(setupDone)))}, logic.True)
+		// kround counts the group being generated: 2..14.
+		kround.SetNext(g.MuxVector(loadHi, rtl.Const(4, 2), incBus(g, kround.Q)),
+			g.Or(loadHi, ksetupStep))
+		lastWin.SetNext(fwdWindow, setupDone)
+	} else {
+		keyvalid.SetNext(rtl.Bus{g.Or(loadHi, g.And(keyvalidQ, logic.Not(loadLo)))}, logic.True)
+	}
+
+	// Window register: loaded with the key halves (encrypt) or the stored
+	// final window (decrypt) at ld; walked forward during setup; stepped
+	// per round while running.
+	{
+		var ldVal rtl.Bus
+		switch variant {
+		case Encrypt:
+			ldVal = rtl.Cat(keyLo.Q, keyHi.Q)
+		case Decrypt:
+			ldVal = lastWin.Q
+		case Both:
+			ldVal = g.MuxVector(dirLd, rtl.Cat(keyLo.Q, keyHi.Q), lastWin.Q)
+		}
+		var runVal rtl.Bus
+		switch variant {
+		case Encrypt:
+			runVal = fwdWindow
+		case Decrypt:
+			runVal = bwdWindow
+		case Both:
+			runVal = g.MuxVector(dirRun, fwdWindow, bwdWindow)
+		}
+		v := g.MuxVector(ksetupStep, fwdWindow, runVal)
+		v = g.MuxVector(ld, ldVal, v)
+		en := g.OrN(ld, rkStep, ksetupStep)
+		if hasDec {
+			// The setup walk starts from the freshly loaded key halves.
+			v = g.MuxVector(loadHi, rtl.Cat(keyLo.Q, din), v)
+			en = g.Or(en, loadHi)
+		}
+		kw.SetNext(v, en)
+	}
+
+	// Round constant: forward starts at 0x01 and doubles per even group;
+	// backward starts at Rcon(7)=0x40 and halves per even group.
+	{
+		fwdInit := rtl.Const(8, 0x01)
+		bwdInit := rtl.Const(8, 0x40)
+		step := g.MuxVector(dirRun, xtimeBus(g, rcon.Q), invXtimeBus(g, rcon.Q))
+		if variant == Encrypt {
+			step = xtimeBus(g, rcon.Q)
+		} else if variant == Decrypt {
+			step = g.MuxVector(ksetupQ, xtimeBus(g, rcon.Q), invXtimeBus(g, rcon.Q))
+		} else {
+			step = g.MuxVector(g.Or(ksetupQ, dirRun), xtimeBus(g, rcon.Q), step)
+		}
+		var ldVal rtl.Bus
+		switch variant {
+		case Encrypt:
+			ldVal = fwdInit
+		case Decrypt:
+			ldVal = bwdInit
+		case Both:
+			ldVal = g.MuxVector(dirLd, fwdInit, bwdInit)
+		}
+		v := g.MuxVector(ld, ldVal, step)
+		en := g.OrN(ld, g.And(rkStep, evenGroup), g.And(ksetupStep, evenGroup))
+		if hasDec {
+			v = g.MuxVector(loadHi, fwdInit, v)
+			en = g.Or(en, loadHi)
+		}
+		rcon.SetNext(v, en)
+	}
+
+	for w := 0; w < 4; w++ {
+		bsWrite := eqConst(g, phase.Q, uint64(w))
+		en := g.OrN(ld, g.And(busyQ, bsWrite), mix)
+		next := g.MuxVector(ld, wordOf(loadVal, w),
+			g.MuxVector(mix, wordOf(roundOut, w), sbData))
+		s[w].SetNext(next, en)
+	}
+
+	busy.SetNext(rtl.Bus{g.Or(ld, g.And(busyQ, logic.Not(finalMix)))}, logic.True)
+	round.SetNext(g.MuxVector(ld, rtl.Const(4, 1), incBus(g, round.Q)), g.Or(ld, mix))
+	phase.SetNext(g.MuxVector(g.Or(ld, mix), rtl.Const(3, 0), incBus(g, phase.Q)),
+		g.Or(ld, busyQ))
+	pending.SetNext(rtl.Bus{g.Mux(ld, g.And(pendingQ, wrData),
+		g.Or(pendingQ, g.And(wrData, occupied)))}, logic.True)
+	if variant == Both {
+		dirReg.SetNext(rtl.Bus{dirLd}, ld)
+		pendDir.SetNext(rtl.Bus{encdecIn}, wrData)
+	}
+	doutReg.SetNext(roundOut, finalMix)
+	dataOk.SetNext(rtl.Bus{g.Or(finalMix, g.And(dataOkQ, logic.Not(ld)))}, logic.True)
+
+	b.Output("dout", doutReg.Q)
+	b.Output("data_ok", rtl.Bus{dataOkQ})
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if style == rtl.ROMLogic {
+		sboxROMs = 0
+	}
+	ksc := 0
+	if hasDec {
+		ksc = rounds - 1 // 13 forward steps after the second key beat
+	}
+	return &Core{
+		Config:         Config{Variant: variant, ROMStyle: style, Name: name},
+		Design:         d,
+		BlockLatency:   rounds * 5,
+		KeySetupCycles: ksc,
+		CyclesPerRound: 5,
+		SBoxROMs:       sboxROMs,
+	}, nil
+}
+
+// KeyBeats256 is the number of wr_key bus beats an AES-256 key load takes.
+const KeyBeats256 = 2

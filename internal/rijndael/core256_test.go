@@ -1,0 +1,266 @@
+package rijndael_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"rijndaelip/internal/aes"
+	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+)
+
+func newCore256(t *testing.T, style rtl.ROMStyle) *rijndael.Core {
+	t.Helper()
+	return newCore256v(t, rijndael.Encrypt, style)
+}
+
+func newCore256v(t *testing.T, v rijndael.Variant, style rtl.ROMStyle) *rijndael.Core {
+	t.Helper()
+	core, err := rijndael.New256(v, style)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+func TestAES256FIPSVector(t *testing.T) {
+	// FIPS-197 Appendix C.3.
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	ct, _ := hex.DecodeString("8ea2b7ca516745bfeafc49904b496089")
+	for _, style := range []rtl.ROMStyle{rtl.ROMAsync, rtl.ROMLogic} {
+		core := newCore256(t, style)
+		drv := bfm.New(core)
+		if _, err := drv.LoadKey(key); err != nil {
+			t.Fatal(err)
+		}
+		got, lat, err := drv.Encrypt(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ct) {
+			t.Fatalf("style %v: encrypt = %x, want %x", style, got, ct)
+		}
+		if lat != 70 {
+			t.Errorf("latency %d cycles, want 70 (14 rounds x 5)", lat)
+		}
+	}
+}
+
+func TestAES256RandomVectors(t *testing.T) {
+	core := newCore256(t, rtl.ROMAsync)
+	drv := bfm.New(core)
+	rng := rand.New(rand.NewSource(256))
+	for trial := 0; trial < 5; trial++ {
+		key := make([]byte, 32)
+		rng.Read(key)
+		if _, err := drv.LoadKey(key); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := aes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for blk := 0; blk < 3; blk++ {
+			data := make([]byte, 16)
+			rng.Read(data)
+			want := make([]byte, 16)
+			ref.Encrypt(want, data)
+			got, _, err := drv.Encrypt(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("key=%x data=%x: got %x want %x", key, data, got, want)
+			}
+		}
+	}
+}
+
+func TestAES256Constants(t *testing.T) {
+	core := newCore256(t, rtl.ROMAsync)
+	if core.BlockLatency != 70 || core.CyclesPerRound != 5 {
+		t.Errorf("constants: %+v", core)
+	}
+	if core.SBoxROMs != 8 {
+		t.Errorf("ROMs = %d, want 8 (the 256-bit schedule reuses the same two banks)", core.SBoxROMs)
+	}
+	nl, err := core.Design.Synthesize(defaultMapOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.MemoryBits() != 16384 {
+		t.Errorf("memory = %d bits, want 16384", nl.MemoryBits())
+	}
+	// Same external interface as the AES-128 encryptor: 261 pins.
+	if nl.PinCount() != 261 {
+		t.Errorf("pins = %d, want 261", nl.PinCount())
+	}
+	if _, err := rijndael.New256(rijndael.Encrypt, rtl.ROMSync); err == nil {
+		t.Error("sync style should be rejected")
+	}
+}
+
+func TestAES256Rekey(t *testing.T) {
+	core := newCore256(t, rtl.ROMAsync)
+	drv := bfm.New(core)
+	k1 := make([]byte, 32)
+	k2 := bytes.Repeat([]byte{0xA5}, 32)
+	pt := []byte("aes256 rekey blk")
+	for _, key := range [][]byte{k1, k2, k1} {
+		if _, err := drv.LoadKey(key); err != nil {
+			t.Fatal(err)
+		}
+		ref, _ := aes.NewCipher(key)
+		want := make([]byte, 16)
+		ref.Encrypt(want, pt)
+		got, _, err := drv.Encrypt(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("rekey failed for %x", key[:4])
+		}
+	}
+}
+
+// TestAES256PostSynthesis runs the FIPS vector on the mapped netlist.
+func TestAES256PostSynthesis(t *testing.T) {
+	core := newCore256(t, rtl.ROMAsync)
+	nl, err := core.Design.Synthesize(defaultMapOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := newNetlistSim(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := bfm.NewPostSynthesis(core, sim)
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	ct, _ := hex.DecodeString("8ea2b7ca516745bfeafc49904b496089")
+	if _, err := drv.LoadKey(key); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := drv.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ct) {
+		t.Fatalf("mapped AES-256 = %x, want %x", got, ct)
+	}
+}
+
+// TestAES256AllVariants runs the FIPS C.3 vector through encrypt, decrypt
+// and the combined device, including the 13-cycle setup walk.
+func TestAES256AllVariants(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	ct, _ := hex.DecodeString("8ea2b7ca516745bfeafc49904b496089")
+	for _, v := range []rijndael.Variant{rijndael.Encrypt, rijndael.Decrypt, rijndael.Both} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			core := newCore256v(t, v, rtl.ROMAsync)
+			drv := bfm.New(core)
+			setupCycles, err := drv.LoadKey(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSetup := 2 // two key beats
+			if v != rijndael.Encrypt {
+				wantSetup += 13
+			}
+			if setupCycles != wantSetup {
+				t.Errorf("setup took %d cycles, want %d", setupCycles, wantSetup)
+			}
+			if v != rijndael.Decrypt {
+				got, lat, err := drv.Encrypt(pt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, ct) {
+					t.Fatalf("encrypt = %x, want %x", got, ct)
+				}
+				if lat != 70 {
+					t.Errorf("latency %d, want 70", lat)
+				}
+			}
+			if v != rijndael.Encrypt {
+				got, lat, err := drv.Decrypt(ct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, pt) {
+					t.Fatalf("decrypt = %x, want %x", got, pt)
+				}
+				if lat != 70 {
+					t.Errorf("latency %d, want 70", lat)
+				}
+			}
+		})
+	}
+}
+
+// TestAES256BothInterleaved alternates directions on the combined device.
+func TestAES256BothInterleaved(t *testing.T) {
+	core := newCore256v(t, rijndael.Both, rtl.ROMAsync)
+	drv := bfm.New(core)
+	rng := rand.New(rand.NewSource(512))
+	key := make([]byte, 32)
+	rng.Read(key)
+	if _, err := drv.LoadKey(key); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		data := make([]byte, 16)
+		rng.Read(data)
+		enc := i%2 == 0
+		want := make([]byte, 16)
+		if enc {
+			ref.Encrypt(want, data)
+		} else {
+			ref.Decrypt(want, data)
+		}
+		got, _, err := drv.Process(data, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("op %d (enc=%v): got %x want %x", i, enc, got, want)
+		}
+	}
+}
+
+// TestAES256DecryptRekey reloads keys on the decryptor (forcing fresh
+// setup walks).
+func TestAES256DecryptRekey(t *testing.T) {
+	core := newCore256v(t, rijndael.Decrypt, rtl.ROMAsync)
+	drv := bfm.New(core)
+	rng := rand.New(rand.NewSource(513))
+	for trial := 0; trial < 3; trial++ {
+		key := make([]byte, 32)
+		rng.Read(key)
+		if _, err := drv.LoadKey(key); err != nil {
+			t.Fatal(err)
+		}
+		ref, _ := aes.NewCipher(key)
+		ctb := make([]byte, 16)
+		rng.Read(ctb)
+		want := make([]byte, 16)
+		ref.Decrypt(want, ctb)
+		got, _, err := drv.Decrypt(ctb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: decrypt mismatch", trial)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package rijndael_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"rijndaelip/internal/aes"
+	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func newCore(t *testing.T, v rijndael.Variant, style rtl.ROMStyle) *rijndael.Core {
+	t.Helper()
+	core, err := rijndael.New(rijndael.Config{Variant: v, ROMStyle: style})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+var allVariants = []rijndael.Variant{rijndael.Encrypt, rijndael.Decrypt, rijndael.Both}
+var allStyles = []rtl.ROMStyle{rtl.ROMAsync, rtl.ROMSync, rtl.ROMLogic}
+
+func TestFIPSVectorAllVariantsAndStyles(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := mustHex(t, "3243f6a8885a308d313198a2e0370734")
+	ct := mustHex(t, "3925841d02dc09fbdc118597196a0b32")
+	for _, v := range allVariants {
+		for _, style := range allStyles {
+			v, style := v, style
+			t.Run(v.String()+"/"+style.String(), func(t *testing.T) {
+				core := newCore(t, v, style)
+				drv := bfm.New(core)
+				setupCycles, err := drv.LoadKey(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if setupCycles != core.KeySetupCycles+1 {
+					t.Errorf("setup took %d cycles, want %d", setupCycles, core.KeySetupCycles+1)
+				}
+				if v != rijndael.Decrypt {
+					got, lat, err := drv.Encrypt(pt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, ct) {
+						t.Fatalf("encrypt = %x, want %x", got, ct)
+					}
+					if lat != core.BlockLatency {
+						t.Errorf("encrypt latency %d, want %d", lat, core.BlockLatency)
+					}
+				}
+				if v != rijndael.Encrypt {
+					got, lat, err := drv.Decrypt(ct)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, pt) {
+						t.Fatalf("decrypt = %x, want %x", got, pt)
+					}
+					if lat != core.BlockLatency {
+						t.Errorf("decrypt latency %d, want %d", lat, core.BlockLatency)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestRandomVectorsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, v := range allVariants {
+		core := newCore(t, v, rtl.ROMAsync)
+		drv := bfm.New(core)
+		for trial := 0; trial < 6; trial++ {
+			key := make([]byte, 16)
+			rng.Read(key)
+			if _, err := drv.LoadKey(key); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := aes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for blk := 0; blk < 4; blk++ {
+				data := make([]byte, 16)
+				rng.Read(data)
+				want := make([]byte, 16)
+				if v != rijndael.Decrypt {
+					ref.Encrypt(want, data)
+					got, _, err := drv.Encrypt(data)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("%s encrypt key=%x data=%x: got %x want %x", v, key, data, got, want)
+					}
+				}
+				if v != rijndael.Encrypt {
+					ref.Decrypt(want, data)
+					got, _, err := drv.Decrypt(data)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("%s decrypt key=%x data=%x: got %x want %x", v, key, data, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBothInterleavedDirections(t *testing.T) {
+	core := newCore(t, rijndael.Both, rtl.ROMAsync)
+	drv := bfm.New(core)
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	if _, err := drv.LoadKey(key); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := aes.NewCipher(key)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 12; i++ {
+		data := make([]byte, 16)
+		rng.Read(data)
+		enc := i%2 == 0
+		want := make([]byte, 16)
+		if enc {
+			ref.Encrypt(want, data)
+		} else {
+			ref.Decrypt(want, data)
+		}
+		got, _, err := drv.Process(data, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("iteration %d (enc=%v): got %x want %x", i, enc, got, want)
+		}
+	}
+}
+
+func TestWrongDirectionRejected(t *testing.T) {
+	encCore := newCore(t, rijndael.Encrypt, rtl.ROMAsync)
+	drv := bfm.New(encCore)
+	drv.LoadKey(make([]byte, 16))
+	if _, _, err := drv.Decrypt(make([]byte, 16)); err == nil {
+		t.Error("encrypt-only core accepted decrypt")
+	}
+	decCore := newCore(t, rijndael.Decrypt, rtl.ROMAsync)
+	drv2 := bfm.New(decCore)
+	drv2.LoadKey(make([]byte, 16))
+	if _, _, err := drv2.Encrypt(make([]byte, 16)); err == nil {
+		t.Error("decrypt-only core accepted encrypt")
+	}
+}
+
+func TestKeyChangeBetweenBlocks(t *testing.T) {
+	core := newCore(t, rijndael.Both, rtl.ROMAsync)
+	drv := bfm.New(core)
+	k1 := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	k2 := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := mustHex(t, "00112233445566778899aabbccddeeff")
+	for _, key := range [][]byte{k1, k2, k1} {
+		if _, err := drv.LoadKey(key); err != nil {
+			t.Fatal(err)
+		}
+		ref, _ := aes.NewCipher(key)
+		want := make([]byte, 16)
+		ref.Encrypt(want, pt)
+		got, _, err := drv.Encrypt(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("after rekey %x: got %x want %x", key, got, want)
+		}
+		// And decrypt back.
+		back, _, err := drv.Decrypt(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("decrypt after rekey: %x", back)
+		}
+	}
+}
+
+// TestDeviceSignals reproduces Table 1: the port list and the pin counts
+// (261 for single-direction devices, 262 for the combined one).
+func TestDeviceSignals(t *testing.T) {
+	for _, v := range allVariants {
+		core := newCore(t, v, rtl.ROMAsync)
+		nl, err := core.Design.Synthesize(defaultMapOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPins := 261
+		if v == rijndael.Both {
+			wantPins = 262
+		}
+		if nl.PinCount() != wantPins {
+			t.Errorf("%s: %d pins, want %d", v, nl.PinCount(), wantPins)
+		}
+		for _, in := range []string{"clk", "setup", "wr_data", "wr_key", "din"} {
+			if _, ok := nl.FindInput(in); !ok {
+				t.Errorf("%s: missing input %s", v, in)
+			}
+		}
+		for _, out := range []string{"dout", "data_ok"} {
+			if _, ok := nl.FindOutput(out); !ok {
+				t.Errorf("%s: missing output %s", v, out)
+			}
+		}
+		_, hasEncdec := nl.FindInput("encdec")
+		if hasEncdec != (v == rijndael.Both) {
+			t.Errorf("%s: encdec presence = %v", v, hasEncdec)
+		}
+	}
+}
+
+// TestSBoxMemoryBudget reproduces the paper's Fig. 5 discussion and Table 2
+// memory column: 8 Kbit per 32-bit bank; 16 Kbit per single-direction
+// device; 32 Kbit for the combined one; zero when expanded to logic.
+func TestSBoxMemoryBudget(t *testing.T) {
+	cases := []struct {
+		v    rijndael.Variant
+		roms int
+	}{{rijndael.Encrypt, 8}, {rijndael.Decrypt, 8}, {rijndael.Both, 16}}
+	for _, c := range cases {
+		core := newCore(t, c.v, rtl.ROMAsync)
+		if core.SBoxROMs != c.roms {
+			t.Errorf("%s: %d ROMs, want %d", c.v, core.SBoxROMs, c.roms)
+		}
+		nl, err := core.Design.Synthesize(defaultMapOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nl.MemoryBits() != c.roms*2048 {
+			t.Errorf("%s: %d memory bits, want %d", c.v, nl.MemoryBits(), c.roms*2048)
+		}
+		logicCore := newCore(t, c.v, rtl.ROMLogic)
+		if logicCore.SBoxROMs != 0 {
+			t.Errorf("%s logic style reports %d ROMs", c.v, logicCore.SBoxROMs)
+		}
+	}
+}
+
+// TestLatencyConstants checks the headline architecture numbers: 5 cycles
+// per round and 50 per block (6/60 for the synchronous-ROM variant), and
+// the 10-cycle decryptor key setup.
+func TestLatencyConstants(t *testing.T) {
+	enc := newCore(t, rijndael.Encrypt, rtl.ROMAsync)
+	if enc.CyclesPerRound != 5 || enc.BlockLatency != 50 || enc.KeySetupCycles != 0 {
+		t.Errorf("encrypt async: %+v", enc)
+	}
+	dec := newCore(t, rijndael.Decrypt, rtl.ROMAsync)
+	if dec.KeySetupCycles != 10 {
+		t.Errorf("decrypt setup = %d, want 10", dec.KeySetupCycles)
+	}
+	syncCore := newCore(t, rijndael.Both, rtl.ROMSync)
+	if syncCore.CyclesPerRound != 6 || syncCore.BlockLatency != 60 || syncCore.KeySetupCycles != 20 {
+		t.Errorf("sync both: %+v", syncCore)
+	}
+}
+
+// TestLoadOverlap checks the decoupled Data In process: a block written
+// while the core is busy is buffered and processed immediately after.
+func TestLoadOverlap(t *testing.T) {
+	core := newCore(t, rijndael.Encrypt, rtl.ROMAsync)
+	drv := bfm.New(core)
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	drv.LoadKey(key)
+	ref, _ := aes.NewCipher(key)
+	blocks := make([][]byte, 8)
+	want := make([][]byte, 8)
+	rng := rand.New(rand.NewSource(3))
+	for i := range blocks {
+		blocks[i] = make([]byte, 16)
+		rng.Read(blocks[i])
+		want[i] = make([]byte, 16)
+		ref.Encrypt(want[i], blocks[i])
+	}
+	outs, res, err := drv.Stream(blocks, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(outs[i], want[i]) {
+			t.Fatalf("stream block %d: got %x want %x", i, outs[i], want[i])
+		}
+	}
+	// Sustained rate must be close to the block latency (the decoupled
+	// input hides the load cycle; allow the one idle cycle the simple FSM
+	// spends between operations).
+	if res.CyclesPerBlock > float64(core.BlockLatency+3) {
+		t.Errorf("sustained %.1f cycles/block, want <= %d", res.CyclesPerBlock, core.BlockLatency+3)
+	}
+}
+
+// TestDataOkClears checks that data_ok drops when a new operation starts.
+func TestDataOkClears(t *testing.T) {
+	core := newCore(t, rijndael.Encrypt, rtl.ROMAsync)
+	drv := bfm.New(core)
+	drv.LoadKey(make([]byte, 16))
+	if _, _, err := drv.Encrypt(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	sim := drv.Sim
+	sim.Eval()
+	if ok, _ := sim.Output("data_ok"); ok != 1 {
+		t.Fatal("data_ok should stay high after completion")
+	}
+	// Start a new operation: data_ok must clear while processing.
+	sim.SetInput("wr_data", 1)
+	sim.Step()
+	sim.SetInput("wr_data", 0)
+	sim.Eval()
+	if ok, _ := sim.Output("data_ok"); ok != 0 {
+		t.Fatal("data_ok should clear when a new block loads")
+	}
+}
+
+// TestSetupGatesKeyLoad checks that wr_key is ignored without setup.
+func TestSetupGatesKeyLoad(t *testing.T) {
+	core := newCore(t, rijndael.Encrypt, rtl.ROMAsync)
+	sim := core.Design.NewSimulator()
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	sim.SetInput("setup", 0)
+	sim.SetInput("wr_key", 1)
+	sim.SetInputBits("din", key)
+	sim.Step()
+	sim.SetInput("wr_key", 0)
+	// keyvalid must still be 0: a wr_data must not start anything.
+	sim.SetInput("wr_data", 1)
+	sim.SetInputBits("din", make([]byte, 16))
+	sim.Step()
+	sim.SetInput("wr_data", 0)
+	for i := 0; i < 200; i++ {
+		sim.Eval()
+		if ok, _ := sim.Output("data_ok"); ok == 1 {
+			t.Fatal("core produced output without a valid key")
+		}
+		sim.Step()
+	}
+}
+
+func BenchmarkSimulatedEncrypt(b *testing.B) {
+	core, err := rijndael.New(rijndael.Config{Variant: rijndael.Encrypt, ROMStyle: rtl.ROMAsync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	drv := bfm.New(core)
+	drv.LoadKey(make([]byte, 16))
+	block := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := drv.Encrypt(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package rijndael implements the paper's contribution: a low device
+// occupation AES-128 soft IP with a mixed 32/128-bit datapath.
+//
+// Byte Sub runs 32 bits per cycle through a bank of four S-box ROMs (8 Kbit
+// instead of the 32 Kbit a fully parallel ByteSub would need), while Shift
+// Row, Mix Column and Add Key execute on the full 128-bit state, giving
+// 5 clock cycles per round and a 50-cycle block latency. Round keys are
+// generated on the fly by the KStran transformation with its own bank of
+// four S-boxes, so no round-key storage exists. The core is generated in
+// three variants (encrypt-only, decrypt-only, combined) and three S-box
+// realization styles (asynchronous EAB ROM, synchronous M4K ROM, LUT
+// logic), mirroring the Acex1K and Cyclone implementations of the paper.
+package rijndael
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/rtl"
+)
+
+// Bit/byte conventions: the 128-bit state bus stores FIPS-197 byte i (the
+// byte mapped to row i%4, column i/4) at bits [8i, 8i+8), least-significant
+// bit first. A 32-bit word bus is one state column (4 consecutive bytes).
+
+// byteOf returns byte i of a bus.
+func byteOf(b rtl.Bus, i int) rtl.Bus { return b[8*i : 8*i+8] }
+
+// wordOf returns 32-bit word (column) i of a 128-bit bus.
+func wordOf(b rtl.Bus, i int) rtl.Bus { return b[32*i : 32*i+32] }
+
+// xtimeBus multiplies a byte bus by {02} in GF(2^8): a shift with the
+// reduction polynomial XORed in when the top bit is set. Three XOR gates
+// and wiring.
+func xtimeBus(g *logic.Net, b rtl.Bus) rtl.Bus {
+	if len(b) != 8 {
+		panic("rijndael: xtimeBus needs 8 bits")
+	}
+	hi := b[7]
+	return rtl.Bus{
+		hi,              // bit 0 = 0 ^ hi (0x1B bit 0)
+		g.Xor(b[0], hi), // bit 1: 0x1B bit 1
+		b[1],            // bit 2
+		g.Xor(b[2], hi), // bit 3: 0x1B bit 3
+		g.Xor(b[3], hi), // bit 4: 0x1B bit 4
+		b[4],            // bit 5
+		b[5],            // bit 6
+		b[6],            // bit 7
+	}
+}
+
+// invXtimeBus divides a byte bus by {02}: the inverse of xtimeBus. The low
+// bit says whether the reduction polynomial was folded in.
+func invXtimeBus(g *logic.Net, b rtl.Bus) rtl.Bus {
+	if len(b) != 8 {
+		panic("rijndael: invXtimeBus needs 8 bits")
+	}
+	lo := b[0] // original bit 7
+	return rtl.Bus{
+		g.Xor(b[1], lo),
+		b[2],
+		g.Xor(b[3], lo),
+		g.Xor(b[4], lo),
+		b[5],
+		b[6],
+		b[7],
+		lo,
+	}
+}
+
+// gfMulTerms returns the xtime-chain partial products of b selected by the
+// set bits of c: XORing them together yields b*c in GF(2^8).
+func gfMulTerms(g *logic.Net, b rtl.Bus, c byte) []rtl.Bus {
+	var terms []rtl.Bus
+	cur := b
+	for k := 0; k < 8; k++ {
+		if c>>uint(k)&1 != 0 {
+			terms = append(terms, cur)
+		}
+		if k != 7 {
+			cur = xtimeBus(g, cur)
+		}
+	}
+	return terms
+}
+
+// xorTree XORs a list of equally wide buses with a balanced per-bit tree,
+// minimizing logic depth of wide parity networks.
+func xorTree(g *logic.Net, terms []rtl.Bus) rtl.Bus {
+	if len(terms) == 0 {
+		panic("rijndael: xorTree of nothing")
+	}
+	width := len(terms[0])
+	out := make(rtl.Bus, width)
+	lits := make([]logic.Lit, len(terms))
+	for i := 0; i < width; i++ {
+		for j, t := range terms {
+			lits[j] = t[i]
+		}
+		out[i] = g.XorN(lits...)
+	}
+	return out
+}
+
+// gfMulConst multiplies a byte bus by a constant in GF(2^8) using the
+// xtime decomposition with a balanced XOR tree; the synthesis flow then
+// maps the network into LUTs.
+func gfMulConst(g *logic.Net, b rtl.Bus, c byte) rtl.Bus {
+	if c == 0 {
+		return rtl.Const(8, 0)
+	}
+	return xorTree(g, gfMulTerms(g, b, c))
+}
+
+// shiftRowsBus applies the Shift Row transformation (pure wiring: row r
+// rotates left by r). With inverse set it applies IShift Row (rotate
+// right).
+func shiftRowsBus(state rtl.Bus, inverse bool) rtl.Bus {
+	if len(state) != 128 {
+		panic("rijndael: shiftRowsBus needs 128 bits")
+	}
+	out := make(rtl.Bus, 128)
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			srcCol := (c + r) % 4
+			if inverse {
+				srcCol = (c - r + 4) % 4
+			}
+			src := byteOf(state, 4*srcCol+r)
+			copy(out[8*(4*c+r):], src)
+		}
+	}
+	return out
+}
+
+// mixColumnWordBus multiplies one 32-bit column by the MixColumn
+// polynomial matrix {02,03,01,01}.
+func mixColumnWordBus(g *logic.Net, w rtl.Bus) rtl.Bus {
+	b := [4]rtl.Bus{byteOf(w, 0), byteOf(w, 1), byteOf(w, 2), byteOf(w, 3)}
+	out := make(rtl.Bus, 0, 32)
+	coef := [4][4]byte{
+		{2, 3, 1, 1},
+		{1, 2, 3, 1},
+		{1, 1, 2, 3},
+		{3, 1, 1, 2},
+	}
+	for row := 0; row < 4; row++ {
+		var terms []rtl.Bus
+		for k := 0; k < 4; k++ {
+			terms = append(terms, gfMulTerms(g, b[k], coef[row][k])...)
+		}
+		out = append(out, xorTree(g, terms)...)
+	}
+	return out
+}
+
+// invMixColumnWordBus multiplies one column by the inverse matrix
+// {0e,0b,0d,09}. The higher-weight coefficients make this network deeper
+// than the forward one, which is why the paper's decryptor closes at a
+// slower clock.
+func invMixColumnWordBus(g *logic.Net, w rtl.Bus) rtl.Bus {
+	b := [4]rtl.Bus{byteOf(w, 0), byteOf(w, 1), byteOf(w, 2), byteOf(w, 3)}
+	out := make(rtl.Bus, 0, 32)
+	coef := [4][4]byte{
+		{0x0E, 0x0B, 0x0D, 0x09},
+		{0x09, 0x0E, 0x0B, 0x0D},
+		{0x0D, 0x09, 0x0E, 0x0B},
+		{0x0B, 0x0D, 0x09, 0x0E},
+	}
+	for row := 0; row < 4; row++ {
+		var terms []rtl.Bus
+		for k := 0; k < 4; k++ {
+			terms = append(terms, gfMulTerms(g, b[k], coef[row][k])...)
+		}
+		out = append(out, xorTree(g, terms)...)
+	}
+	return out
+}
+
+// mixColumnsBus applies Mix Column to all four columns of the state.
+func mixColumnsBus(g *logic.Net, state rtl.Bus) rtl.Bus {
+	out := make(rtl.Bus, 0, 128)
+	for c := 0; c < 4; c++ {
+		out = append(out, mixColumnWordBus(g, wordOf(state, c))...)
+	}
+	return out
+}
+
+// invMixColumnsBus applies IMix Column to all four columns.
+func invMixColumnsBus(g *logic.Net, state rtl.Bus) rtl.Bus {
+	out := make(rtl.Bus, 0, 128)
+	for c := 0; c < 4; c++ {
+		out = append(out, invMixColumnWordBus(g, wordOf(state, c))...)
+	}
+	return out
+}
+
+// sboxBank instantiates a bank of four 256x8 S-box ROMs substituting the
+// four bytes of a 32-bit word (Fig. 4/5 of the paper: 4 S-boxes = 8 Kbit
+// for 32-bit parallelism).
+func sboxBank(b *rtl.Builder, name string, word rtl.Bus, table [256]byte, style rtl.ROMStyle) rtl.Bus {
+	if len(word) != 32 {
+		panic(fmt.Sprintf("rijndael: sboxBank %s needs a 32-bit word", name))
+	}
+	out := make(rtl.Bus, 0, 32)
+	for i := 0; i < 4; i++ {
+		out = append(out, b.ROM(fmt.Sprintf("%s%d", name, i), byteOf(word, i), table, style)...)
+	}
+	return out
+}
+
+// mux2 selects between two equally wide buses.
+func mux2(g *logic.Net, sel logic.Lit, t, f rtl.Bus) rtl.Bus {
+	return g.MuxVector(sel, t, f)
+}

@@ -1,0 +1,161 @@
+package rijndael
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rijndaelip/internal/aes"
+	"rijndaelip/internal/gf256"
+	"rijndaelip/internal/rtl"
+)
+
+// evalBus builds a throwaway design evaluating f(input bus) combinationally
+// and returns a function byte-slice -> byte-slice.
+func evalBus(t *testing.T, inBits, outBits int, f func(b *rtl.Builder, in rtl.Bus) rtl.Bus) func([]byte) []byte {
+	t.Helper()
+	b := rtl.NewBuilder("dp")
+	in := b.Input("in", inBits)
+	b.Output("out", f(b, in))
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := d.NewSimulator()
+	return func(data []byte) []byte {
+		if err := sim.SetInputBits("in", data); err != nil {
+			t.Fatal(err)
+		}
+		sim.Eval()
+		out, err := sim.OutputBits("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[:(outBits+7)/8]
+	}
+}
+
+func TestXtimeBus(t *testing.T) {
+	f := evalBus(t, 8, 8, func(b *rtl.Builder, in rtl.Bus) rtl.Bus {
+		return xtimeBus(b.Logic(), in)
+	})
+	inv := evalBus(t, 8, 8, func(b *rtl.Builder, in rtl.Bus) rtl.Bus {
+		return invXtimeBus(b.Logic(), in)
+	})
+	for a := 0; a < 256; a++ {
+		want := gf256.Xtime(byte(a))
+		if got := f([]byte{byte(a)})[0]; got != want {
+			t.Fatalf("xtime(%#x) = %#x, want %#x", a, got, want)
+		}
+		if got := inv([]byte{want})[0]; got != byte(a) {
+			t.Fatalf("invXtime(xtime(%#x)) = %#x", a, got)
+		}
+	}
+}
+
+func TestGfMulConstBus(t *testing.T) {
+	for _, c := range []byte{0x01, 0x02, 0x03, 0x09, 0x0B, 0x0D, 0x0E, 0x57} {
+		c := c
+		f := evalBus(t, 8, 8, func(b *rtl.Builder, in rtl.Bus) rtl.Bus {
+			return gfMulConst(b.Logic(), in, c)
+		})
+		for a := 0; a < 256; a++ {
+			want := gf256.Mul(byte(a), c)
+			if got := f([]byte{byte(a)})[0]; got != want {
+				t.Fatalf("gfMulConst(%#x, %#x) = %#x, want %#x", a, c, got, want)
+			}
+		}
+	}
+}
+
+func TestShiftRowsBusWiring(t *testing.T) {
+	fwd := evalBus(t, 128, 128, func(b *rtl.Builder, in rtl.Bus) rtl.Bus {
+		return shiftRowsBus(in, false)
+	})
+	inv := evalBus(t, 128, 128, func(b *rtl.Builder, in rtl.Bus) rtl.Bus {
+		return shiftRowsBus(in, true)
+	})
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		block := make([]byte, 16)
+		rng.Read(block)
+		s := aes.LoadState(block)
+		aes.ShiftRows(&s)
+		if got := fwd(block); !bytes.Equal(got, s.Bytes()) {
+			t.Fatalf("shiftRows(%x) = %x, want %x", block, got, s.Bytes())
+		}
+		s2 := aes.LoadState(block)
+		aes.InvShiftRows(&s2)
+		if got := inv(block); !bytes.Equal(got, s2.Bytes()) {
+			t.Fatalf("invShiftRows(%x) = %x, want %x", block, got, s2.Bytes())
+		}
+	}
+}
+
+func TestMixColumnsBus(t *testing.T) {
+	fwd := evalBus(t, 128, 128, func(b *rtl.Builder, in rtl.Bus) rtl.Bus {
+		return mixColumnsBus(b.Logic(), in)
+	})
+	inv := evalBus(t, 128, 128, func(b *rtl.Builder, in rtl.Bus) rtl.Bus {
+		return invMixColumnsBus(b.Logic(), in)
+	})
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		block := make([]byte, 16)
+		rng.Read(block)
+		s := aes.LoadState(block)
+		aes.MixColumns(&s)
+		if got := fwd(block); !bytes.Equal(got, s.Bytes()) {
+			t.Fatalf("mixColumns(%x) = %x, want %x", block, got, s.Bytes())
+		}
+		s2 := aes.LoadState(block)
+		aes.InvMixColumns(&s2)
+		if got := inv(block); !bytes.Equal(got, s2.Bytes()) {
+			t.Fatalf("invMixColumns(%x) = %x, want %x", block, got, s2.Bytes())
+		}
+	}
+}
+
+func TestInvMixColumnsDeeper(t *testing.T) {
+	// The inverse MixColumn network must be deeper than the forward one --
+	// the structural reason the decryptor's clock is slower in Table 2.
+	bf := rtl.NewBuilder("fwd")
+	inF := bf.Input("in", 128)
+	outF := mixColumnsBus(bf.Logic(), inF)
+	dF := bf.Logic().Depth(outF)
+
+	bi := rtl.NewBuilder("inv")
+	inI := bi.Input("in", 128)
+	outI := invMixColumnsBus(bi.Logic(), inI)
+	dI := bi.Logic().Depth(outI)
+
+	if dI <= dF {
+		t.Errorf("InvMixColumns depth %d not deeper than MixColumns depth %d", dI, dF)
+	}
+}
+
+func TestSboxBankStyles(t *testing.T) {
+	for _, style := range []rtl.ROMStyle{rtl.ROMAsync, rtl.ROMLogic} {
+		b := rtl.NewBuilder("bank")
+		in := b.Input("in", 32)
+		b.Output("out", sboxBank(b, "sb", in, gf256.SBoxTable(), style))
+		d, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := d.NewSimulator()
+		rng := rand.New(rand.NewSource(17))
+		for trial := 0; trial < 64; trial++ {
+			var w [4]byte
+			rng.Read(w[:])
+			sim.SetInputBits("in", w[:])
+			sim.Eval()
+			got, _ := sim.OutputBits("out")
+			for i := 0; i < 4; i++ {
+				if got[i] != gf256.SBox(w[i]) {
+					t.Fatalf("style %v byte %d: %#x, want %#x", style, i, got[i], gf256.SBox(w[i]))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package rijndael_test
+
+import (
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/techmap"
+)
+
+// defaultMapOpts centralizes the mapping options used across tests.
+func defaultMapOpts() techmap.Options { return techmap.Options{} }
+
+// newNetlistSim builds a gate-level simulator (helper shared by tests).
+func newNetlistSim(nl *netlist.Netlist) (*netlist.Simulator, error) {
+	return netlist.NewSimulator(nl)
+}

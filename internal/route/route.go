@@ -1,0 +1,286 @@
+// Package route implements global routing over the placed design: a
+// PathFinder-style negotiated-congestion router (McMurchie & Ebeling) on
+// the LAB-grid routing graph. Each net is routed as a tree of channel
+// segments; overused channels get progressively more expensive until the
+// routing converges with every channel within capacity. The routed
+// wirelengths and the congestion profile refine the placement-aware
+// timing and expose the routability limits the paper's "high device
+// occupation" concerns are about.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/place"
+)
+
+// The routing graph has one node per grid tile (LAB position); edges
+// connect 4-neighbour tiles, each modeling a routing channel of the
+// configured capacity.
+
+// Config tunes the router.
+type Config struct {
+	// ChannelCapacity is the number of nets one inter-tile channel can
+	// carry (per direction pair; modeled undirected).
+	ChannelCapacity int
+	// MaxIterations bounds the rip-up-and-reroute loop.
+	MaxIterations int
+	// PresentFactor and HistoryFactor weight the congestion terms.
+	PresentFactor float64
+	HistoryFactor float64
+}
+
+// DefaultConfig mirrors modest island-style FPGA channel widths.
+func DefaultConfig() Config {
+	return Config{
+		ChannelCapacity: 28,
+		MaxIterations:   30,
+		PresentFactor:   0.6,
+		HistoryFactor:   0.35,
+	}
+}
+
+// Result reports a finished routing.
+type Result struct {
+	// Routed is the number of nets successfully routed.
+	Routed int
+	// Iterations used until convergence.
+	Iterations int
+	// Converged reports whether every channel ended within capacity.
+	Converged bool
+	// TotalWirelength is the sum of routed segment counts.
+	TotalWirelength int
+	// MaxChannelUse is the worst channel occupancy after the final
+	// iteration.
+	MaxChannelUse int
+	// NetLength maps each routed net to its tree size (segments), for
+	// timing refinement.
+	NetLength map[netlist.NetID]float64
+}
+
+type edgeKey struct{ a, b int } // tile indices, a < b
+
+// router holds the PathFinder state.
+type router struct {
+	cfg   Config
+	rows  int
+	cols  int
+	use   map[edgeKey]int
+	hist  map[edgeKey]float64
+	trees map[netlist.NetID][]edgeKey
+}
+
+// Route routes every multi-terminal net of the placement.
+func Route(nl *netlist.Netlist, pl *place.Result, cfg Config) (*Result, error) {
+	if err := nl.Build(); err != nil {
+		return nil, err
+	}
+	if cfg.ChannelCapacity <= 0 || cfg.MaxIterations <= 0 {
+		return nil, fmt.Errorf("route: invalid config %+v", cfg)
+	}
+	r := &router{
+		cfg:   cfg,
+		rows:  pl.Grid.Rows,
+		cols:  pl.Grid.Cols,
+		use:   map[edgeKey]int{},
+		hist:  map[edgeKey]float64{},
+		trees: map[netlist.NetID][]edgeKey{},
+	}
+
+	// Net terminals: tile of each connected cell, derived from the
+	// placement the same way place.Place derived its nets. To stay
+	// decoupled from the placer's internals, terminals are recomputed from
+	// the netlist with the public LAB assignment.
+	terms, err := netTerminals(nl, pl)
+	if err != nil {
+		return nil, err
+	}
+	// Stable net order (large nets first route better).
+	nets := make([]netlist.NetID, 0, len(terms))
+	for n := range terms {
+		nets = append(nets, n)
+	}
+	sort.Slice(nets, func(i, j int) bool {
+		if len(terms[nets[i]]) != len(terms[nets[j]]) {
+			return len(terms[nets[i]]) > len(terms[nets[j]])
+		}
+		return nets[i] < nets[j]
+	})
+
+	res := &Result{NetLength: map[netlist.NetID]float64{}}
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		res.Iterations = iter
+		// Rip up and reroute every net with current congestion costs.
+		for _, n := range nets {
+			r.ripUp(n)
+			tree := r.routeNet(terms[n])
+			r.trees[n] = tree
+			for _, e := range tree {
+				r.use[e]++
+			}
+		}
+		// Check congestion; update history costs.
+		over := 0
+		maxUse := 0
+		for e, u := range r.use {
+			if u > maxUse {
+				maxUse = u
+			}
+			if u > cfg.ChannelCapacity {
+				over++
+				r.hist[e] += cfg.HistoryFactor * float64(u-cfg.ChannelCapacity)
+			}
+		}
+		res.MaxChannelUse = maxUse
+		if over == 0 {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Routed = len(nets)
+	for n, tree := range r.trees {
+		res.NetLength[n] = float64(len(tree))
+		res.TotalWirelength += len(tree)
+	}
+	return res, nil
+}
+
+// netTerminals rebuilds each net's terminal tiles from the placement.
+func netTerminals(nl *netlist.Netlist, pl *place.Result) (map[netlist.NetID][]int, error) {
+	cellTiles, err := place.CellTiles(nl, pl)
+	if err != nil {
+		return nil, err
+	}
+	out := map[netlist.NetID][]int{}
+	for n, tiles := range cellTiles {
+		seen := map[int]bool{}
+		var uniq []int
+		for _, t := range tiles {
+			if !seen[t] {
+				seen[t] = true
+				uniq = append(uniq, t)
+			}
+		}
+		if len(uniq) >= 2 {
+			out[n] = uniq
+		}
+	}
+	return out, nil
+}
+
+func (r *router) ripUp(n netlist.NetID) {
+	for _, e := range r.trees[n] {
+		r.use[e]--
+	}
+	r.trees[n] = nil
+}
+
+// edgeCost is the negotiated congestion cost of using a channel.
+func (r *router) edgeCost(e edgeKey) float64 {
+	c := 1.0 + r.hist[e]
+	if over := r.use[e] + 1 - r.cfg.ChannelCapacity; over > 0 {
+		c += r.cfg.PresentFactor * float64(over) * float64(over)
+	}
+	return c
+}
+
+// routeNet grows a Steiner-ish tree: route the first sink from the source,
+// then each further sink from the nearest point of the existing tree
+// (Prim-style, with Dijkstra over the congestion costs).
+func (r *router) routeNet(tiles []int) []edgeKey {
+	inTree := map[int]bool{tiles[0]: true}
+	var tree []edgeKey
+	remaining := append([]int(nil), tiles[1:]...)
+	for len(remaining) > 0 {
+		// Dijkstra from all tree nodes simultaneously to the nearest
+		// remaining terminal.
+		dist := map[int]float64{}
+		prev := map[int]int{}
+		pq := &tileHeap{}
+		for t := range inTree {
+			dist[t] = 0
+			heap.Push(pq, tileDist{t, 0})
+		}
+		target := -1
+		targets := map[int]bool{}
+		for _, t := range remaining {
+			targets[t] = true
+		}
+		for pq.Len() > 0 {
+			cur := heap.Pop(pq).(tileDist)
+			if cur.d > dist[cur.t]+1e-12 {
+				continue
+			}
+			if targets[cur.t] {
+				target = cur.t
+				break
+			}
+			x, y := cur.t%r.cols, cur.t/r.cols
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || nx >= r.cols || ny < 0 || ny >= r.rows {
+					continue
+				}
+				nt := ny*r.cols + nx
+				e := mkEdge(cur.t, nt)
+				nd := cur.d + r.edgeCost(e)
+				if old, ok := dist[nt]; !ok || nd < old {
+					dist[nt] = nd
+					prev[nt] = cur.t
+					heap.Push(pq, tileDist{nt, nd})
+				}
+			}
+		}
+		if target < 0 {
+			// Grid is connected, so this cannot happen; guard anyway.
+			break
+		}
+		// Add the path to the tree.
+		for t := target; !inTree[t]; {
+			p := prev[t]
+			tree = append(tree, mkEdge(t, p))
+			inTree[t] = true
+			t = p
+		}
+		inTree[target] = true
+		// Remove reached terminal(s).
+		out := remaining[:0]
+		for _, t := range remaining {
+			if !inTree[t] {
+				out = append(out, t)
+			}
+		}
+		remaining = out
+	}
+	return tree
+}
+
+func mkEdge(a, b int) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+type tileDist struct {
+	t int
+	d float64
+}
+
+type tileHeap []tileDist
+
+func (h tileHeap) Len() int            { return len(h) }
+func (h tileHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h tileHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *tileHeap) Push(x interface{}) { *h = append(*h, x.(tileDist)) }
+func (h *tileHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,118 @@
+package route
+
+import (
+	"testing"
+
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/place"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+	"rijndaelip/internal/techmap"
+)
+
+// pairDesign: two LUTs wired together, placed at opposite grid corners,
+// must route with Manhattan-distance wirelength.
+func TestRouteSingleNetManhattan(t *testing.T) {
+	nl := netlist.New("pair")
+	a := nl.AddInput("a", 1)
+	x := nl.NewNet()
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{a[0]}, Mask: 0b01, Out: x})
+	y := nl.NewNet()
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{x}, Mask: 0b01, Out: y})
+	nl.AddOutput("y", []netlist.NetID{y})
+	if err := nl.Build(); err != nil {
+		t.Fatal(err)
+	}
+	grid := place.Grid{Rows: 5, Cols: 5, LABSize: 1}
+	pl := &place.Result{Grid: grid, LAB: []int{0, 24}} // corners
+	res, err := Route(nl, pl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("single net did not converge")
+	}
+	// Net x connects tiles 0 and 24: Manhattan distance 4+4 = 8 segments.
+	if got := res.NetLength[x]; got != 8 {
+		t.Fatalf("net length %v, want 8", got)
+	}
+}
+
+func TestRouteCongestionNegotiation(t *testing.T) {
+	// Many parallel nets crossing the same cut with capacity 1 per channel:
+	// the router must spread them over distinct rows.
+	nl := netlist.New("cong")
+	in := nl.AddInput("a", 4)
+	var outs []netlist.NetID
+	for i := 0; i < 4; i++ {
+		o := nl.NewNet()
+		nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{in[i]}, Mask: 0b01, Out: o})
+		o2 := nl.NewNet()
+		nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{o}, Mask: 0b01, Out: o2})
+		outs = append(outs, o2)
+	}
+	nl.AddOutput("y", outs)
+	if err := nl.Build(); err != nil {
+		t.Fatal(err)
+	}
+	grid := place.Grid{Rows: 4, Cols: 2, LABSize: 1}
+	// Drivers in column 0, sinks in column 1, all in row 0/1 forcing shared
+	// channels unless negotiated apart.
+	pl := &place.Result{Grid: grid, LAB: []int{0, 0, 2, 2, 1, 1, 3, 3}}
+	cfg := DefaultConfig()
+	cfg.ChannelCapacity = 1
+	res, err := Route(nl, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("congestion not resolved: max use %d", res.MaxChannelUse)
+	}
+	if res.MaxChannelUse > 1 {
+		t.Fatalf("channel overuse %d with capacity 1", res.MaxChannelUse)
+	}
+}
+
+func TestRouteBadConfig(t *testing.T) {
+	nl := netlist.New("x")
+	nl.AddOutput("y", []netlist.NetID{netlist.Const0})
+	pl := &place.Result{Grid: place.Grid{Rows: 1, Cols: 1, LABSize: 1}}
+	if _, err := Route(nl, pl, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+// TestRouteAESCore routes the placed encryptor and checks convergence
+// within realistic channel widths.
+func TestRouteAESCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routing the full core skipped in -short mode")
+	}
+	core, err := rijndael.New(rijndael.Config{Variant: rijndael.Encrypt, ROMStyle: rtl.ROMAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := core.Design.Synthesize(techmap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := place.GridFor(4992, 8)
+	pl, err := place.Place(nl, grid, 2003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(nl, pl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("routing did not converge in %d iterations (max channel use %d)",
+			res.Iterations, res.MaxChannelUse)
+	}
+	if res.TotalWirelength <= int(pl.HPWL) {
+		t.Errorf("routed wirelength %d below HPWL bound %.0f", res.TotalWirelength, pl.HPWL)
+	}
+	t.Logf("AES core routing: %d nets, %d segments (HPWL %.0f), %d iterations, max channel use %d/%d",
+		res.Routed, res.TotalWirelength, pl.HPWL, res.Iterations, res.MaxChannelUse,
+		DefaultConfig().ChannelCapacity)
+}

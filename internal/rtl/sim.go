@@ -1,0 +1,238 @@
+package rtl
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/logic"
+)
+
+// Simulator is a cycle-accurate simulator of an elaborated design. It
+// evaluates the AIG directly, resolving asynchronous ROM reads in address-
+// dependency order, and latches register and synchronous-ROM state on Step.
+type Simulator struct {
+	d      *Design
+	inputs []uint64 // per-AIG-input pattern values (bit 0 used)
+	values []uint64 // per-AIG-node values from the last Eval
+	regQ   [][]bool
+	romQ   [][8]bool
+	cycles uint64
+
+	piIndex map[string]int
+}
+
+// NewSimulator returns a simulator with registers at their initial values.
+func (d *Design) NewSimulator() *Simulator {
+	s := &Simulator{
+		d:       d,
+		inputs:  make([]uint64, d.b.aig.NumInputs()),
+		values:  make([]uint64, d.b.aig.NumNodes()),
+		regQ:    make([][]bool, len(d.b.regs)),
+		romQ:    make([][8]bool, len(d.b.roms)),
+		piIndex: map[string]int{},
+	}
+	for i, p := range d.b.inputs {
+		s.piIndex[p.name] = i
+	}
+	for i := range d.b.regs {
+		s.regQ[i] = append([]bool(nil), d.b.regs[i].init...)
+	}
+	return s
+}
+
+// Reset restores initial register and ROM-register state and clears inputs.
+func (s *Simulator) Reset() {
+	for i := range s.inputs {
+		s.inputs[i] = 0
+	}
+	for i := range s.d.b.regs {
+		copy(s.regQ[i], s.d.b.regs[i].init)
+	}
+	for i := range s.romQ {
+		s.romQ[i] = [8]bool{}
+	}
+	s.cycles = 0
+}
+
+// Cycles returns the number of Step calls since construction or Reset.
+func (s *Simulator) Cycles() uint64 { return s.cycles }
+
+// SetInput drives an input port with the little-endian bits of value.
+func (s *Simulator) SetInput(name string, value uint64) error {
+	i, ok := s.piIndex[name]
+	if !ok {
+		return fmt.Errorf("rtl: no input port %q", name)
+	}
+	p := s.d.b.inputs[i]
+	if len(p.bus) > 64 {
+		return fmt.Errorf("rtl: input %q wider than 64 bits, use SetInputBits", name)
+	}
+	for bit, l := range p.bus {
+		s.setInputLit(l, value>>uint(bit)&1 != 0)
+	}
+	return nil
+}
+
+// SetInputBits drives an input port from packed bytes (bit i of the port at
+// bits[i/8] bit i%8).
+func (s *Simulator) SetInputBits(name string, bits []byte) error {
+	i, ok := s.piIndex[name]
+	if !ok {
+		return fmt.Errorf("rtl: no input port %q", name)
+	}
+	p := s.d.b.inputs[i]
+	if len(bits)*8 < len(p.bus) {
+		return fmt.Errorf("rtl: input %q needs %d bits, got %d", name, len(p.bus), len(bits)*8)
+	}
+	for bit, l := range p.bus {
+		s.setInputLit(l, bits[bit/8]>>(uint(bit)%8)&1 != 0)
+	}
+	return nil
+}
+
+func (s *Simulator) setInputLit(l logic.Lit, v bool) {
+	ord := s.d.b.aig.InputOrdinal(l)
+	if v {
+		s.inputs[ord] = ^uint64(0)
+	} else {
+		s.inputs[ord] = 0
+	}
+}
+
+// Eval propagates inputs and current state through the combinational logic,
+// resolving asynchronous ROM reads. It does not advance the clock.
+func (s *Simulator) Eval() {
+	b := s.d.b
+	// Present register state.
+	for i := range b.regs {
+		for bit, l := range b.regs[i].q {
+			s.setInputLit(l, s.regQ[i][bit])
+		}
+	}
+	// Present synchronous ROM state; async ROM outputs resolved below.
+	for i := range b.roms {
+		if b.roms[i].style == ROMSync {
+			for bit, l := range b.roms[i].out {
+				s.setInputLit(l, s.romQ[i][bit])
+			}
+		}
+	}
+	// Resolve asynchronous ROM reads level by level: after each evaluation
+	// pass, every ROM whose address cone is already valid (level == pass)
+	// latches its read data onto its output pseudo-inputs, and the AIG is
+	// re-evaluated. A final pass propagates the last level's outputs.
+	for lvl := 0; lvl <= s.d.maxROMLevel; lvl++ {
+		b.aig.EvalInto(s.inputs, s.values)
+		for ri := range b.roms {
+			if s.d.romLevels[ri] != lvl {
+				continue
+			}
+			rom := &b.roms[ri]
+			addr := 0
+			for bit, l := range rom.addr {
+				if logic.LitValue(s.values, l)&1 != 0 {
+					addr |= 1 << uint(bit)
+				}
+			}
+			word := rom.contents[addr]
+			for bit, l := range rom.out {
+				s.setInputLit(l, word>>uint(bit)&1 != 0)
+			}
+		}
+	}
+	b.aig.EvalInto(s.inputs, s.values)
+}
+
+// Step runs one clock cycle: Eval, then latch registers and synchronous
+// ROM output registers.
+func (s *Simulator) Step() {
+	s.Eval()
+	b := s.d.b
+	for i := range b.regs {
+		r := &b.regs[i]
+		if logic.LitValue(s.values, r.en)&1 == 0 {
+			continue
+		}
+		for bit, l := range r.next {
+			s.regQ[i][bit] = logic.LitValue(s.values, l)&1 != 0
+		}
+	}
+	for i := range b.roms {
+		rom := &b.roms[i]
+		if rom.style != ROMSync {
+			continue
+		}
+		addr := 0
+		for bit, l := range rom.addr {
+			if logic.LitValue(s.values, l)&1 != 0 {
+				addr |= 1 << uint(bit)
+			}
+		}
+		word := rom.contents[addr]
+		for bit := 0; bit < 8; bit++ {
+			s.romQ[i][bit] = word>>uint(bit)&1 != 0
+		}
+	}
+	s.cycles++
+}
+
+// Lit returns the value of an arbitrary literal after the last Eval/Step.
+func (s *Simulator) Lit(l logic.Lit) bool {
+	return logic.LitValue(s.values, l)&1 != 0
+}
+
+// Output reads an output port as a little-endian value (ports up to 64
+// bits).
+func (s *Simulator) Output(name string) (uint64, error) {
+	for _, p := range s.d.b.outputs {
+		if p.name != name {
+			continue
+		}
+		if len(p.bus) > 64 {
+			return 0, fmt.Errorf("rtl: output %q wider than 64 bits, use OutputBits", name)
+		}
+		var v uint64
+		for bit, l := range p.bus {
+			if s.Lit(l) {
+				v |= 1 << uint(bit)
+			}
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("rtl: no output port %q", name)
+}
+
+// OutputBits reads an output port into packed bytes.
+func (s *Simulator) OutputBits(name string) ([]byte, error) {
+	for _, p := range s.d.b.outputs {
+		if p.name != name {
+			continue
+		}
+		bits := make([]byte, (len(p.bus)+7)/8)
+		for bit, l := range p.bus {
+			if s.Lit(l) {
+				bits[bit/8] |= 1 << (uint(bit) % 8)
+			}
+		}
+		return bits, nil
+	}
+	return nil, fmt.Errorf("rtl: no output port %q", name)
+}
+
+// RegValue returns the current state of a named register as packed bytes,
+// for debugging and waveform dumps.
+func (s *Simulator) RegValue(name string) ([]byte, bool) {
+	for i := range s.d.b.regs {
+		if s.d.b.regs[i].name != name {
+			continue
+		}
+		q := s.regQ[i]
+		bits := make([]byte, (len(q)+7)/8)
+		for bit, v := range q {
+			if v {
+				bits[bit/8] |= 1 << (uint(bit) % 8)
+			}
+		}
+		return bits, true
+	}
+	return nil, false
+}

@@ -1,0 +1,437 @@
+// Package techmap implements K-input LUT technology mapping of an
+// And-Inverter Graph using priority cuts, the algorithm family used by
+// modern FPGA synthesis tools (Mishchenko et al., "Combinational and
+// sequential mapping with priority cuts").
+//
+// The mapper enumerates bounded cut sets per AIG node, selects a
+// depth-optimal cover with an area-flow tie-break, and emits LUT cells into
+// a netlist. Edge inversions are absorbed into LUT masks; an explicit
+// second LUT is emitted only when both polarities of the same mapped node
+// are demanded by non-LUT consumers (registers, ROM addresses, output
+// ports), mirroring how real mappers absorb inverters.
+package techmap
+
+import (
+	"fmt"
+	"sort"
+
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/netlist"
+)
+
+// Options configures the mapper.
+type Options struct {
+	K       int // LUT input count; default 4
+	MaxCuts int // priority cuts kept per node; default 8
+	// NoAreaRecovery disables the post-pass that re-selects minimum
+	// area-flow cuts for nodes with timing slack. The default (recovery
+	// on) matches production mappers: depth-optimal where it matters,
+	// area-optimal elsewhere.
+	NoAreaRecovery bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 4
+	}
+	if o.K > 4 {
+		panic("techmap: K > 4 not supported by the netlist LUT cell")
+	}
+	if o.MaxCuts == 0 {
+		o.MaxCuts = 8
+	}
+	return o
+}
+
+// cut is a set of at most 4 leaf node ids, sorted ascending.
+type cut struct {
+	leaves [4]uint32
+	n      int8
+	depth  int32   // 1 + max leaf arrival
+	flow   float64 // area flow estimate
+}
+
+func (c *cut) leafSlice() []uint32 { return c.leaves[:c.n] }
+
+// mergeCuts unions two cuts; reports failure if the union exceeds k leaves.
+func mergeCuts(a, b *cut, k int) (cut, bool) {
+	var m cut
+	i, j := 0, 0
+	for i < int(a.n) || j < int(b.n) {
+		var next uint32
+		switch {
+		case i >= int(a.n):
+			next = b.leaves[j]
+			j++
+		case j >= int(b.n):
+			next = a.leaves[i]
+			i++
+		case a.leaves[i] < b.leaves[j]:
+			next = a.leaves[i]
+			i++
+		case a.leaves[i] > b.leaves[j]:
+			next = b.leaves[j]
+			j++
+		default:
+			next = a.leaves[i]
+			i++
+			j++
+		}
+		if int(m.n) == k {
+			return cut{}, false
+		}
+		m.leaves[m.n] = next
+		m.n++
+	}
+	return m, true
+}
+
+// MappedLUT is one LUT of the chosen cover, expressed over AIG node ids.
+type MappedLUT struct {
+	Node   uint32   // AIG node implemented (positive function)
+	Leaves []uint32 // leaf node ids (AIG inputs or other mapped nodes)
+	TT     uint16   // truth table of the positive function over positive leaves
+}
+
+// Cover is the result of mapping: the chosen LUTs in topological order and
+// the root literals they must realize.
+type Cover struct {
+	aig   *logic.Net
+	opt   Options
+	roots []logic.Lit
+	LUTs  []MappedLUT
+	byNod map[uint32]int // node id -> index into LUTs
+	Depth int            // mapped LUT depth of the deepest root
+}
+
+// Map runs priority-cut mapping of the cone feeding roots.
+func Map(aig *logic.Net, roots []logic.Lit, opt Options) (*Cover, error) {
+	opt = opt.withDefaults()
+	cone := aig.Cone(roots)
+
+	// AIG fanout estimate for area flow.
+	refs := make(map[uint32]float64, len(cone))
+	for _, id := range cone {
+		if aig.IsInput(logic.Lit(id << 1)) {
+			continue
+		}
+		f0, f1 := aig.Fanins(id)
+		refs[f0.Node()]++
+		refs[f1.Node()]++
+	}
+	for _, r := range roots {
+		refs[r.Node()]++
+	}
+
+	cuts := make(map[uint32][]cut, len(cone))
+	arrival := make(map[uint32]int32, len(cone))
+	flowOf := make(map[uint32]float64, len(cone))
+	best := make(map[uint32]cut, len(cone))
+
+	for _, id := range cone {
+		if aig.IsInput(logic.Lit(id << 1)) {
+			trivial := cut{n: 1}
+			trivial.leaves[0] = id
+			cuts[id] = []cut{trivial}
+			arrival[id] = 0
+			flowOf[id] = 0
+			continue
+		}
+		f0, f1 := aig.Fanins(id)
+		n0, n1 := f0.Node(), f1.Node()
+		var cand []cut
+		for i := range cuts[n0] {
+			for j := range cuts[n1] {
+				m, ok := mergeCuts(&cuts[n0][i], &cuts[n1][j], opt.K)
+				if !ok {
+					continue
+				}
+				var d int32
+				var fl float64
+				for _, lf := range m.leafSlice() {
+					if arrival[lf] > d {
+						d = arrival[lf]
+					}
+					r := refs[lf]
+					if r < 1 {
+						r = 1
+					}
+					fl += flowOf[lf] / r
+				}
+				m.depth = d + 1
+				m.flow = fl + 1
+				cand = append(cand, m)
+			}
+		}
+		if len(cand) == 0 {
+			return nil, fmt.Errorf("techmap: node %d has no feasible cut", id)
+		}
+		sort.Slice(cand, func(a, b int) bool {
+			if cand[a].depth != cand[b].depth {
+				return cand[a].depth < cand[b].depth
+			}
+			if cand[a].flow != cand[b].flow {
+				return cand[a].flow < cand[b].flow
+			}
+			return cand[a].n < cand[b].n
+		})
+		cand = dedupeCuts(cand)
+		if len(cand) > opt.MaxCuts {
+			cand = cand[:opt.MaxCuts]
+		}
+		best[id] = cand[0]
+		arrival[id] = cand[0].depth
+		flowOf[id] = cand[0].flow
+		// Parents may also use this node as a leaf (trivial cut).
+		trivial := cut{n: 1, depth: cand[0].depth, flow: cand[0].flow}
+		trivial.leaves[0] = id
+		cuts[id] = append(cand, trivial)
+	}
+
+	// Cover extraction from the roots downward.
+	cov := &Cover{aig: aig, opt: opt, roots: append([]logic.Lit(nil), roots...),
+		byNod: map[uint32]int{}}
+	needed := make(map[uint32]bool)
+	var depth int32
+	for _, r := range roots {
+		id := r.Node()
+		if id == 0 || aig.IsInput(r) {
+			continue
+		}
+		needed[id] = true
+		if arrival[id] > depth {
+			depth = arrival[id]
+		}
+	}
+	cov.Depth = int(depth)
+	// Area recovery: every root may relax to the global mapped depth (the
+	// clock is set by the worst endpoint), and internal nodes inherit
+	// required times from their parents. A node with slack takes its
+	// minimum-area-flow cut instead of its fastest one.
+	chosen := make(map[uint32]cut, len(needed))
+	required := make(map[uint32]int32, len(needed))
+	for id := range needed {
+		required[id] = depth
+	}
+	// Walk the cone in reverse topological order so parents mark leaves
+	// (and propagate required times) before the leaves are visited.
+	for i := len(cone) - 1; i >= 0; i-- {
+		id := cone[i]
+		if !needed[id] || aig.IsInput(logic.Lit(id<<1)) {
+			continue
+		}
+		c := best[id]
+		if !opt.NoAreaRecovery {
+			req := required[id]
+			bestFlow := c.flow
+			// cuts[id] holds the priority cuts followed by the trivial
+			// self-cut, which cannot implement the node.
+			for _, cand := range cuts[id] {
+				if cand.n == 1 && cand.leaves[0] == id {
+					continue
+				}
+				var d int32
+				for _, lf := range cand.leafSlice() {
+					if arrival[lf] >= d {
+						d = arrival[lf]
+					}
+				}
+				d++
+				if d <= req && (cand.flow < bestFlow ||
+					(cand.flow == bestFlow && cand.n < c.n)) {
+					c = cand
+					bestFlow = cand.flow
+				}
+			}
+		}
+		chosen[id] = c
+		for _, lf := range c.leafSlice() {
+			if aig.IsInput(logic.Lit(lf << 1)) {
+				continue
+			}
+			needed[lf] = true
+			r := required[id] - 1
+			if cur, ok := required[lf]; !ok || r < cur {
+				required[lf] = r
+			}
+		}
+	}
+	// Emit chosen LUTs in topological order with their truth tables.
+	for _, id := range cone {
+		if !needed[id] || aig.IsInput(logic.Lit(id<<1)) {
+			continue
+		}
+		c, ok := chosen[id]
+		if !ok {
+			c = best[id]
+		}
+		leaves := append([]uint32(nil), c.leafSlice()...)
+		leafLits := make([]logic.Lit, len(leaves))
+		for i, lf := range leaves {
+			leafLits[i] = logic.Lit(lf << 1)
+		}
+		tt := uint16(aig.TruthTable(logic.Lit(id<<1), leafLits))
+		cov.byNod[id] = len(cov.LUTs)
+		cov.LUTs = append(cov.LUTs, MappedLUT{Node: id, Leaves: leaves, TT: tt})
+	}
+	return cov, nil
+}
+
+func dedupeCuts(cs []cut) []cut {
+	seen := make(map[[5]uint32]bool, len(cs))
+	out := cs[:0]
+	for _, c := range cs {
+		key := [5]uint32{uint32(c.n), c.leaves[0], c.leaves[1], c.leaves[2], c.leaves[3]}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// NumLUTs returns the LUT count of the cover.
+func (c *Cover) NumLUTs() int { return len(c.LUTs) }
+
+// flipVar inverts input variable v of a k-variable truth table.
+func flipVar(tt uint16, v int, k int) uint16 {
+	var out uint16
+	for idx := 0; idx < 1<<uint(k); idx++ {
+		if tt>>uint(idx)&1 != 0 {
+			out |= 1 << uint(idx^(1<<uint(v)))
+		}
+	}
+	return out
+}
+
+// invertTT complements a k-variable truth table within its defined bits.
+func invertTT(tt uint16, k int) uint16 {
+	mask := uint16(1)<<(1<<uint(k)) - 1
+	if k == 4 {
+		mask = 0xFFFF
+	}
+	return ^tt & mask
+}
+
+// EmitEnv supplies the netlist context for cover emission.
+type EmitEnv struct {
+	NL *netlist.Netlist
+	// InputNet maps an AIG primary-input ordinal to the netlist net that
+	// carries its (positive) value.
+	InputNet func(ordinal int) netlist.NetID
+	// Name, if non-nil, labels the LUT emitted for a root literal.
+	Name func(root logic.Lit) string
+}
+
+// Emit writes the cover's LUTs into the netlist and returns one net per
+// root literal (aligned with the roots passed to Map), with polarities
+// honoured. LUT-to-LUT inversions are absorbed into masks; a node demanded
+// in both polarities by roots is duplicated.
+func (c *Cover) Emit(env EmitEnv) ([]netlist.NetID, error) {
+	aig := c.aig
+	needPos := map[uint32]bool{}
+	needNeg := map[uint32]bool{}
+	for _, r := range c.roots {
+		id := r.Node()
+		if id == 0 || aig.IsInput(r) {
+			continue
+		}
+		if r.Inverted() {
+			needNeg[id] = true
+		} else {
+			needPos[id] = true
+		}
+	}
+	// Internal leaf uses demand the carrying polarity only; we always carry
+	// the polarity chosen below and fold in consumers.
+	carryNeg := map[uint32]bool{}
+	for _, ml := range c.LUTs {
+		if !needPos[ml.Node] && needNeg[ml.Node] {
+			carryNeg[ml.Node] = true
+		}
+	}
+
+	posNet := map[uint32]netlist.NetID{}      // net carrying chosen polarity
+	dupNet := map[uint32]netlist.NetID{}      // net carrying the opposite polarity (duplicated)
+	inputNegNet := map[uint32]netlist.NetID{} // inverters for negated input roots
+
+	leafNet := func(id uint32) (netlist.NetID, bool) {
+		if aig.IsInput(logic.Lit(id << 1)) {
+			return env.InputNet(aig.InputOrdinal(logic.Lit(id << 1))), false
+		}
+		n, ok := posNet[id]
+		if !ok {
+			panic("techmap: leaf emitted out of order")
+		}
+		return n, carryNeg[id]
+	}
+
+	for i := range c.LUTs {
+		ml := &c.LUTs[i]
+		k := len(ml.Leaves)
+		tt := ml.TT
+		ins := make([]netlist.NetID, k)
+		for v, lf := range ml.Leaves {
+			n, neg := leafNet(lf)
+			ins[v] = n
+			if neg {
+				tt = flipVar(tt, v, k)
+			}
+		}
+		if carryNeg[ml.Node] {
+			tt = invertTT(tt, k)
+		}
+		out := env.NL.NewNet()
+		name := ""
+		if env.Name != nil {
+			name = env.Name(logic.Lit(ml.Node << 1))
+		}
+		env.NL.AddLUT(netlist.LUT{Inputs: ins, Mask: tt, Out: out, Name: name})
+		posNet[ml.Node] = out
+		if needPos[ml.Node] && needNeg[ml.Node] {
+			// Duplicate with the opposite polarity for the minority use.
+			dup := env.NL.NewNet()
+			env.NL.AddLUT(netlist.LUT{Inputs: ins, Mask: invertTT(tt, k), Out: dup,
+				Name: name + "~dup"})
+			dupNet[ml.Node] = dup
+		}
+	}
+
+	out := make([]netlist.NetID, len(c.roots))
+	for i, r := range c.roots {
+		id := r.Node()
+		switch {
+		case r == logic.False:
+			out[i] = netlist.Const0
+		case r == logic.True:
+			out[i] = netlist.Const1
+		case aig.IsInput(r):
+			base := env.InputNet(aig.InputOrdinal(r))
+			if !r.Inverted() {
+				out[i] = base
+				continue
+			}
+			inv, ok := inputNegNet[id]
+			if !ok {
+				inv = env.NL.NewNet()
+				env.NL.AddLUT(netlist.LUT{Inputs: []netlist.NetID{base}, Mask: 0b01, Out: inv})
+				inputNegNet[id] = inv
+			}
+			out[i] = inv
+		default:
+			wantNeg := r.Inverted()
+			haveNeg := carryNeg[id]
+			if wantNeg == haveNeg {
+				out[i] = posNet[id]
+			} else {
+				d, ok := dupNet[id]
+				if !ok {
+					return nil, fmt.Errorf("techmap: missing polarity for root %v", r)
+				}
+				out[i] = d
+			}
+		}
+	}
+	return out, nil
+}

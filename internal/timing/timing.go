@@ -1,0 +1,227 @@
+// Package timing implements static timing analysis over a mapped netlist.
+//
+// The delay model is the classical FPGA one: cell delays for LUTs and
+// embedded-memory reads, a routing delay per net that grows with fanout,
+// clock-to-output and setup at sequential elements, and pad delays at the
+// primary I/O. The analyzer computes worst arrival times, the minimum
+// clock period (worst register-to-register or register-to-memory path plus
+// setup), and a traceback of the critical path.
+package timing
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rijndaelip/internal/netlist"
+)
+
+// DelayModel carries the device timing parameters in nanoseconds.
+type DelayModel struct {
+	LUT       float64 // LUT cell delay
+	ROMAsync  float64 // asynchronous ROM address-to-data delay
+	RouteBase float64 // routing delay of any net
+	RouteFan  float64 // extra routing delay per additional fanout load
+	ClkToQ    float64 // FF (and sync-ROM register) clock-to-output
+	Setup     float64 // FF (and sync-ROM address) setup time
+	PadIn     float64 // input pad + routing to fabric
+	PadOut    float64 // fabric to output pad
+}
+
+// route returns the interconnect delay of a net with the given fanout.
+// High-fanout nets are buffered into routing trees by the fitter (and
+// control signals ride LAB-wide or global lines), so the penalty grows
+// logarithmically rather than linearly with the number of loads.
+func (d DelayModel) route(fanout int) float64 {
+	if fanout < 1 {
+		fanout = 1
+	}
+	return d.RouteBase + d.RouteFan*math.Log2(float64(fanout))
+}
+
+// PathStep is one element of a critical-path traceback.
+type PathStep struct {
+	What    string  // "FF.Q", "LUT", "ROM", "PI", endpoint descriptions
+	Name    string  // cell name when available
+	Arrival float64 // arrival time at this step's output (ns)
+}
+
+// Result is the outcome of an STA run.
+type Result struct {
+	// Period is the minimum clock period in ns: the worst sequential
+	// endpoint arrival plus setup. Zero when the design has no sequential
+	// endpoint.
+	Period float64
+	// FmaxMHz is 1000/Period (0 if Period is 0).
+	FmaxMHz float64
+	// WorstIO is the worst input-to-output or register-to-output pad path.
+	WorstIO float64
+	// Critical is the traceback of the period-limiting path, source first.
+	Critical []PathStep
+	// Endpoint describes the critical endpoint.
+	Endpoint string
+}
+
+// String renders a human-readable timing report.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "min period %.2f ns (Fmax %.1f MHz), endpoint %s\n", r.Period, r.FmaxMHz, r.Endpoint)
+	for _, s := range r.Critical {
+		fmt.Fprintf(&b, "  %7.2f ns  %-6s %s\n", s.Arrival, s.What, s.Name)
+	}
+	return b.String()
+}
+
+// provenance records how a net got its arrival time for traceback.
+type provenance struct {
+	kind string // "PI", "FF", "ROMQ", "LUT", "ROM"
+	name string
+	from netlist.NetID // worst-input net for cells; Invalid for sources
+}
+
+// Analyze runs STA on the netlist with the given delay model, using the
+// fanout-based routing estimate.
+func Analyze(nl *netlist.Netlist, dm DelayModel) (Result, error) {
+	return analyze(nl, dm, nil, 0)
+}
+
+// AnalyzePlaced runs STA with placement-aware routing: each net's delay
+// additionally includes pitch nanoseconds per unit of its placed
+// wirelength (e.g. the HPWL from the annealing placer).
+func AnalyzePlaced(nl *netlist.Netlist, dm DelayModel, wirelength map[netlist.NetID]float64, pitch float64) (Result, error) {
+	return analyze(nl, dm, wirelength, pitch)
+}
+
+func analyze(nl *netlist.Netlist, dm DelayModel, wires map[netlist.NetID]float64, pitch float64) (Result, error) {
+	if err := nl.Build(); err != nil {
+		return Result{}, err
+	}
+	routeOf := func(n netlist.NetID) float64 {
+		d := dm.route(nl.Fanout(n))
+		if wires != nil {
+			d += pitch * wires[n]
+		}
+		return d
+	}
+	arr := make([]float64, nl.NumNets())
+	for i := range arr {
+		arr[i] = math.Inf(-1)
+	}
+	prov := make([]provenance, nl.NumNets())
+	arr[netlist.Const0] = 0
+	arr[netlist.Const1] = 0
+	prov[netlist.Const0] = provenance{kind: "CONST", from: netlist.Invalid}
+	prov[netlist.Const1] = provenance{kind: "CONST", from: netlist.Invalid}
+
+	for _, p := range nl.Inputs {
+		for _, n := range p.Nets {
+			arr[n] = dm.PadIn
+			prov[n] = provenance{kind: "PI", name: p.Name, from: netlist.Invalid}
+		}
+	}
+	for i := range nl.FFs {
+		f := &nl.FFs[i]
+		arr[f.Q] = dm.ClkToQ
+		prov[f.Q] = provenance{kind: "FF", name: f.Name, from: netlist.Invalid}
+	}
+	for i := range nl.ROMs {
+		r := &nl.ROMs[i]
+		if r.Sync {
+			for _, o := range r.Out {
+				arr[o] = dm.ClkToQ
+				prov[o] = provenance{kind: "ROMQ", name: r.Name, from: netlist.Invalid}
+			}
+		}
+	}
+
+	// Propagate through combinational elements in levelized order. The
+	// netlist's Build order is exactly that.
+	for _, cn := range nl.CombOrder() {
+		switch cn.Kind {
+		case netlist.CombLUT:
+			l := &nl.LUTs[cn.Index]
+			worst := math.Inf(-1)
+			var worstIn netlist.NetID = netlist.Invalid
+			for _, in := range l.Inputs {
+				t := arr[in] + routeOf(in)
+				if t > worst {
+					worst = t
+					worstIn = in
+				}
+			}
+			if len(l.Inputs) == 0 {
+				worst = 0
+			}
+			arr[l.Out] = worst + dm.LUT
+			prov[l.Out] = provenance{kind: "LUT", name: l.Name, from: worstIn}
+		case netlist.CombROM:
+			r := &nl.ROMs[cn.Index]
+			worst := math.Inf(-1)
+			var worstIn netlist.NetID = netlist.Invalid
+			for _, a := range r.Addr {
+				t := arr[a] + routeOf(a)
+				if t > worst {
+					worst = t
+					worstIn = a
+				}
+			}
+			for _, o := range r.Out {
+				arr[o] = worst + dm.ROMAsync
+				prov[o] = provenance{kind: "ROM", name: r.Name, from: worstIn}
+			}
+		}
+	}
+
+	// Sequential endpoints.
+	res := Result{}
+	var worstEndNet netlist.NetID = netlist.Invalid
+	consider := func(n netlist.NetID, desc string) {
+		if n == netlist.Invalid {
+			return
+		}
+		t := arr[n] + routeOf(n) + dm.Setup
+		if t > res.Period {
+			res.Period = t
+			res.Endpoint = desc
+			worstEndNet = n
+		}
+	}
+	for i := range nl.FFs {
+		f := &nl.FFs[i]
+		consider(f.D, fmt.Sprintf("FF %s .D", f.Name))
+		consider(f.En, fmt.Sprintf("FF %s .EN", f.Name))
+	}
+	for i := range nl.ROMs {
+		r := &nl.ROMs[i]
+		if r.Sync {
+			for _, a := range r.Addr {
+				consider(a, fmt.Sprintf("ROM %s addr", r.Name))
+			}
+		}
+	}
+	if res.Period > 0 {
+		res.FmaxMHz = 1000 / res.Period
+	}
+
+	// IO paths (informational).
+	for _, p := range nl.Outputs {
+		for _, n := range p.Nets {
+			t := arr[n] + routeOf(n) + dm.PadOut
+			if t > res.WorstIO {
+				res.WorstIO = t
+			}
+		}
+	}
+
+	// Traceback of the critical path.
+	for n := worstEndNet; n != netlist.Invalid; {
+		p := prov[n]
+		res.Critical = append(res.Critical, PathStep{What: p.kind, Name: p.name, Arrival: arr[n]})
+		n = p.from
+	}
+	// Reverse to source-first order.
+	for i, j := 0, len(res.Critical)-1; i < j; i, j = i+1, j-1 {
+		res.Critical[i], res.Critical[j] = res.Critical[j], res.Critical[i]
+	}
+	return res, nil
+}

@@ -1,0 +1,224 @@
+package timing
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rijndaelip/internal/netlist"
+)
+
+var testModel = DelayModel{
+	LUT:       1.0,
+	ROMAsync:  4.0,
+	RouteBase: 0.5,
+	RouteFan:  0.1,
+	ClkToQ:    0.6,
+	Setup:     0.4,
+	PadIn:     1.5,
+	PadOut:    2.0,
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// buildPipe builds FF -> LUT chain of depth n -> FF.
+func buildPipe(n int) *netlist.Netlist {
+	nl := netlist.New("pipe")
+	q := nl.NewNet()
+	nl.AddFF(netlist.FF{D: netlist.Const0, En: netlist.Invalid, Q: q, Name: "src"})
+	cur := q
+	for i := 0; i < n; i++ {
+		out := nl.NewNet()
+		nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{cur}, Mask: 0b01, Out: out})
+		cur = out
+	}
+	q2 := nl.NewNet()
+	nl.AddFF(netlist.FF{D: cur, En: netlist.Invalid, Q: q2, Name: "dst"})
+	nl.AddOutput("y", []netlist.NetID{q2})
+	return nl
+}
+
+func TestRegToRegChain(t *testing.T) {
+	for _, depth := range []int{1, 3, 7} {
+		nl := buildPipe(depth)
+		res, err := Analyze(nl, testModel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ClkToQ + depth * (route + LUT) + route + setup. All nets have
+		// fanout 1.
+		want := testModel.ClkToQ + float64(depth)*(0.5+1.0) + 0.5 + testModel.Setup
+		if !approx(res.Period, want) {
+			t.Errorf("depth %d: period %.3f, want %.3f", depth, res.Period, want)
+		}
+	}
+}
+
+func TestFanoutSlowsRouting(t *testing.T) {
+	// One source net loading k LUTs: route delay grows with fanout.
+	mk := func(loads int) float64 {
+		nl := netlist.New("fan")
+		q := nl.NewNet()
+		nl.AddFF(netlist.FF{D: netlist.Const0, En: netlist.Invalid, Q: q})
+		var last netlist.NetID
+		for i := 0; i < loads; i++ {
+			out := nl.NewNet()
+			nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{q}, Mask: 0b01, Out: out})
+			last = out
+		}
+		q2 := nl.NewNet()
+		nl.AddFF(netlist.FF{D: last, En: netlist.Invalid, Q: q2})
+		nl.AddOutput("y", []netlist.NetID{q2})
+		res, err := Analyze(nl, testModel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Period
+	}
+	p1, p8 := mk(1), mk(8)
+	if p8 <= p1 {
+		t.Errorf("fanout 8 period %.3f not slower than fanout 1 %.3f", p8, p1)
+	}
+	// Buffered-tree model: log2(8) = 3 extra fanout units.
+	if !approx(p8-p1, 3*testModel.RouteFan) {
+		t.Errorf("fanout delta %.3f, want %.3f", p8-p1, 3*testModel.RouteFan)
+	}
+	// Fanout 64 costs only twice as much extra as fanout 8.
+	p64 := mk(64)
+	if !approx(p64-p1, 6*testModel.RouteFan) {
+		t.Errorf("fanout-64 delta %.3f, want %.3f", p64-p1, 6*testModel.RouteFan)
+	}
+}
+
+func TestAsyncROMInPath(t *testing.T) {
+	nl := netlist.New("rom")
+	addrQ := make([]netlist.NetID, 8)
+	for i := range addrQ {
+		addrQ[i] = nl.NewNet()
+		nl.AddFF(netlist.FF{D: netlist.Const0, En: netlist.Invalid, Q: addrQ[i]})
+	}
+	var r netlist.ROM
+	copy(r.Addr[:], addrQ)
+	out := nl.NewNets(8)
+	copy(r.Out[:], out)
+	nl.AddROM(r)
+	d := nl.NewNet()
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{out[0]}, Mask: 0b01, Out: d})
+	q := nl.NewNet()
+	nl.AddFF(netlist.FF{D: d, En: netlist.Invalid, Q: q})
+	nl.AddOutput("y", []netlist.NetID{q})
+	res, err := Analyze(nl, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ClkToQ + route + ROMAsync + route + LUT + route + setup.
+	want := 0.6 + 0.5 + 4.0 + 0.5 + 1.0 + 0.5 + 0.4
+	if !approx(res.Period, want) {
+		t.Errorf("period %.3f, want %.3f", res.Period, want)
+	}
+	if !strings.Contains(res.String(), "min period") {
+		t.Error("report missing header")
+	}
+}
+
+func TestSyncROMEndpoint(t *testing.T) {
+	// FF -> LUT -> sync ROM address is a sequential endpoint.
+	nl := netlist.New("srom")
+	q := nl.NewNet()
+	nl.AddFF(netlist.FF{D: netlist.Const0, En: netlist.Invalid, Q: q})
+	a0 := nl.NewNet()
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{q}, Mask: 0b01, Out: a0})
+	var r netlist.ROM
+	r.Sync = true
+	r.Addr[0] = a0
+	for i := 1; i < 8; i++ {
+		r.Addr[i] = netlist.Const0
+	}
+	out := nl.NewNets(8)
+	copy(r.Out[:], out)
+	nl.AddROM(r)
+	nl.AddOutput("y", out[:1])
+	res, err := Analyze(nl, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.6 + 0.5 + 1.0 + 0.5 + 0.4
+	if !approx(res.Period, want) {
+		t.Errorf("period %.3f, want %.3f", res.Period, want)
+	}
+	if !strings.Contains(res.Endpoint, "ROM") {
+		t.Errorf("endpoint = %q, want ROM addr", res.Endpoint)
+	}
+}
+
+func TestEnableIsEndpoint(t *testing.T) {
+	nl := netlist.New("en")
+	q := nl.NewNet()
+	nl.AddFF(netlist.FF{D: netlist.Const0, En: netlist.Invalid, Q: q})
+	// Deep logic into the enable, shallow into D.
+	cur := q
+	for i := 0; i < 5; i++ {
+		o := nl.NewNet()
+		nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{cur}, Mask: 0b01, Out: o})
+		cur = o
+	}
+	q2 := nl.NewNet()
+	nl.AddFF(netlist.FF{D: q, En: cur, Q: q2, Name: "cap"})
+	nl.AddOutput("y", []netlist.NetID{q2})
+	res, err := Analyze(nl, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Endpoint, ".EN") {
+		t.Errorf("endpoint = %q, want enable", res.Endpoint)
+	}
+}
+
+func TestCriticalPathTraceback(t *testing.T) {
+	nl := buildPipe(3)
+	res, err := Analyze(nl, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Critical) != 4 { // FF source + 3 LUTs
+		t.Fatalf("critical path has %d steps, want 4", len(res.Critical))
+	}
+	if res.Critical[0].What != "FF" {
+		t.Errorf("path starts at %q, want FF", res.Critical[0].What)
+	}
+	// Arrivals must be increasing.
+	for i := 1; i < len(res.Critical); i++ {
+		if res.Critical[i].Arrival <= res.Critical[i-1].Arrival {
+			t.Error("critical path arrivals not increasing")
+		}
+	}
+}
+
+func TestPureCombinationalHasNoPeriod(t *testing.T) {
+	nl := netlist.New("comb")
+	in := nl.AddInput("a", 1)
+	o := nl.NewNet()
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{in[0]}, Mask: 0b01, Out: o})
+	nl.AddOutput("y", []netlist.NetID{o})
+	res, err := Analyze(nl, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period != 0 || res.FmaxMHz != 0 {
+		t.Errorf("combinational design has period %.3f", res.Period)
+	}
+	// But the IO path is reported.
+	want := testModel.PadIn + 0.5 + 1.0 + 0.5 + testModel.PadOut
+	if !approx(res.WorstIO, want) {
+		t.Errorf("WorstIO %.3f, want %.3f", res.WorstIO, want)
+	}
+}
+
+func TestAnalyzeRejectsBrokenNetlist(t *testing.T) {
+	nl := netlist.New("bad")
+	ghost := nl.NewNet()
+	nl.AddOutput("y", []netlist.NetID{ghost})
+	if _, err := Analyze(nl, testModel); err == nil {
+		t.Fatal("broken netlist accepted")
+	}
+}

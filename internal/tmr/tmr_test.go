@@ -1,0 +1,219 @@
+package tmr
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"rijndaelip/internal/aes"
+	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+	"rijndaelip/internal/techmap"
+)
+
+// buildCore synthesizes the encrypt-only core and returns the plain and
+// hardened netlists.
+func buildCore(t testing.TB) (*rijndael.Core, *netlist.Netlist, *netlist.Netlist, Stats) {
+	t.Helper()
+	core, err := rijndael.New(rijndael.Config{Variant: rijndael.Encrypt, ROMStyle: rtl.ROMAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := core.Design.Synthesize(techmap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, st, err := Harden(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core, nl, hard, st
+}
+
+func driver(t testing.TB, core *rijndael.Core, nl *netlist.Netlist) (*bfm.Driver, *netlist.Simulator) {
+	t.Helper()
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bfm.NewPostSynthesis(core, sim), sim
+}
+
+func TestHardenedStillComputesAES(t *testing.T) {
+	core, _, hard, st := buildCore(t)
+	if st.FFsAfter != 3*st.FFsBefore {
+		t.Errorf("FF count %d, want %d", st.FFsAfter, 3*st.FFsBefore)
+	}
+	if st.VoterLUTs != st.FFsBefore {
+		t.Errorf("voters %d, want %d", st.VoterLUTs, st.FFsBefore)
+	}
+	drv, _ := driver(t, core, hard)
+	key, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	pt, _ := hex.DecodeString("3243f6a8885a308d313198a2e0370734")
+	ct, _ := hex.DecodeString("3925841d02dc09fbdc118597196a0b32")
+	if _, err := drv.LoadKey(key); err != nil {
+		t.Fatal(err)
+	}
+	got, cycles, err := drv.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ct) {
+		t.Fatalf("hardened core encrypt = %x", got)
+	}
+	if cycles != core.BlockLatency {
+		t.Errorf("hardened latency %d, want %d", cycles, core.BlockLatency)
+	}
+}
+
+// seuEncrypt runs one encryption injecting an upset into FF target at the
+// given cycle, returning the device output.
+func seuEncrypt(t *testing.T, core *rijndael.Core, nl *netlist.Netlist, key, pt []byte, target, cycle int) []byte {
+	t.Helper()
+	drv, sim := driver(t, core, nl)
+	if _, err := drv.LoadKey(key); err != nil {
+		t.Fatal(err)
+	}
+	// Drive the transaction manually so the upset lands mid-operation.
+	sim.SetInput("wr_data", 1)
+	sim.SetInputBits("din", pt)
+	sim.Step()
+	sim.SetInput("wr_data", 0)
+	for c := 0; c < core.BlockLatency; c++ {
+		if c == cycle {
+			sim.FlipFF(target)
+		}
+		sim.Step()
+	}
+	sim.Eval()
+	out, err := sim.OutputBits("dout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSEUCorruptsUnhardenedCore is the sanity side of the campaign: a
+// single upset in a datapath register of the plain netlist must corrupt
+// the ciphertext (if it did not, the fault injector would be vacuous).
+func TestSEUCorruptsUnhardenedCore(t *testing.T) {
+	core, plain, _, _ := buildCore(t)
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	ref, _ := aes.NewCipher(key)
+	want := make([]byte, 16)
+	ref.Encrypt(want, pt)
+
+	sim, err := netlist.NewSimulator(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a state-register FF to strike.
+	target := -1
+	for i := 0; i < sim.NumFFs(); i++ {
+		if sim.FFName(i) == "s0[0]" {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("state FF not found")
+	}
+	corrupted := 0
+	for _, cycle := range []int{7, 21, 33} {
+		got := seuEncrypt(t, core, plain, key, pt, target, cycle)
+		if !bytes.Equal(got, want) {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("upsets in the plain core never corrupted the output")
+	}
+}
+
+// TestSEUCampaignHardened injects single upsets into random TMR replicas
+// across random cycles: every run must still produce the correct
+// ciphertext.
+func TestSEUCampaignHardened(t *testing.T) {
+	core, _, hard, _ := buildCore(t)
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	ref, _ := aes.NewCipher(key)
+	want := make([]byte, 16)
+	ref.Encrypt(want, pt)
+
+	sim, err := netlist.NewSimulator(hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFF := sim.NumFFs()
+	rng := rand.New(rand.NewSource(16))
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		target := rng.Intn(nFF)
+		cycle := rng.Intn(core.BlockLatency)
+		got := seuEncrypt(t, core, hard, key, pt, target, cycle)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: upset in %s at cycle %d corrupted the output: %x",
+				trial, sim.FFName(target), cycle, got)
+		}
+	}
+}
+
+// TestDoubleUpsetDefeatsTMR documents the protection boundary: striking
+// two replicas of the same register in the same cycle out-votes the good
+// copy.
+func TestDoubleUpsetDefeatsTMR(t *testing.T) {
+	core, _, hard, _ := buildCore(t)
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	ref, _ := aes.NewCipher(key)
+	want := make([]byte, 16)
+	ref.Encrypt(want, pt)
+
+	drv, sim := driver(t, core, hard)
+	if _, err := drv.LoadKey(key); err != nil {
+		t.Fatal(err)
+	}
+	// Locate two replicas of the same state bit.
+	var a, b int = -1, -1
+	for i := 0; i < sim.NumFFs(); i++ {
+		switch sim.FFName(i) {
+		case "s0[0]~tmra":
+			a = i
+		case "s0[0]~tmrb":
+			b = i
+		}
+	}
+	if a < 0 || b < 0 {
+		t.Fatal("replicas not found")
+	}
+	sim.SetInput("wr_data", 1)
+	sim.SetInputBits("din", pt)
+	sim.Step()
+	sim.SetInput("wr_data", 0)
+	for c := 0; c < core.BlockLatency; c++ {
+		if c == 13 {
+			sim.FlipFF(a)
+			sim.FlipFF(b)
+		}
+		sim.Step()
+	}
+	sim.Eval()
+	got, _ := sim.OutputBits("dout")
+	if bytes.Equal(got, want) {
+		t.Fatal("double upset unexpectedly tolerated; the voter test is vacuous")
+	}
+}
+
+func TestHardenRejectsBrokenNetlist(t *testing.T) {
+	nl := netlist.New("bad")
+	ghost := nl.NewNet()
+	nl.AddOutput("y", []netlist.NetID{ghost})
+	if _, _, err := Harden(nl); err == nil {
+		t.Fatal("broken netlist accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Package vcd writes Value Change Dump files (IEEE 1364 §18) so simulations
+// of the IP can be inspected in any waveform viewer. Only the small subset
+// needed for digital buses is implemented: a single timescale, scalar and
+// vector wires, and per-timestep value changes.
+package vcd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Writer emits a VCD document. Declare signals with AddSignal, then call
+// Begin once and Step for every sample.
+type Writer struct {
+	w       io.Writer
+	module  string
+	signals []*Signal
+	began   bool
+	time    uint64
+	err     error
+}
+
+// Signal is one declared wire (scalar or vector).
+type Signal struct {
+	Name  string
+	Width int
+	id    string
+	last  string
+	dirty bool
+}
+
+// NewWriter returns a Writer targeting w. module names the top scope.
+func NewWriter(w io.Writer, module string) *Writer {
+	return &Writer{w: w, module: module}
+}
+
+// AddSignal declares a signal before Begin and returns a handle used to
+// set values.
+func (v *Writer) AddSignal(name string, width int) *Signal {
+	if v.began {
+		panic("vcd: AddSignal after Begin")
+	}
+	s := &Signal{Name: name, Width: width, id: idCode(len(v.signals))}
+	v.signals = append(v.signals, s)
+	return s
+}
+
+// idCode generates the compact VCD identifier for signal index i.
+func idCode(i int) string {
+	const first, last = 33, 126 // printable ASCII range per the spec
+	n := last - first + 1
+	code := []byte{}
+	for {
+		code = append(code, byte(first+i%n))
+		i /= n
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(code)
+}
+
+func (v *Writer) printf(format string, args ...interface{}) {
+	if v.err != nil {
+		return
+	}
+	_, v.err = fmt.Fprintf(v.w, format, args...)
+}
+
+// Begin writes the header and the initial (all-x) dump.
+func (v *Writer) Begin(timescale string) {
+	if v.began {
+		panic("vcd: Begin twice")
+	}
+	v.began = true
+	if timescale == "" {
+		timescale = "1ns"
+	}
+	v.printf("$timescale %s $end\n", timescale)
+	v.printf("$scope module %s $end\n", v.module)
+	sigs := append([]*Signal(nil), v.signals...)
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].Name < sigs[j].Name })
+	for _, s := range sigs {
+		v.printf("$var wire %d %s %s $end\n", s.Width, s.id, s.Name)
+	}
+	v.printf("$upscope $end\n$enddefinitions $end\n")
+	v.printf("$dumpvars\n")
+	for _, s := range v.signals {
+		s.last = xValue(s.Width)
+		v.emit(s, s.last)
+	}
+	v.printf("$end\n")
+}
+
+func xValue(width int) string {
+	if width == 1 {
+		return "x"
+	}
+	out := make([]byte, width)
+	for i := range out {
+		out[i] = 'x'
+	}
+	return string(out)
+}
+
+func (v *Writer) emit(s *Signal, value string) {
+	if s.Width == 1 {
+		v.printf("%s%s\n", value, s.id)
+	} else {
+		v.printf("b%s %s\n", value, s.id)
+	}
+}
+
+// Set records a new value for the signal, given as packed little-endian
+// bytes (bit i of the signal at bits[i/8]>>(i%8)). Changes are flushed by
+// the next Step.
+func (s *Signal) Set(bits []byte) {
+	value := make([]byte, s.Width)
+	for i := 0; i < s.Width; i++ {
+		b := byte('0')
+		if i/8 < len(bits) && bits[i/8]>>(uint(i)%8)&1 != 0 {
+			b = '1'
+		}
+		// VCD vectors are written most-significant bit first.
+		value[s.Width-1-i] = b
+	}
+	sv := string(value)
+	if sv != s.last {
+		s.last = sv
+		s.dirty = true
+	}
+}
+
+// SetUint records a new value from an integer (signals up to 64 bits).
+func (s *Signal) SetUint(v uint64) {
+	var bits [8]byte
+	for i := 0; i < 8; i++ {
+		bits[i] = byte(v >> (8 * uint(i)))
+	}
+	s.Set(bits[:])
+}
+
+// Step advances simulation time by delta units and flushes pending
+// changes.
+func (v *Writer) Step(delta uint64) {
+	if !v.began {
+		panic("vcd: Step before Begin")
+	}
+	any := false
+	for _, s := range v.signals {
+		if s.dirty {
+			any = true
+			break
+		}
+	}
+	if any {
+		v.printf("#%d\n", v.time)
+		for _, s := range v.signals {
+			if s.dirty {
+				v.emit(s, s.last)
+				s.dirty = false
+			}
+		}
+	}
+	v.time += delta
+}
+
+// Close writes the final timestamp and reports any accumulated write
+// error.
+func (v *Writer) Close() error {
+	if v.began {
+		v.printf("#%d\n", v.time)
+	}
+	return v.err
+}

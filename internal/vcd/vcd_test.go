@@ -1,0 +1,115 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeaderAndChanges(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "aes128")
+	clk := w.AddSignal("clk", 1)
+	bus := w.AddSignal("din", 8)
+	w.Begin("1ns")
+
+	clk.SetUint(1)
+	bus.SetUint(0xA5)
+	w.Step(10)
+	clk.SetUint(0)
+	w.Step(10)
+	// No change: no timestamp emitted for this step.
+	w.Step(10)
+	clk.SetUint(1)
+	w.Step(10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module aes128 $end",
+		"$var wire 1 ! clk $end",
+		"$var wire 8 \" din $end",
+		"$enddefinitions $end",
+		"b10100101 \"",
+		"#0",
+		"#10",
+		"#30",
+		"#40",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "#20") {
+		t.Error("unchanged step emitted a timestamp")
+	}
+}
+
+func TestVectorBitOrder(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "m")
+	bus := w.AddSignal("v", 4)
+	w.Begin("")
+	bus.SetUint(0b0001) // LSB set -> VCD prints MSB first: 0001
+	w.Step(1)
+	w.Close()
+	if !strings.Contains(sb.String(), "b0001 !") {
+		t.Errorf("bit order wrong:\n%s", sb.String())
+	}
+}
+
+func TestWideSignalFromBytes(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "m")
+	bus := w.AddSignal("state", 128)
+	w.Begin("")
+	bits := make([]byte, 16)
+	bits[0] = 0x01  // bit 0
+	bits[15] = 0x80 // bit 127
+	bus.Set(bits)
+	w.Step(1)
+	w.Close()
+	want := "b1" + strings.Repeat("0", 126) + "1 !"
+	if !strings.Contains(sb.String(), want) {
+		t.Error("wide vector encoding wrong")
+	}
+}
+
+func TestIDCode(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, c := range id {
+			if c < 33 || c > 126 {
+				t.Fatalf("id %q contains non-printable char", id)
+			}
+		}
+	}
+}
+
+func TestMisusePanics(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "m")
+	w.Begin("")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddSignal after Begin should panic")
+			}
+		}()
+		w.AddSignal("x", 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Begin twice should panic")
+			}
+		}()
+		w.Begin("")
+	}()
+}

@@ -1,0 +1,289 @@
+package rijndaelip_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"rijndaelip"
+	"rijndaelip/internal/report"
+	"rijndaelip/internal/rtl"
+)
+
+// table2Cache builds the six Table 2 cells once for all tests in this
+// package.
+var table2Cache []report.Table2Pair
+
+func table2(t testing.TB) []report.Table2Pair {
+	if table2Cache == nil {
+		pairs, err := rijndaelip.Table2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		table2Cache = pairs
+	}
+	return table2Cache
+}
+
+// TestTable2Reproduction is the headline experiment: every qualitative
+// claim of the paper's Table 2 must hold on the measured reproduction, and
+// the quantitative values must land near the published ones.
+func TestTable2Reproduction(t *testing.T) {
+	pairs := table2(t)
+	if len(pairs) != 6 {
+		t.Fatalf("expected 6 cells, got %d", len(pairs))
+	}
+	if v := report.ShapeChecks(rijndaelip.MeasuredTable2(pairs)); len(v) != 0 {
+		t.Fatalf("shape violations:\n%s", report.RenderTable2(pairs)+"\n"+joinLines(v))
+	}
+	for _, p := range pairs {
+		// Hard identities: memory bits and pins must match the paper
+		// exactly; latency cycles are fixed by the architecture.
+		if p.Measured.MemoryBits != p.Paper.MemoryBits {
+			t.Errorf("%s/%s: memory %d, paper %d", p.Paper.Variant, p.Paper.Device,
+				p.Measured.MemoryBits, p.Paper.MemoryBits)
+		}
+		if p.Measured.Pins != p.Paper.Pins {
+			t.Errorf("%s/%s: pins %d, paper %d", p.Paper.Variant, p.Paper.Device,
+				p.Measured.Pins, p.Paper.Pins)
+		}
+		// Soft bands: the absolute area/timing figures depend on a
+		// synthesis toolchain we rebuilt from scratch; require the same
+		// order of magnitude (within a factor band) rather than equality.
+		if ratio := float64(p.Measured.LCs) / float64(p.Paper.LCs); ratio < 0.5 || ratio > 1.7 {
+			t.Errorf("%s/%s: LCs %d vs paper %d (ratio %.2f out of band)",
+				p.Paper.Variant, p.Paper.Device, p.Measured.LCs, p.Paper.LCs, ratio)
+		}
+		if ratio := p.Measured.ClkNS / p.Paper.ClkNS; ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("%s/%s: clk %.1f vs paper %.1f (ratio %.2f out of band)",
+				p.Paper.Variant, p.Paper.Device, p.Measured.ClkNS, p.Paper.ClkNS, ratio)
+		}
+		if ratio := p.Measured.ThroughputMbps / p.Paper.ThroughputMbps; ratio < 0.6 || ratio > 1.7 {
+			t.Errorf("%s/%s: throughput %.0f vs paper %.0f (ratio %.2f out of band)",
+				p.Paper.Variant, p.Paper.Device, p.Measured.ThroughputMbps, p.Paper.ThroughputMbps, ratio)
+		}
+	}
+}
+
+func joinLines(v []string) string {
+	out := ""
+	for _, s := range v {
+		out += s + "\n"
+	}
+	return out
+}
+
+// TestBothPenalty reproduces the §5 finding that running encrypt and
+// decrypt on the same device costs around 22% of throughput.
+func TestBothPenalty(t *testing.T) {
+	pairs := table2(t)
+	cells := rijndaelip.MeasuredTable2(pairs)
+	for _, dev := range []string{"Acex1K", "Cyclone"} {
+		var enc, both float64
+		for _, c := range cells {
+			if c.Device != dev {
+				continue
+			}
+			switch c.Variant {
+			case "Encrypt":
+				enc = c.ThroughputMbps
+			case "Both":
+				both = c.ThroughputMbps
+			}
+		}
+		penalty := 1 - both/enc
+		if penalty < 0.05 || penalty > 0.40 {
+			t.Errorf("%s: both-vs-encrypt penalty %.0f%%, paper reports ~22%%", dev, penalty*100)
+		}
+	}
+}
+
+// TestCycloneROMExpansion reproduces the §5 finding that Cyclone cannot
+// implement asynchronous ROM: memory is zero and the S-boxes inflate the
+// LC count.
+func TestCycloneROMExpansion(t *testing.T) {
+	cells := rijndaelip.MeasuredTable2(table2(t))
+	for _, v := range []string{"Encrypt", "Decrypt", "Both"} {
+		var acex, cyc report.Table2Cell
+		for _, c := range cells {
+			if c.Variant != v {
+				continue
+			}
+			if c.Device == "Acex1K" {
+				acex = c
+			} else {
+				cyc = c
+			}
+		}
+		if cyc.MemoryBits != 0 {
+			t.Errorf("%s: Cyclone used %d memory bits", v, cyc.MemoryBits)
+		}
+		if cyc.LCs <= acex.LCs {
+			t.Errorf("%s: Cyclone LCs %d not above Acex %d", v, cyc.LCs, acex.LCs)
+		}
+	}
+}
+
+func TestBuildRejectsBadCombos(t *testing.T) {
+	// Forcing async ROM onto Cyclone must fail in the fitter.
+	style := rtl.ROMAsync
+	_, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Cyclone(),
+		rijndaelip.Options{ROMStyle: &style})
+	if err == nil {
+		t.Fatal("async ROM on Cyclone was accepted")
+	}
+}
+
+func TestSyncROMVariant(t *testing.T) {
+	style := rtl.ROMSync
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Cyclone(),
+		rijndaelip.Options{ROMStyle: &style})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impl.Core.BlockLatency != 60 {
+		t.Errorf("sync variant latency %d cycles, want 60", impl.Core.BlockLatency)
+	}
+	if impl.Fit.MemoryBits != 16384 {
+		t.Errorf("sync variant memory %d, want 16384 (M4K blocks restored)", impl.Fit.MemoryBits)
+	}
+	// The future-work variant must beat the logic-expanded Cyclone build on
+	// throughput despite 10 more cycles.
+	base, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Cyclone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impl.ThroughputMbps() <= base.ThroughputMbps() {
+		t.Errorf("sync ROM %.0f Mbps does not beat logic S-boxes %.0f Mbps",
+			impl.ThroughputMbps(), base.ThroughputMbps())
+	}
+	// And it must use far fewer logic cells.
+	if impl.Fit.LogicCells >= base.Fit.LogicCells {
+		t.Errorf("sync ROM LCs %d not below logic S-box LCs %d",
+			impl.Fit.LogicCells, base.Fit.LogicCells)
+	}
+	// Functional check through the driver.
+	drv := impl.NewDriver()
+	key, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	pt, _ := hex.DecodeString("3243f6a8885a308d313198a2e0370734")
+	ct, _ := hex.DecodeString("3925841d02dc09fbdc118597196a0b32")
+	drv.LoadKey(key)
+	got, _, err := drv.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ct) {
+		t.Fatalf("sync core encrypt = %x", got)
+	}
+}
+
+// TestKeySchedLimit reproduces §6's claim that the wide architecture is
+// limited by the key schedule: the 128-bit baseline's critical path passes
+// through the KStran S-box bank.
+func TestKeySchedLimit(t *testing.T) {
+	r, err := rijndaelip.BuildBaseline(rijndaelip.Width128, rijndaelip.Apex20KE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FitError != nil {
+		t.Fatal(r.FitError)
+	}
+	found := false
+	for _, step := range r.Timing.Critical {
+		if step.What == "ROM" && len(step.Name) >= 6 && step.Name[:6] == "sbox_k" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("128-bit core critical path does not traverse the KStran bank:\n%s", r.Timing)
+	}
+	// And it must not fit the low-cost device.
+	low, err := rijndaelip.BuildBaseline(rijndaelip.Width128, rijndaelip.Acex1K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.FitError == nil {
+		t.Error("128-bit core unexpectedly fit EP1K100")
+	}
+}
+
+// TestAblationOrdering reproduces the §4/§6 architecture comparison: the
+// mixed 32/128 organization beats both serial widths on throughput at
+// comparable (or lower) area.
+func TestAblationOrdering(t *testing.T) {
+	w8, err := rijndaelip.BuildBaseline(rijndaelip.Width8, rijndaelip.Acex1K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w32, err := rijndaelip.BuildBaseline(rijndaelip.Width32, rijndaelip.Acex1K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(w8.ThroughputMbps() < w32.ThroughputMbps() &&
+		w32.ThroughputMbps() < mixed.ThroughputMbps()) {
+		t.Errorf("throughput ordering broken: w8=%.0f w32=%.0f mixed=%.0f",
+			w8.ThroughputMbps(), w32.ThroughputMbps(), mixed.ThroughputMbps())
+	}
+	// §6: the 8-bit core's extra cycles are not bought back by its clock.
+	if w8.ClockNS() < mixed.ClockNS() {
+		t.Errorf("8-bit clock %.1f unexpectedly faster than mixed %.1f", w8.ClockNS(), mixed.ClockNS())
+	}
+	// The mixed core must not cost dramatically more area than the all-32
+	// one (the paper accepts a small premium for 2.4x throughput).
+	if ratio := float64(mixed.Fit.LogicCells) / float64(w32.Fit.LogicCells); ratio > 1.3 {
+		t.Errorf("mixed/32-bit area ratio %.2f too high", ratio)
+	}
+}
+
+func TestTable3Assembly(t *testing.T) {
+	rows, err := rijndaelip.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var thisWork, lowCost *float64
+	for i := range rows {
+		switch {
+		case rows[i].Author == "this work (mixed 32/128)":
+			thisWork = &rows[i].ThroughputE
+		case rows[i].Author == "low-cost 8-bit (reimpl., cf. [14])":
+			lowCost = &rows[i].ThroughputE
+		}
+	}
+	if thisWork == nil || lowCost == nil {
+		t.Fatal("Table 3 missing measured rows")
+	}
+	if *thisWork <= *lowCost {
+		t.Errorf("this work (%.0f Mbps) should beat the low-cost core (%.0f Mbps)", *thisWork, *lowCost)
+	}
+	if len(rows) < 7 {
+		t.Errorf("Table 3 has only %d rows", len(rows))
+	}
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impl.Netlist.LUTs == 0 || impl.Netlist.FFs == 0 || impl.Netlist.Raw() == nil {
+		t.Error("netlist info incomplete")
+	}
+	if impl.Netlist.Pins != 261 || impl.Netlist.MemoryBits != 16384 {
+		t.Errorf("netlist info: %+v", impl.Netlist)
+	}
+	if impl.ClockNS() <= 0 || impl.LatencyNS() <= 0 || impl.ThroughputMbps() <= 0 {
+		t.Error("timing accessors broken")
+	}
+	cell := impl.Table2Cell()
+	if cell.Variant != "Encrypt" || cell.Device != "Acex1K" {
+		t.Errorf("Table2Cell: %+v", cell)
+	}
+	c, err := rijndaelip.NewCipher(make([]byte, 16))
+	if err != nil || c.BlockSize() != 16 {
+		t.Error("NewCipher facade broken")
+	}
+}

@@ -1,0 +1,57 @@
+package rijndaelip
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/report"
+)
+
+// Table2Cell summarizes this implementation as one cell of the paper's
+// Table 2 (occupation percentages come from the fit, timing from STA).
+func (im *Implementation) Table2Cell() report.Table2Cell {
+	variant := map[Variant]string{Encrypt: "Encrypt", Decrypt: "Decrypt", Both: "Both"}[im.Core.Config.Variant]
+	return report.Table2Cell{
+		Variant:        variant,
+		Device:         im.Device.Family,
+		LCs:            im.Fit.LogicCells,
+		LCPercent:      im.Fit.LEPercent(),
+		MemoryBits:     im.Fit.MemoryBits,
+		MemPercent:     im.Fit.MemPercent(),
+		Pins:           im.Fit.Pins,
+		PinPercent:     im.Fit.PinPercent(),
+		LatencyNS:      im.LatencyNS(),
+		ClkNS:          im.ClockNS(),
+		ThroughputMbps: im.ThroughputMbps(),
+	}
+}
+
+// Table2 reproduces the paper's whole Table 2: it builds all three
+// variants on both devices and pairs each measured cell with the published
+// one.
+func Table2() ([]report.Table2Pair, error) {
+	var pairs []report.Table2Pair
+	for _, v := range []Variant{Encrypt, Decrypt, Both} {
+		for _, dev := range []Device{Acex1K(), Cyclone()} {
+			impl, err := Build(v, dev)
+			if err != nil {
+				return nil, fmt.Errorf("rijndaelip: Table2 %v on %s: %w", v, dev.Name, err)
+			}
+			cell := impl.Table2Cell()
+			paper, ok := report.FindPaperCell(cell.Variant, cell.Device)
+			if !ok {
+				return nil, fmt.Errorf("rijndaelip: no paper cell for %s/%s", cell.Variant, cell.Device)
+			}
+			pairs = append(pairs, report.Table2Pair{Paper: paper, Measured: cell})
+		}
+	}
+	return pairs, nil
+}
+
+// MeasuredTable2 extracts just the measured cells from Table2 pairs.
+func MeasuredTable2(pairs []report.Table2Pair) []report.Table2Cell {
+	out := make([]report.Table2Cell, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.Measured
+	}
+	return out
+}

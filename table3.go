@@ -1,0 +1,150 @@
+package rijndaelip
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/baseline"
+	"rijndaelip/internal/fpga"
+	"rijndaelip/internal/report"
+	"rijndaelip/internal/rtl"
+	"rijndaelip/internal/techmap"
+	"rijndaelip/internal/timing"
+)
+
+// BaselineResult is one synthesized baseline architecture (Table 3 /
+// ablation row).
+type BaselineResult struct {
+	Core   *baseline.Core
+	Device Device
+	Fit    fpga.FitResult
+	Timing timing.Result
+	// FitError is set when the architecture does not fit the device (the
+	// fully parallel core on the low-cost part), with zero Fit/Timing.
+	FitError error
+}
+
+// ClockNS returns the baseline's minimum period.
+func (r *BaselineResult) ClockNS() float64 { return r.Timing.Period }
+
+// LatencyNS returns cycles times period.
+func (r *BaselineResult) LatencyNS() float64 {
+	return r.Timing.Period * float64(r.Core.BlockLatency)
+}
+
+// ThroughputMbps returns 128 bits over the block latency.
+func (r *BaselineResult) ThroughputMbps() float64 {
+	lat := r.LatencyNS()
+	if lat == 0 {
+		return 0
+	}
+	return 128 / lat * 1000
+}
+
+// BaselineWidth selects a baseline architecture by datapath width.
+type BaselineWidth int
+
+// Baseline datapath widths.
+const (
+	Width8   BaselineWidth = 8
+	Width32  BaselineWidth = 32
+	Width128 BaselineWidth = 128
+)
+
+// BuildBaseline synthesizes a baseline encryptor onto a device.
+func BuildBaseline(w BaselineWidth, dev Device) (*BaselineResult, error) {
+	style := pickStyle(dev)
+	var core *baseline.Core
+	var err error
+	switch w {
+	case Width8:
+		core, err = baseline.New8(style)
+	case Width32:
+		core, err = baseline.New32(style)
+	case Width128:
+		core, err = baseline.New128(style)
+	default:
+		return nil, fmt.Errorf("rijndaelip: unknown baseline width %d", int(w))
+	}
+	if err != nil {
+		return nil, err
+	}
+	nl, err := core.Design.Synthesize(techmap.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res := &BaselineResult{Core: core, Device: dev}
+	fit, err := fpga.Fit(nl, dev)
+	if err != nil {
+		res.FitError = err
+		return res, nil
+	}
+	res.Fit = fit
+	sta, err := timing.Analyze(nl, dev.Delay)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing = sta
+	return res, nil
+}
+
+func pickStyle(dev Device) rtl.ROMStyle {
+	if dev.SupportsAsyncROM {
+		return rtl.ROMAsync
+	}
+	return rtl.ROMLogic
+}
+
+// Table3 assembles the paper's Table 3: the published literature rows plus
+// measured rows for this work's three variants on Acex1K and for the
+// reimplemented baseline architectures standing in for the comparison
+// cores whose figures are illegible in the archived paper text.
+func Table3() ([]report.Table3Row, error) {
+	rows := append([]report.Table3Row(nil), report.PaperTable3...)
+
+	// Reimplemented comparison architectures.
+	w8, err := BuildBaseline(Width8, Acex1K())
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, report.Table3Row{
+		Author: "low-cost 8-bit (reimpl., cf. [14])", Technology: "Acex1K",
+		MemoryBits: w8.Fit.MemoryBits, LCsEncrypt: w8.Fit.LogicCells,
+		ThroughputE: w8.ThroughputMbps(),
+	})
+	w128, err := BuildBaseline(Width128, Apex20KE())
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, report.Table3Row{
+		Author: "128-bit parallel (reimpl., cf. [1],[15])", Technology: "Apex20KE",
+		MemoryBits: w128.Fit.MemoryBits, LCsEncrypt: w128.Fit.LogicCells,
+		ThroughputE: w128.ThroughputMbps(),
+	})
+
+	// This work, on the paper's primary device.
+	var lcs [3]int
+	var mbps [3]float64
+	var mem int
+	for i, v := range []Variant{Encrypt, Decrypt, Both} {
+		impl, err := Build(v, Acex1K())
+		if err != nil {
+			return nil, err
+		}
+		lcs[i] = impl.Fit.LogicCells
+		mbps[i] = impl.ThroughputMbps()
+		if v == Both {
+			mem = impl.Fit.MemoryBits
+		}
+	}
+	rows = append(rows, report.Table3Row{
+		Author: "this work (mixed 32/128)", Technology: "Acex1K",
+		MemoryBits:  mem,
+		LCsEncrypt:  lcs[0],
+		LCsDecrypt:  lcs[1],
+		LCsCombined: lcs[2],
+		ThroughputE: mbps[0],
+		ThroughputD: mbps[1],
+		ThroughputC: mbps[2],
+	})
+	return rows, nil
+}
