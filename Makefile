@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test short bench vet examples reports verify clean
+.PHONY: all test short bench vet race faults examples reports verify clean
 
 all: vet test
 
@@ -19,6 +19,14 @@ vet:
 	$(GO) vet ./...
 	gofmt -l . && test -z "$$(gofmt -l .)"
 
+# The race detector roughly 10x-es the cycle-accurate simulations, so the
+# racy-path sweep runs the -short suite; the full suite is covered by `test`.
+race:
+	$(GO) test -race -short ./...
+
+faults:
+	$(GO) run ./cmd/faultcampaign
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/smartcard
@@ -29,7 +37,7 @@ reports:
 	$(GO) run ./cmd/synthreport -sync -power -harden
 	$(GO) run ./cmd/ipcompare -ablation
 
-verify:
+verify: vet race
 	$(GO) run ./cmd/verifyall -full
 
 clean:

@@ -7,6 +7,7 @@ import (
 	"rijndaelip/internal/baseline"
 	"rijndaelip/internal/fpga"
 	"rijndaelip/internal/narrowbus"
+	"rijndaelip/internal/netlist"
 	"rijndaelip/internal/rijndael"
 	"rijndaelip/internal/rtl"
 	"rijndaelip/internal/techmap"
@@ -86,6 +87,96 @@ func BenchmarkRadiationHardening(b *testing.B) {
 	b.ReportMetric(float64(lcs), "LCs")
 	b.ReportMetric(mbps, "Mbps")
 	b.ReportMetric(float64(impl.Fit.LogicCells), "base-LCs")
+}
+
+// BenchmarkResilience measures what the self-checking path costs per
+// block against the plain HardwareBlock: simulated cycles and wall-clock
+// for the watchdog-only, lockstep (dual-core) and inverse-check policies,
+// plus the degraded software fallback for scale. Note the wall-clock
+// baseline shift: HardwareBlock simulates the elaborated RTL while the
+// resilient variants simulate the mapped netlist, so the interesting
+// ratios are lockstep/watchdog (~2x, the shadow replica) and
+// inverse/watchdog (2x cycles, the second transaction).
+func BenchmarkResilience(b *testing.B) {
+	encImpl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bothImpl, err := rijndaelip.Build(rijndaelip.Both, rijndaelip.Acex1K())
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := []byte("resilience-bench")
+	block := make([]byte, 16)
+	out := make([]byte, 16)
+
+	b.Run("hwblock-plain", func(b *testing.B) {
+		hw, err := encImpl.NewHardwareBlock(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hw.Encrypt(out, block)
+		}
+		b.StopTimer()
+		if hw.Err() != nil {
+			b.Fatal(hw.Err())
+		}
+		b.ReportMetric(float64(hw.Cycles)/float64(b.N), "cycles/block")
+	})
+
+	resilient := func(impl *rijndaelip.Implementation, opts rijndaelip.ResilientOptions) func(*testing.B) {
+		return func(b *testing.B) {
+			r, err := impl.NewResilientBlock(key, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Encrypt(out, block)
+			}
+			b.StopTimer()
+			if r.Err() != nil {
+				b.Fatal(r.Err())
+			}
+			if r.Degraded() {
+				b.Fatal("fault-free benchmark degraded to software")
+			}
+			b.ReportMetric(float64(r.Cycles)/float64(b.N), "cycles/block")
+		}
+	}
+	b.Run("resilient-watchdog", resilient(encImpl, rijndaelip.ResilientOptions{Check: rijndaelip.CheckNone}))
+	b.Run("resilient-lockstep", resilient(encImpl, rijndaelip.ResilientOptions{Check: rijndaelip.CheckLockstep}))
+	b.Run("resilient-inverse", resilient(bothImpl, rijndaelip.ResilientOptions{Check: rijndaelip.CheckInverse}))
+
+	b.Run("degraded-software", func(b *testing.B) {
+		// A hard defect installed before every attempt defeats the retry
+		// budget immediately; after MaxFailures blocks the adapter serves
+		// everything from the software reference — the floor the hardware
+		// path is compared against.
+		r, err := encImpl.NewResilientBlock(key, rijndaelip.ResilientOptions{
+			Check:       rijndaelip.CheckLockstep,
+			RetryBudget: 1,
+			MaxFailures: 1,
+			Corrupt: func(attempt int, sim *netlist.Simulator) {
+				sim.StickFF(sim.FindFF("s0[0]"), true)
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Encrypt(out, block) // burn the hardware path, trip degradation
+		if !r.Degraded() {
+			b.Fatal("hard defect did not degrade the adapter")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Encrypt(out, block)
+		}
+		b.StopTimer()
+		b.ReportMetric(0, "cycles/block")
+	})
 }
 
 // BenchmarkNarrowBusTransaction measures the §4 narrow-interface trade:

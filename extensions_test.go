@@ -89,6 +89,47 @@ func TestHardwareBlockCMAC(t *testing.T) {
 	}
 }
 
+// TestHardwareBlockShortBuffers checks the block adapter's buffer
+// validation: a src or dst shorter than one block must be recorded as a
+// proper error (and the reachable output zeroed), never a panic or a
+// silent truncation — and the error must not poison unrelated state.
+func TestHardwareBlockShortBuffers(t *testing.T) {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := impl.NewHardwareBlock([]byte("short-buffer-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := bytes.Repeat([]byte{0xFF}, 8)
+	hw.Encrypt(dst, make([]byte, 16)) // dst too short
+	if hw.Err() == nil {
+		t.Fatal("short dst not recorded as error")
+	}
+	if !bytes.Equal(dst, make([]byte, 8)) {
+		t.Errorf("short dst not zeroed: %x", dst)
+	}
+
+	hw2, err := impl.NewHardwareBlock([]byte("short-buffer-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 16)
+	hw2.Encrypt(out, make([]byte, 15)) // src too short
+	if hw2.Err() == nil {
+		t.Fatal("short src not recorded as error")
+	}
+	if !bytes.Equal(out, make([]byte, 16)) {
+		t.Errorf("output not zeroed on short src: %x", out)
+	}
+	// Once poisoned, later full-size calls keep reporting the first error.
+	hw2.Encrypt(out, make([]byte, 16))
+	if hw2.Err() == nil {
+		t.Error("first error not sticky")
+	}
+}
+
 // TestHardenFlow measures the TMR cost through the full flow: 3x the
 // registers plus one voter LUT each, still fitting the device, still
 // meeting a reasonable clock, and the functional campaign is covered by

@@ -14,8 +14,9 @@ import (
 // hardware the flow signs off.
 //
 // The block interface has no error returns; protocol failures (which
-// cannot happen on a correctly generated core) are recorded and surfaced
-// via Err, and the affected output is zeroed.
+// cannot happen on a correctly generated core) and buffer misuse (src or
+// dst shorter than one block) are recorded and surfaced via Err, and the
+// affected output is zeroed instead of panicking or truncating silently.
 type HardwareBlock struct {
 	drv *bfm.Driver
 	err error
@@ -40,18 +41,22 @@ func (h *HardwareBlock) BlockSize() int { return 16 }
 func (h *HardwareBlock) Err() error { return h.err }
 
 func (h *HardwareBlock) process(dst, src []byte, encrypt bool) {
-	if h.err != nil {
-		for i := 0; i < 16; i++ {
-			dst[i] = 0
+	if len(src) < 16 || len(dst) < 16 {
+		if h.err == nil {
+			h.err = fmt.Errorf("rijndaelip: hardware block: need 16-byte src and dst, got src=%d dst=%d",
+				len(src), len(dst))
 		}
+		zeroBlock(dst)
+		return
+	}
+	if h.err != nil {
+		zeroBlock(dst)
 		return
 	}
 	out, cycles, err := h.drv.Process(src[:16], encrypt)
 	if err != nil {
 		h.err = fmt.Errorf("rijndaelip: hardware block: %w", err)
-		for i := 0; i < 16; i++ {
-			dst[i] = 0
-		}
+		zeroBlock(dst)
 		return
 	}
 	h.Cycles += uint64(cycles)

@@ -46,8 +46,17 @@ type Driver struct {
 	Sim Sim
 
 	// Timeout bounds, in cycles, how long Driver waits for data_ok before
-	// reporting a protocol error. Defaults to 4x the block latency.
+	// reporting a protocol error. Defaults to 4x the block latency. This is
+	// the watchdog that keeps a wedged FSM (a fault that kills the
+	// completion handshake) from hanging the caller forever.
 	Timeout int
+
+	// AssertLatency arms the fixed-latency protocol assertion: the paper's
+	// core completes in exactly BlockLatency cycles, so a data_ok that
+	// rises early or late is evidence of a corrupted control FSM even when
+	// the payload happens to look plausible. Process then returns
+	// ErrLatency alongside the (suspect) output.
+	AssertLatency bool
 }
 
 // New builds a fresh simulator for a Rijndael IP core and returns a
@@ -113,8 +122,14 @@ func (d *Driver) LoadKey(key []byte) (int, error) {
 	return cycles, nil
 }
 
-// ErrTimeout is returned when data_ok never rises.
+// ErrTimeout is returned when data_ok never rises within the watchdog
+// budget. Returned errors wrap it; match with errors.Is.
 var ErrTimeout = errors.New("bfm: timeout waiting for data_ok")
+
+// ErrLatency is returned by Process when AssertLatency is set and data_ok
+// rose at a cycle count other than the device's fixed block latency.
+// Returned errors wrap it; match with errors.Is.
+var ErrLatency = errors.New("bfm: data_ok at unexpected latency")
 
 // encdecFor maps an operation direction onto the encdec input value.
 func (d *Driver) setDirection(encrypt bool) error {
@@ -163,10 +178,15 @@ func (d *Driver) Process(block []byte, encrypt bool) ([]byte, int, error) {
 			if err != nil {
 				return nil, 0, err
 			}
+			if d.AssertLatency && d.DUT.BlockLatency > 0 && cycles != d.DUT.BlockLatency {
+				return out, cycles, fmt.Errorf("%w: data_ok after %d cycles, expected %d on %s",
+					ErrLatency, cycles, d.DUT.BlockLatency, d.DUT.Name)
+			}
 			return out, cycles, nil
 		}
 		if cycles >= d.Timeout {
-			return nil, 0, ErrTimeout
+			return nil, cycles, fmt.Errorf("%w: watchdog expired after %d cycles on %s",
+				ErrTimeout, cycles, d.DUT.Name)
 		}
 		d.Sim.Step()
 		cycles++
@@ -208,7 +228,8 @@ func (d *Driver) Stream(blocks [][]byte, encrypt bool) ([][]byte, StreamResult, 
 	guard := d.Timeout * (len(blocks) + 1)
 	for cycles := 0; len(outs) < len(blocks); cycles++ {
 		if cycles > guard {
-			return outs, res, ErrTimeout
+			return outs, res, fmt.Errorf("%w: stream watchdog expired after %d cycles on %s",
+				ErrTimeout, cycles, d.DUT.Name)
 		}
 		// The decoupled Data In process buffers exactly one block: issue the
 		// next wr_data whenever din_reg is free (pending flag clear).

@@ -2,11 +2,14 @@ package bfm
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"rijndaelip/internal/logic"
+	"rijndaelip/internal/netlist"
 	"rijndaelip/internal/rijndael"
 	"rijndaelip/internal/rtl"
+	"rijndaelip/internal/techmap"
 )
 
 // toyDevice builds a minimal Table-1 device: after wr_data it counts down
@@ -114,7 +117,7 @@ func TestDriverTimeout(t *testing.T) {
 	drv := toyDriver(t, 200)
 	drv.Timeout = 20
 	drv.LoadKey(make([]byte, 16))
-	if _, _, err := drv.Encrypt(make([]byte, 16)); err != ErrTimeout {
+	if _, _, err := drv.Encrypt(make([]byte, 16)); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("expected ErrTimeout, got %v", err)
 	}
 }
@@ -149,7 +152,70 @@ func TestDriverReset(t *testing.T) {
 	drv.Reset()
 	// After reset the key is gone: a process must time out (keyvalid off).
 	drv.Timeout = 30
-	if _, _, err := drv.Encrypt(make([]byte, 16)); err != ErrTimeout {
+	if _, _, err := drv.Encrypt(make([]byte, 16)); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("expected timeout after reset, got %v", err)
+	}
+}
+
+// TestLatencyAssertion arms the fixed-latency protocol check on a device
+// whose completion comes later than the declared block latency: Process
+// must flag the transaction even though data_ok eventually rose.
+func TestLatencyAssertion(t *testing.T) {
+	d := toyDevice(t, 9)
+	drv := NewDUT(DUT{
+		Sim:          d.NewSimulator(),
+		BlockLatency: 7, // declared latency disagrees with the device's 9
+		HasEncrypt:   true,
+		Name:         "toy-late",
+	})
+	drv.AssertLatency = true
+	drv.LoadKey(make([]byte, 16))
+	out, cycles, err := drv.Encrypt(make([]byte, 16))
+	if !errors.Is(err, ErrLatency) {
+		t.Fatalf("expected ErrLatency, got %v", err)
+	}
+	if cycles != 9 || out == nil {
+		t.Errorf("suspect output should still be reported: cycles=%d out=%x", cycles, out)
+	}
+}
+
+// TestWatchdogWedgedFSM wedges a real mapped core — a stuck-at-0 fault on
+// the data_ok output register means the completion handshake can never
+// fire — and checks that the driver's watchdog returns a timeout within
+// the cycle budget instead of looping forever.
+func TestWatchdogWedgedFSM(t *testing.T) {
+	core, err := rijndael.New(rijndael.Config{Variant: rijndael.Encrypt, ROMStyle: rtl.ROMAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := core.Design.Synthesize(techmap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := NewPostSynthesis(core, sim)
+	if _, err := drv.LoadKey(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	ff := sim.FindFF("data_ok_reg[0]")
+	if ff < 0 {
+		t.Fatal("data_ok_reg[0] not found in mapped netlist")
+	}
+	sim.StickFF(ff, false)
+	before := sim.Cycle()
+	_, cycles, err2 := drv.Encrypt(make([]byte, 16))
+	if !errors.Is(err2, ErrTimeout) {
+		t.Fatalf("wedged FSM: expected ErrTimeout, got %v", err2)
+	}
+	if cycles < drv.Timeout {
+		t.Errorf("watchdog fired after %d cycles, budget is %d", cycles, drv.Timeout)
+	}
+	// The whole transaction must have been bounded by the budget (+ the
+	// load edge), proving the driver cannot spin unbounded on a dead core.
+	if spent := sim.Cycle() - before; spent > drv.Timeout+2 {
+		t.Errorf("driver spent %d cycles, budget %d", spent, drv.Timeout)
 	}
 }

@@ -1,0 +1,329 @@
+// Package faultcampaign is a deterministic, seedable fault-injection
+// campaign engine over mapped netlists: the systematic counterpart of the
+// paper's §6 pointer to a radiation-tolerant version of the IP (Panato et
+// al., "Testing a Rijndael VHDL Description to Single Event Upsets").
+//
+// A campaign sweeps single-event upsets — and multi-bit upsets — across
+// the (flip-flop × cycle) space of a device transaction, drives each
+// faulted run through the bus-functional model, and classifies the
+// outcome:
+//
+//   - SilentCorrect: the fault was masked; output correct, no alarm.
+//   - Detected: a checker fired (lockstep divergence, protocol/latency
+//     assertion) before the corrupted result could be consumed.
+//   - Corrupted: wrong output with no alarm — silent data corruption,
+//     the outcome hardening exists to eliminate.
+//   - Hung: data_ok never rose; the BFM watchdog expired.
+//
+// The same engine measures what hardening buys: run it on the plain
+// netlist, the TMR-hardened netlist (internal/tmr) and a lockstep pair
+// (NewLockstep) and compare masked/detected coverage against area.
+package faultcampaign
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"rijndaelip/internal/aes"
+	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/rijndael"
+)
+
+// Outcome classifies one injected-fault trial.
+type Outcome int
+
+// Outcome classes, ordered from harmless to hazardous.
+const (
+	SilentCorrect Outcome = iota
+	Detected
+	Corrupted
+	Hung
+	numOutcomes
+)
+
+// String names the outcome class.
+func (o Outcome) String() string {
+	switch o {
+	case SilentCorrect:
+		return "silent-correct"
+	case Detected:
+		return "detected"
+	case Corrupted:
+		return "corrupted"
+	case Hung:
+		return "hung"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Fault is one injected upset: the listed flip-flops are inverted Cycle
+// cycles after the block's load edge (several FFs = a multi-bit upset).
+type Fault struct {
+	Cycle int
+	FFs   []int
+}
+
+// Config describes a campaign.
+type Config struct {
+	// Netlist is the mapped device under test; Core supplies its Table 1
+	// interface timing and capabilities. Both are required.
+	Netlist *netlist.Netlist
+	Core    *rijndael.Core
+
+	// Key and Plaintext define the transaction each trial runs. Left nil,
+	// the FIPS-197 Appendix B vector is used. Decrypt flips the direction
+	// (Plaintext is then the block fed to din).
+	Key       []byte
+	Plaintext []byte
+	Decrypt   bool
+
+	// Trials is the number of sampled faults for Run (default 100); Seed
+	// feeds the deterministic sampler. MultiBit sets how many distinct
+	// flip-flops each upset strikes (default 1).
+	Trials   int
+	Seed     int64
+	MultiBit int
+
+	// Lockstep runs the DUT as a self-checking pair: a fault-free shadow
+	// replica is stepped in lockstep and any divergence of the observable
+	// outputs is a detection. AssertLatency additionally arms the BFM's
+	// fixed-latency protocol assertion. Watchdog overrides the driver's
+	// timeout budget in cycles (0 keeps the 4x default).
+	Lockstep      bool
+	AssertLatency bool
+	Watchdog      int
+}
+
+// Trial is one classified injection.
+type Trial struct {
+	Fault   Fault
+	Outcome Outcome
+	// Err holds the driver's error for Detected/Hung outcomes (wraps
+	// bfm.ErrTimeout or bfm.ErrLatency).
+	Err error
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Trials []Trial
+	Counts [numOutcomes]int
+	// FFs and Cycles bound the swept (flip-flop × cycle) space.
+	FFs    int
+	Cycles int
+}
+
+// Count returns how many trials landed in the class.
+func (r *Result) Count(o Outcome) int { return r.Counts[o] }
+
+// Fraction returns the share of trials in the class (0 when no trials ran).
+func (r *Result) Fraction(o Outcome) float64 {
+	if len(r.Trials) == 0 {
+		return 0
+	}
+	return float64(r.Counts[o]) / float64(len(r.Trials))
+}
+
+// Masked is the masked-fault coverage: the fraction of injected faults the
+// architecture absorbed with no visible effect.
+func (r *Result) Masked() float64 { return r.Fraction(SilentCorrect) }
+
+// Coverage is the safety coverage: the fraction of faults that did NOT
+// escape as silent data corruption (masked, detected, or safely hung
+// behind the watchdog).
+func (r *Result) Coverage() float64 {
+	if len(r.Trials) == 0 {
+		return 0
+	}
+	return 1 - r.Fraction(Corrupted)
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%d trials over %d FFs x %d cycles: %d silent-correct, %d detected, %d corrupted, %d hung (coverage %.1f%%)",
+		len(r.Trials), r.FFs, r.Cycles,
+		r.Counts[SilentCorrect], r.Counts[Detected], r.Counts[Corrupted], r.Counts[Hung],
+		100*r.Coverage())
+}
+
+// fips197Key / fips197Plaintext are the Appendix B example vector, the
+// default transaction of a campaign.
+var (
+	fips197Key = []byte{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	fips197Plaintext = []byte{
+		0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+)
+
+// Run samples cfg.Trials faults uniformly over the (flip-flop × cycle)
+// space with the seeded generator and returns the classified outcomes.
+// Identical configs produce identical campaigns on every run.
+func Run(cfg Config) (*Result, error) {
+	c, err := newCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 100
+	}
+	width := cfg.MultiBit
+	if width <= 0 {
+		width = 1
+	}
+	if width > c.nFFs {
+		return nil, fmt.Errorf("faultcampaign: multi-bit width %d exceeds %d flip-flops", width, c.nFFs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	faults := make([]Fault, trials)
+	for i := range faults {
+		ffs := make([]int, 0, width)
+		seen := make(map[int]bool, width)
+		for len(ffs) < width {
+			f := rng.Intn(c.nFFs)
+			if !seen[f] {
+				seen[f] = true
+				ffs = append(ffs, f)
+			}
+		}
+		faults[i] = Fault{Cycle: rng.Intn(c.cycles), FFs: ffs}
+	}
+	return c.run(faults)
+}
+
+// Sweep runs the exhaustive single-bit campaign: every flip-flop struck at
+// every cycle of the transaction, FFs × BlockLatency trials in total.
+func Sweep(cfg Config) (*Result, error) {
+	c, err := newCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	faults := make([]Fault, 0, c.nFFs*c.cycles)
+	for ff := 0; ff < c.nFFs; ff++ {
+		for cyc := 0; cyc < c.cycles; cyc++ {
+			faults = append(faults, Fault{Cycle: cyc, FFs: []int{ff}})
+		}
+	}
+	return c.run(faults)
+}
+
+// RunFaults runs an explicit, caller-chosen fault list (targeted
+// campaigns: named registers, replica pairs, FSM cells).
+func RunFaults(cfg Config, faults []Fault) (*Result, error) {
+	c, err := newCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.run(faults)
+}
+
+// campaign is the prepared runtime state shared by all trials: one primary
+// simulator (plus shadow for lockstep), one driver, one golden output.
+type campaign struct {
+	cfg    Config
+	main   *netlist.Simulator
+	lock   *Lockstep
+	drv    *bfm.Driver
+	key    []byte
+	pt     []byte
+	golden []byte
+	nFFs   int
+	cycles int
+}
+
+func newCampaign(cfg Config) (*campaign, error) {
+	if cfg.Netlist == nil || cfg.Core == nil {
+		return nil, errors.New("faultcampaign: Config.Netlist and Config.Core are required")
+	}
+	main, err := netlist.NewSimulator(cfg.Netlist)
+	if err != nil {
+		return nil, fmt.Errorf("faultcampaign: %w", err)
+	}
+	var sim bfm.Sim = main
+	var lock *Lockstep
+	if cfg.Lockstep {
+		shadow, err := netlist.NewSimulator(cfg.Netlist)
+		if err != nil {
+			return nil, fmt.Errorf("faultcampaign: shadow replica: %w", err)
+		}
+		lock = NewLockstep(main, shadow)
+		sim = lock
+	}
+	drv := bfm.NewPostSynthesis(cfg.Core, sim)
+	drv.AssertLatency = cfg.AssertLatency
+	if cfg.Watchdog > 0 {
+		drv.Timeout = cfg.Watchdog
+	}
+	key, pt := cfg.Key, cfg.Plaintext
+	if key == nil {
+		key = fips197Key
+	}
+	if pt == nil {
+		pt = fips197Plaintext
+	}
+	ref, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("faultcampaign: golden model: %w", err)
+	}
+	golden := make([]byte, 16)
+	if cfg.Decrypt {
+		ref.Decrypt(golden, pt)
+	} else {
+		ref.Encrypt(golden, pt)
+	}
+	return &campaign{
+		cfg: cfg, main: main, lock: lock, drv: drv,
+		key: key, pt: pt, golden: golden,
+		nFFs:   main.NumFFs(),
+		cycles: cfg.Core.BlockLatency,
+	}, nil
+}
+
+// run executes and classifies one transaction per fault. The simulator is
+// reset between trials (cheaper than rebuilding, and scheduled upsets are
+// dropped by Reset), so trials are independent.
+func (c *campaign) run(faults []Fault) (*Result, error) {
+	res := &Result{
+		Trials: make([]Trial, 0, len(faults)),
+		FFs:    c.nFFs,
+		Cycles: c.cycles,
+	}
+	for _, f := range faults {
+		for _, ff := range f.FFs {
+			if ff < 0 || ff >= c.nFFs {
+				return nil, fmt.Errorf("faultcampaign: flip-flop %d out of range [0,%d)", ff, c.nFFs)
+			}
+		}
+		c.drv.Reset()
+		if _, err := c.drv.LoadKey(c.key); err != nil {
+			return nil, fmt.Errorf("faultcampaign: load key: %w", err)
+		}
+		// The driver's load edge is one Step away; processing cycle n of
+		// the transaction is Step 1+n from here.
+		c.main.ScheduleFlip(1+f.Cycle, f.FFs...)
+		out, _, err := c.drv.Process(c.pt, !c.cfg.Decrypt)
+		res.Trials = append(res.Trials, Trial{Fault: f, Outcome: c.classify(out, err), Err: err})
+		res.Counts[res.Trials[len(res.Trials)-1].Outcome]++
+	}
+	return res, nil
+}
+
+func (c *campaign) classify(out []byte, err error) Outcome {
+	diverged := false
+	if c.lock != nil {
+		_, _, diverged = c.lock.Mismatch()
+	}
+	switch {
+	case errors.Is(err, bfm.ErrTimeout):
+		return Hung
+	case err != nil, diverged:
+		return Detected
+	case bytes.Equal(out, c.golden):
+		return SilentCorrect
+	default:
+		return Corrupted
+	}
+}

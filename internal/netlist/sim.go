@@ -17,6 +17,12 @@ type Simulator struct {
 	inputs map[string][]NetID
 
 	regIndex map[string][]int // lazy FF-name index for RegValue
+
+	// Fault-injection state (see ScheduleFlip / StickFF).
+	cycle    int           // Step count since construction or last Reset
+	flips    map[int][]int // pending transient upsets, keyed by target cycle
+	stuck    map[int]bool  // permanent stuck-at faults: FF index -> forced value
+	injected int           // bit-flips applied so far
 }
 
 // NewSimulator builds the netlist and returns a simulator with all state at
@@ -42,7 +48,10 @@ func NewSimulator(nl *Netlist) (*Simulator, error) {
 	return s, nil
 }
 
-// Reset returns all sequential state to initial values.
+// Reset returns all sequential state to initial values. Scheduled transient
+// upsets are dropped (they were relative to the aborted run), but stuck-at
+// faults persist: a permanent physical defect survives a reset, which is
+// exactly what retry-with-reset recovery policies need to observe.
 func (s *Simulator) Reset() {
 	for i := range s.values {
 		s.values[i] = false
@@ -54,6 +63,9 @@ func (s *Simulator) Reset() {
 	for i := range s.romQ {
 		s.romQ[i] = [8]bool{}
 	}
+	s.cycle = 0
+	s.flips = nil
+	s.applyStuck()
 }
 
 // SetInput drives the named input port with the little-endian bits of
@@ -132,8 +144,18 @@ func (s *Simulator) Eval() {
 
 // Step performs one full clock cycle: evaluate combinational logic with the
 // current inputs, then latch flip-flops and synchronous ROM outputs on the
-// rising edge.
+// rising edge. Faults scheduled for this cycle strike first (so the flipped
+// state is what the cycle's logic sees, matching FlipFF-then-Step), and
+// stuck-at faults are re-asserted around the clock edge.
 func (s *Simulator) Step() {
+	if ffs, ok := s.flips[s.cycle]; ok {
+		for _, i := range ffs {
+			s.FlipFF(i)
+		}
+		delete(s.flips, s.cycle)
+	}
+	s.applyStuck()
+	s.cycle++
 	s.Eval()
 	nl := s.nl
 	for i := range nl.FFs {
@@ -158,6 +180,7 @@ func (s *Simulator) Step() {
 			s.romQ[i][b] = word>>uint(b)&1 != 0
 		}
 	}
+	s.applyStuck()
 }
 
 // Net returns the current value of a net (after the last Eval/Step).
@@ -247,7 +270,75 @@ func (s *Simulator) NumFFs() int { return len(s.ffQ) }
 // register bit. The effect is visible at the next Eval.
 func (s *Simulator) FlipFF(i int) {
 	s.ffQ[i] = !s.ffQ[i]
+	s.injected++
 }
 
 // FFName returns the name of flip-flop i (for targeted fault campaigns).
 func (s *Simulator) FFName(i int) string { return s.nl.FFs[i].Name }
+
+// FindFF returns the index of the flip-flop with the given name, or -1.
+func (s *Simulator) FindFF(name string) int {
+	for i := range s.nl.FFs {
+		if s.nl.FFs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ScheduleFlip arms a transient upset that strikes at the start of the Step
+// that is delay Steps in the future (delay 0 = the very next Step). Passing
+// several flip-flop indices models a multi-bit upset: all of them invert in
+// the same cycle. Scheduling is relative to "now", so a caller can arm a
+// fault and then hand the simulator to a bus-functional driver; the strike
+// lands mid-transaction without the driver's cooperation.
+func (s *Simulator) ScheduleFlip(delay int, ffs ...int) {
+	if delay < 0 || len(ffs) == 0 {
+		return
+	}
+	if s.flips == nil {
+		s.flips = make(map[int][]int)
+	}
+	at := s.cycle + delay
+	s.flips[at] = append(s.flips[at], ffs...)
+}
+
+// StickFF installs a permanent stuck-at fault: flip-flop i is forced to val
+// on every clock edge until ClearFaults. Unlike transient upsets, stuck-at
+// faults survive Reset — they model a hard defect (latched configuration
+// upset, shorted cell), the failure mode that defeats retry-from-reset
+// recovery and forces graceful degradation.
+func (s *Simulator) StickFF(i int, val bool) {
+	if s.stuck == nil {
+		s.stuck = make(map[int]bool)
+	}
+	s.stuck[i] = val
+	if s.ffQ[i] != val {
+		s.ffQ[i] = val
+		s.injected++
+	}
+}
+
+// ClearFaults removes every scheduled transient upset and stuck-at fault.
+func (s *Simulator) ClearFaults() {
+	s.flips = nil
+	s.stuck = nil
+}
+
+// Injections returns the number of state bit-flips applied so far (each
+// flip-flop of a multi-bit upset counts once; stuck-at faults count each
+// time they actually override a latched value).
+func (s *Simulator) Injections() int { return s.injected }
+
+// Cycle returns the number of Steps since construction or the last Reset
+// (the timebase ScheduleFlip delays are resolved against).
+func (s *Simulator) Cycle() int { return s.cycle }
+
+func (s *Simulator) applyStuck() {
+	for i, v := range s.stuck {
+		if s.ffQ[i] != v {
+			s.ffQ[i] = v
+			s.injected++
+		}
+	}
+}

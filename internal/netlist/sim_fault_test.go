@@ -1,0 +1,127 @@
+package netlist
+
+import "testing"
+
+// toggleChain builds a tiny sequential netlist for fault tests: two
+// independent toggle flip-flops t0/t1 (D = NOT Q) and a 2-bit output "q".
+func toggleChain(t *testing.T) (*Netlist, *Simulator) {
+	t.Helper()
+	nl := New("toggle")
+	q0, q1 := nl.NewNet(), nl.NewNet()
+	d0, d1 := nl.NewNet(), nl.NewNet()
+	nl.AddLUT(LUT{Inputs: []NetID{q0}, Mask: 0b01, Out: d0, Name: "inv0"})
+	nl.AddLUT(LUT{Inputs: []NetID{q1}, Mask: 0b01, Out: d1, Name: "inv1"})
+	nl.AddFF(FF{D: d0, En: Invalid, Q: q0, Name: "t[0]"})
+	nl.AddFF(FF{D: d1, En: Invalid, Q: q1, Name: "t[1]"})
+	nl.AddOutput("q", []NetID{q0, q1})
+	sim, err := NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, sim
+}
+
+func out(t *testing.T, sim *Simulator) uint64 {
+	t.Helper()
+	sim.Eval()
+	v, err := sim.Output("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestScheduleFlipStrikesAtArmedCycle(t *testing.T) {
+	_, sim := toggleChain(t)
+	// Both FFs toggle every cycle: fault-free q alternates 00,11,00,...
+	sim.ScheduleFlip(2, 0)                   // strike t[0] at the start of the third Step
+	want := []uint64{0b11, 0b00, 0b10, 0b01} // strike inverts t[0] from cycle 2 on
+	for c, w := range want {
+		sim.Step()
+		if got := out(t, sim); got != w {
+			t.Fatalf("cycle %d: q = %02b, want %02b", c, got, w)
+		}
+	}
+	if sim.Injections() != 1 {
+		t.Errorf("injections = %d, want 1", sim.Injections())
+	}
+}
+
+func TestScheduleFlipMultiBitUpset(t *testing.T) {
+	_, sim := toggleChain(t)
+	sim.ScheduleFlip(0, 0, 1) // MBU: both bits in the same cycle
+	sim.Step()
+	// Both toggles were inverted before the edge: 00 flipped to 11, then
+	// each D = NOT(flipped Q) latches 00 instead of 11.
+	if got := out(t, sim); got != 0b00 {
+		t.Fatalf("q after MBU = %02b, want 00", got)
+	}
+	if sim.Injections() != 2 {
+		t.Errorf("injections = %d, want 2", sim.Injections())
+	}
+}
+
+func TestScheduleFlipRelativeToNow(t *testing.T) {
+	_, sim := toggleChain(t)
+	sim.Step()
+	sim.Step()
+	if sim.Cycle() != 2 {
+		t.Fatalf("cycle = %d, want 2", sim.Cycle())
+	}
+	sim.ScheduleFlip(0, 0) // next Step, i.e. absolute cycle 2
+	sim.Step()
+	if got := out(t, sim); got != 0b10 {
+		t.Fatalf("q = %02b, want 10", got)
+	}
+}
+
+func TestStuckAtSurvivesReset(t *testing.T) {
+	_, sim := toggleChain(t)
+	sim.StickFF(1, true)
+	for i := 0; i < 3; i++ {
+		sim.Step()
+		if got := out(t, sim); got&0b10 == 0 {
+			t.Fatalf("step %d: stuck-at-1 bit reads 0", i)
+		}
+	}
+	sim.Reset()
+	// The defect must still be there after reset: t[1] reads 1 immediately
+	// and stays 1 across edges, while t[0] toggles normally.
+	if got := out(t, sim); got != 0b10 {
+		t.Fatalf("q after reset = %02b, want 10", got)
+	}
+	sim.Step()
+	if got := out(t, sim); got != 0b11 {
+		t.Fatalf("q after reset+step = %02b, want 11", got)
+	}
+	sim.ClearFaults()
+	sim.Reset()
+	sim.Step()
+	if got := out(t, sim); got != 0b11 {
+		t.Fatalf("q after ClearFaults = %02b, want 11", got)
+	}
+}
+
+func TestResetDropsScheduledFlips(t *testing.T) {
+	_, sim := toggleChain(t)
+	sim.ScheduleFlip(1, 0)
+	sim.Reset()
+	sim.Step()
+	sim.Step()
+	if got := out(t, sim); got != 0b00 {
+		t.Fatalf("q = %02b, want 00 (scheduled flip should have been dropped)", got)
+	}
+	if sim.Injections() != 0 {
+		t.Errorf("injections = %d, want 0", sim.Injections())
+	}
+}
+
+func TestFindFF(t *testing.T) {
+	_, sim := toggleChain(t)
+	if i := sim.FindFF("t[1]"); i != 1 {
+		t.Errorf("FindFF(t[1]) = %d, want 1", i)
+	}
+	if i := sim.FindFF("nope"); i != -1 {
+		t.Errorf("FindFF(nope) = %d, want -1", i)
+	}
+}

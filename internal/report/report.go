@@ -121,6 +121,101 @@ func ShapeChecks(measured []Table2Cell) []string {
 	return violations
 }
 
+// FaultRow is one configuration of the fault-injection coverage-vs-area
+// table: how a hardening style (plain, TMR, lockstep) fares under the
+// seeded SEU campaign on one device, next to what it costs in logic cells.
+type FaultRow struct {
+	Config string // "plain", "tmr", "lockstep"
+	Device string
+
+	LogicCells int
+	FFs        int
+
+	Trials    int
+	Masked    int // silent-correct
+	Detected  int
+	Corrupted int
+	Hung      int
+}
+
+// MaskedPct is the masked-fault coverage in percent.
+func (r FaultRow) MaskedPct() float64 { return pct(r.Masked, r.Trials) }
+
+// CoveragePct is the safety coverage in percent: faults that did not
+// escape as silent data corruption.
+func (r FaultRow) CoveragePct() float64 { return 100 - pct(r.Corrupted, r.Trials) }
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// RenderFaultTable renders the campaign rows as a coverage-vs-area table.
+func RenderFaultTable(rows []FaultRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-8s | %6s %6s | %6s | %7s %8s %9s %5s | %7s %9s\n",
+		"Config", "Device", "LCs", "FFs", "trials", "masked", "detected", "corrupted", "hung", "masked%", "coverage%")
+	b.WriteString(strings.Repeat("-", 112) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-8s | %6d %6d | %6d | %7d %8d %9d %5d | %6.1f%% %8.1f%%\n",
+			r.Config, r.Device, r.LogicCells, r.FFs, r.Trials,
+			r.Masked, r.Detected, r.Corrupted, r.Hung,
+			r.MaskedPct(), r.CoveragePct())
+	}
+	return b.String()
+}
+
+// FaultShapeChecks verifies the qualitative claims a fault campaign must
+// reproduce, returning violated claims (empty when the hardening story
+// holds): TMR buys strictly higher masked coverage than the plain core at
+// strictly higher area, and lockstep converts every silent corruption
+// into a detection.
+func FaultShapeChecks(rows []FaultRow) []string {
+	byConfig := func(device, config string) (FaultRow, bool) {
+		for _, r := range rows {
+			if r.Device == device && r.Config == config {
+				return r, true
+			}
+		}
+		return FaultRow{}, false
+	}
+	devices := map[string]bool{}
+	for _, r := range rows {
+		devices[r.Device] = true
+	}
+	var violations []string
+	check := func(ok bool, format string, args ...interface{}) {
+		if !ok {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+	}
+	for dev := range devices {
+		plain, okP := byConfig(dev, "plain")
+		tmr, okT := byConfig(dev, "tmr")
+		lock, okL := byConfig(dev, "lockstep")
+		if okP && okT {
+			check(tmr.MaskedPct() > plain.MaskedPct(),
+				"%s: TMR masked coverage %.1f%% not strictly above plain %.1f%%",
+				dev, tmr.MaskedPct(), plain.MaskedPct())
+			check(tmr.LogicCells > plain.LogicCells,
+				"%s: TMR area %d LCs should exceed plain %d", dev, tmr.LogicCells, plain.LogicCells)
+			check(tmr.CoveragePct() > plain.CoveragePct(),
+				"%s: TMR coverage %.1f%% not strictly above plain %.1f%%",
+				dev, tmr.CoveragePct(), plain.CoveragePct())
+		}
+		if okP && okL {
+			check(lock.Corrupted == 0,
+				"%s: lockstep let %d faults escape as silent corruption", dev, lock.Corrupted)
+			check(lock.CoveragePct() >= plain.CoveragePct(),
+				"%s: lockstep coverage %.1f%% below plain %.1f%%",
+				dev, lock.CoveragePct(), plain.CoveragePct())
+		}
+	}
+	return violations
+}
+
 // Table3Row is one row of the paper's Table 3 (comparison against other
 // published implementations). Zero values mean the figure was not reported
 // (printed as X in the paper).

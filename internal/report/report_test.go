@@ -111,3 +111,44 @@ func TestPaperTable3LegibleFigures(t *testing.T) {
 		t.Errorf("Zigiotto figures drifted: %+v", zigiotto)
 	}
 }
+
+func faultRows() []FaultRow {
+	return []FaultRow{
+		{Config: "plain", Device: "Acex1K", LogicCells: 2114, FFs: 659, Trials: 100, Masked: 60, Detected: 0, Corrupted: 38, Hung: 2},
+		{Config: "tmr", Device: "Acex1K", LogicCells: 4200, FFs: 1977, Trials: 100, Masked: 100},
+		{Config: "lockstep", Device: "Acex1K", LogicCells: 4300, FFs: 659, Trials: 100, Masked: 45, Detected: 55},
+	}
+}
+
+func TestRenderFaultTable(t *testing.T) {
+	out := RenderFaultTable(faultRows())
+	for _, want := range []string{"plain", "tmr", "lockstep", "100.0%", "62.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultShapeChecksAcceptGoodCampaign(t *testing.T) {
+	if v := FaultShapeChecks(faultRows()); len(v) != 0 {
+		t.Errorf("good campaign flagged: %v", v)
+	}
+}
+
+func TestFaultShapeChecksCatchViolations(t *testing.T) {
+	rows := faultRows()
+	rows[1].Masked = 55 // TMR no better than plain
+	if v := FaultShapeChecks(rows); len(v) == 0 {
+		t.Error("missed TMR masked-coverage regression")
+	}
+	rows = faultRows()
+	rows[2].Corrupted = 3 // lockstep leaking silent corruption
+	if v := FaultShapeChecks(rows); len(v) == 0 {
+		t.Error("missed lockstep corruption leak")
+	}
+	rows = faultRows()
+	rows[1].LogicCells = rows[0].LogicCells // TMR claiming to be free
+	if v := FaultShapeChecks(rows); len(v) == 0 {
+		t.Error("missed impossible TMR area")
+	}
+}

@@ -3,11 +3,10 @@ package tmr
 import (
 	"bytes"
 	"encoding/hex"
-	"math/rand"
 	"testing"
 
-	"rijndaelip/internal/aes"
 	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/faultcampaign"
 	"rijndaelip/internal/netlist"
 	"rijndaelip/internal/rijndael"
 	"rijndaelip/internal/rtl"
@@ -69,143 +68,83 @@ func TestHardenedStillComputesAES(t *testing.T) {
 	}
 }
 
-// seuEncrypt runs one encryption injecting an upset into FF target at the
-// given cycle, returning the device output.
-func seuEncrypt(t *testing.T, core *rijndael.Core, nl *netlist.Netlist, key, pt []byte, target, cycle int) []byte {
-	t.Helper()
-	drv, sim := driver(t, core, nl)
-	if _, err := drv.LoadKey(key); err != nil {
-		t.Fatal(err)
-	}
-	// Drive the transaction manually so the upset lands mid-operation.
-	sim.SetInput("wr_data", 1)
-	sim.SetInputBits("din", pt)
-	sim.Step()
-	sim.SetInput("wr_data", 0)
-	for c := 0; c < core.BlockLatency; c++ {
-		if c == cycle {
-			sim.FlipFF(target)
-		}
-		sim.Step()
-	}
-	sim.Eval()
-	out, err := sim.OutputBits("dout")
-	if err != nil {
-		t.Fatal(err)
-	}
-	return out
-}
-
-// TestSEUCorruptsUnhardenedCore is the sanity side of the campaign: a
-// single upset in a datapath register of the plain netlist must corrupt
-// the ciphertext (if it did not, the fault injector would be vacuous).
-func TestSEUCorruptsUnhardenedCore(t *testing.T) {
-	core, plain, _, _ := buildCore(t)
+// campaignConfig is the shared seeded-campaign setup: the same key,
+// plaintext, trial count and seed for plain and hardened runs, so the two
+// coverage figures are directly comparable and deterministic across runs.
+func campaignConfig(core *rijndael.Core, nl *netlist.Netlist) faultcampaign.Config {
 	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
 	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
-	ref, _ := aes.NewCipher(key)
-	want := make([]byte, 16)
-	ref.Encrypt(want, pt)
+	return faultcampaign.Config{
+		Netlist:   nl,
+		Core:      core,
+		Key:       key,
+		Plaintext: pt,
+		Trials:    40,
+		Seed:      16,
+	}
+}
 
-	sim, err := netlist.NewSimulator(plain)
+// TestSEUCorruptsUnhardenedCore is the sanity side of the campaign: the
+// seeded sweep over the plain netlist must include silent corruption (if
+// it did not, the fault injector would be vacuous).
+func TestSEUCorruptsUnhardenedCore(t *testing.T) {
+	core, plain, _, _ := buildCore(t)
+	res, err := faultcampaign.Run(campaignConfig(core, plain))
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Find a state-register FF to strike.
-	target := -1
-	for i := 0; i < sim.NumFFs(); i++ {
-		if sim.FFName(i) == "s0[0]" {
-			target = i
-			break
-		}
-	}
-	if target < 0 {
-		t.Fatal("state FF not found")
-	}
-	corrupted := 0
-	for _, cycle := range []int{7, 21, 33} {
-		got := seuEncrypt(t, core, plain, key, pt, target, cycle)
-		if !bytes.Equal(got, want) {
-			corrupted++
-		}
-	}
-	if corrupted == 0 {
+	t.Log(res)
+	if res.Count(faultcampaign.Corrupted) == 0 {
 		t.Fatal("upsets in the plain core never corrupted the output")
 	}
 }
 
-// TestSEUCampaignHardened injects single upsets into random TMR replicas
-// across random cycles: every run must still produce the correct
-// ciphertext.
+// TestSEUCampaignHardened runs the identical seeded campaign over the
+// TMR-hardened netlist: every single upset must be voted out, i.e. 100%
+// masked coverage and strictly more than the plain core achieves.
 func TestSEUCampaignHardened(t *testing.T) {
-	core, _, hard, _ := buildCore(t)
-	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
-	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
-	ref, _ := aes.NewCipher(key)
-	want := make([]byte, 16)
-	ref.Encrypt(want, pt)
+	core, plain, hard, _ := buildCore(t)
+	plainRes, err := faultcampaign.Run(campaignConfig(core, plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardRes, err := faultcampaign.Run(campaignConfig(core, hard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("plain: %v", plainRes)
+	t.Logf("tmr:   %v", hardRes)
+	for _, tr := range hardRes.Trials {
+		if tr.Outcome != faultcampaign.SilentCorrect {
+			t.Fatalf("upset %v on hardened core not masked: %v (%v)", tr.Fault, tr.Outcome, tr.Err)
+		}
+	}
+	if hardRes.Masked() <= plainRes.Masked() {
+		t.Fatalf("TMR masked coverage %.2f not above plain %.2f", hardRes.Masked(), plainRes.Masked())
+	}
+}
 
+// TestDoubleUpsetDefeatsTMR documents the protection boundary through the
+// engine's targeted multi-bit entry point: striking two replicas of the
+// same register in the same cycle out-votes the good copy.
+func TestDoubleUpsetDefeatsTMR(t *testing.T) {
+	core, _, hard, _ := buildCore(t)
 	sim, err := netlist.NewSimulator(hard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nFF := sim.NumFFs()
-	rng := rand.New(rand.NewSource(16))
-	const trials = 40
-	for trial := 0; trial < trials; trial++ {
-		target := rng.Intn(nFF)
-		cycle := rng.Intn(core.BlockLatency)
-		got := seuEncrypt(t, core, hard, key, pt, target, cycle)
-		if !bytes.Equal(got, want) {
-			t.Fatalf("trial %d: upset in %s at cycle %d corrupted the output: %x",
-				trial, sim.FFName(target), cycle, got)
-		}
-	}
-}
-
-// TestDoubleUpsetDefeatsTMR documents the protection boundary: striking
-// two replicas of the same register in the same cycle out-votes the good
-// copy.
-func TestDoubleUpsetDefeatsTMR(t *testing.T) {
-	core, _, hard, _ := buildCore(t)
-	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
-	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
-	ref, _ := aes.NewCipher(key)
-	want := make([]byte, 16)
-	ref.Encrypt(want, pt)
-
-	drv, sim := driver(t, core, hard)
-	if _, err := drv.LoadKey(key); err != nil {
-		t.Fatal(err)
-	}
-	// Locate two replicas of the same state bit.
-	var a, b int = -1, -1
-	for i := 0; i < sim.NumFFs(); i++ {
-		switch sim.FFName(i) {
-		case "s0[0]~tmra":
-			a = i
-		case "s0[0]~tmrb":
-			b = i
-		}
-	}
+	a, b := sim.FindFF("s0[0]~tmra"), sim.FindFF("s0[0]~tmrb")
 	if a < 0 || b < 0 {
 		t.Fatal("replicas not found")
 	}
-	sim.SetInput("wr_data", 1)
-	sim.SetInputBits("din", pt)
-	sim.Step()
-	sim.SetInput("wr_data", 0)
-	for c := 0; c < core.BlockLatency; c++ {
-		if c == 13 {
-			sim.FlipFF(a)
-			sim.FlipFF(b)
-		}
-		sim.Step()
+	res, err := faultcampaign.RunFaults(campaignConfig(core, hard), []faultcampaign.Fault{
+		{Cycle: 13, FFs: []int{a, b}},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	sim.Eval()
-	got, _ := sim.OutputBits("dout")
-	if bytes.Equal(got, want) {
-		t.Fatal("double upset unexpectedly tolerated; the voter test is vacuous")
+	if got := res.Trials[0].Outcome; got == faultcampaign.SilentCorrect {
+		t.Fatalf("double upset unexpectedly tolerated (%v); the voter test is vacuous", got)
 	}
 }
 

@@ -1,0 +1,202 @@
+package rijndaelip_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rijndaelip"
+	"rijndaelip/internal/netlist"
+)
+
+// softRef computes the expected ciphertext with the software reference.
+func softRef(t *testing.T, key, pt []byte) []byte {
+	t.Helper()
+	ref, err := rijndaelip.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 16)
+	ref.Encrypt(out, pt)
+	return out
+}
+
+// TestResilientBlockFaultFree runs a healthy core through the resilient
+// path: every block must come from hardware with no detections, retries,
+// or degradation — the checkers must not false-alarm on a good device.
+func TestResilientBlockFaultFree(t *testing.T) {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("resilient-key-00")
+	rb, err := impl.NewResilientBlock(key, rijndaelip.ResilientOptions{Check: rijndaelip.CheckLockstep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("0123456789abcdef")
+	got := make([]byte, 16)
+	for i := 0; i < 4; i++ {
+		pt[0] = byte(i)
+		rb.Encrypt(got, pt)
+		if want := softRef(t, key, pt); !bytes.Equal(got, want) {
+			t.Fatalf("block %d: %x, want %x", i, got, want)
+		}
+	}
+	st := rb.Stats()
+	if st.HardwareBlocks != 4 || st.SoftwareBlocks != 0 || st.Detections != 0 || st.Retries != 0 || st.Degraded {
+		t.Errorf("fault-free stats off: %+v", st)
+	}
+	if rb.Err() != nil {
+		t.Errorf("unexpected error: %v", rb.Err())
+	}
+}
+
+// TestResilientBlockRetriesTransientFault injects one transient upset into
+// the first attempt: the lockstep comparator must flag it, the retry on
+// fresh state must succeed, and the caller must see the correct
+// ciphertext with no degradation.
+func TestResilientBlockRetriesTransientFault(t *testing.T) {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("resilient-key-01")
+	strikes := 0
+	rb, err := impl.NewResilientBlock(key, rijndaelip.ResilientOptions{
+		Check: rijndaelip.CheckLockstep,
+		Corrupt: func(attempt int, sim *netlist.Simulator) {
+			if strikes == 0 {
+				strikes++
+				sim.ScheduleFlip(11, sim.FindFF("s0[0]")) // cycle 10 of the transaction
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("transient-block!")
+	got := make([]byte, 16)
+	rb.Encrypt(got, pt)
+	if want := softRef(t, key, pt); !bytes.Equal(got, want) {
+		t.Fatalf("recovered output %x, want %x", got, want)
+	}
+	st := rb.Stats()
+	if st.Detections == 0 || st.Retries == 0 {
+		t.Errorf("transient fault not detected/retried: %+v", st)
+	}
+	if st.Degraded || st.SoftwareBlocks != 0 || st.HardwareBlocks != 1 {
+		t.Errorf("transient fault should recover on hardware: %+v", st)
+	}
+}
+
+// TestResilientBlockDegradesOnHardDefect installs a stuck-at defect that
+// survives every reset: each block exhausts its retry budget, and after
+// MaxFailures consecutive failures the adapter must degrade to the
+// software reference — while every returned ciphertext stays correct.
+func TestResilientBlockDegradesOnHardDefect(t *testing.T) {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("resilient-key-02")
+	rb, err := impl.NewResilientBlock(key, rijndaelip.ResilientOptions{
+		Check:       rijndaelip.CheckLockstep,
+		RetryBudget: 1,
+		MaxFailures: 2,
+		Corrupt: func(attempt int, sim *netlist.Simulator) {
+			sim.StickFF(sim.FindFF("s1[3]"), true)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	pt := []byte("hard-defect-blk!")
+	for i := 0; i < 5; i++ {
+		pt[0] = byte('a' + i)
+		rb.Encrypt(got, pt)
+		if want := softRef(t, key, pt); !bytes.Equal(got, want) {
+			t.Fatalf("block %d: degradation lost correctness: %x want %x", i, got, want)
+		}
+	}
+	st := rb.Stats()
+	if !st.Degraded {
+		t.Fatalf("hard defect did not degrade the adapter: %+v", st)
+	}
+	if st.Failures != 2 || st.ConsecutiveFailures != 2 {
+		t.Errorf("want exactly MaxFailures=2 failed blocks before degradation: %+v", st)
+	}
+	// Blocks 0 and 1 fail to software; blocks 2..4 go straight to software
+	// with no further hardware attempts.
+	if st.SoftwareBlocks != 5 || st.HardwareBlocks != 0 {
+		t.Errorf("block accounting off: %+v", st)
+	}
+	if st.Retries != 2 {
+		t.Errorf("retries = %d, want 2 (RetryBudget=1 per failed block)", st.Retries)
+	}
+	if !rb.Degraded() {
+		t.Error("Degraded() accessor disagrees with stats")
+	}
+}
+
+// TestResilientBlockInverseCheck exercises the no-extra-hardware detection
+// policy on the combined core: decrypt(encrypt(x)) != x flags the fault,
+// and the retry recovers.
+func TestResilientBlockInverseCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("combined-core build in -short mode")
+	}
+	impl, err := rijndaelip.Build(rijndaelip.Both, rijndaelip.Acex1K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("resilient-key-03")
+	strikes := 0
+	rb, err := impl.NewResilientBlock(key, rijndaelip.ResilientOptions{
+		Check: rijndaelip.CheckInverse,
+		Corrupt: func(attempt int, sim *netlist.Simulator) {
+			if strikes == 0 {
+				strikes++
+				sim.ScheduleFlip(16, sim.FindFF("s2[7]"))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("inverse-check-ok")
+	got := make([]byte, 16)
+	rb.Encrypt(got, pt)
+	if want := softRef(t, key, pt); !bytes.Equal(got, want) {
+		t.Fatalf("inverse-check recovery wrong: %x want %x", got, want)
+	}
+	st := rb.Stats()
+	if st.Detections == 0 || st.Retries == 0 || st.Degraded {
+		t.Errorf("inverse check should detect and recover: %+v", st)
+	}
+	// And the decrypt direction must work through the same adapter.
+	back := make([]byte, 16)
+	rb.Decrypt(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("decrypt through resilient path: %x want %x", back, pt)
+	}
+}
+
+func TestResilientBlockOptionValidation(t *testing.T) {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := impl.NewResilientBlock(make([]byte, 16), rijndaelip.ResilientOptions{Check: rijndaelip.CheckInverse}); err == nil {
+		t.Error("inverse check accepted on encrypt-only core")
+	}
+	rb, err := impl.NewResilientBlock(make([]byte, 16), rijndaelip.ResilientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := make([]byte, 8)
+	rb.Encrypt(short, make([]byte, 16))
+	if rb.Err() == nil {
+		t.Error("short dst not recorded as error")
+	}
+}
