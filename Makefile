@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test short bench vet race faults examples reports verify clean
+.PHONY: all test short bench bench-smoke vet race faults examples reports verify clean
 
 all: vet test
 
@@ -14,6 +14,12 @@ short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One pass over the sharded-engine scaling curve (1/2/4/8 shards): a cheap
+# smoke that surfaces throughput-scaling regressions without the full
+# bench suite. Wired into `verify` alongside vet and the race sweep.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkEngine$$' -benchtime=1x .
 
 vet:
 	$(GO) vet ./...
@@ -37,7 +43,7 @@ reports:
 	$(GO) run ./cmd/synthreport -sync -power -harden
 	$(GO) run ./cmd/ipcompare -ablation
 
-verify: vet race
+verify: vet race bench-smoke
 	$(GO) run ./cmd/verifyall -full
 
 clean:

@@ -5,10 +5,12 @@
 //
 //	aesip -key 2b7e151628aed2a6abf7158809cf4f3c -in 3243f6a8885a308d313198a2e0370734
 //	aesip -variant both -dec -key ... -in ...
+//	aesip -shards 4 -in <block>,<block>,...   # sharded engine with a throughput report
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -31,6 +33,7 @@ func main() {
 	variantName := flag.String("variant", "", "device variant: encrypt, decrypt or both (default: matches the operation)")
 	deviceName := flag.String("device", "acex", "device model: acex or cyclone")
 	sync := flag.Bool("sync", false, "use the synchronous-ROM future-work core")
+	shards := flag.Int("shards", 0, "process blocks through a sharded engine with N replicated cores (0: single-driver bus protocol path)")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -77,6 +80,25 @@ func main() {
 		impl.Core.Design.Name, dev.Name, impl.Fit.LogicCells, impl.Fit.MemoryBits,
 		impl.ClockNS(), impl.Core.BlockLatency)
 
+	var blocks [][]byte
+	for _, blockHex := range strings.Split(*inHex, ",") {
+		block, err := hex.DecodeString(strings.TrimSpace(blockHex))
+		if err != nil || len(block) != 16 {
+			fail("block %q must be 32 hex digits", blockHex)
+		}
+		blocks = append(blocks, block)
+	}
+
+	ref, err := rijndaelip.NewCipher(key)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *shards > 0 {
+		runEngine(impl, key, blocks, ref, *shards, *dec)
+		return
+	}
+
 	drv := impl.NewDriver()
 	setupCycles, err := drv.LoadKey(key)
 	if err != nil {
@@ -84,16 +106,7 @@ func main() {
 	}
 	fmt.Printf("key loaded in %d cycles\n", setupCycles)
 
-	ref, err := rijndaelip.NewCipher(key)
-	if err != nil {
-		fail("%v", err)
-	}
-
-	for _, blockHex := range strings.Split(*inHex, ",") {
-		block, err := hex.DecodeString(strings.TrimSpace(blockHex))
-		if err != nil || len(block) != 16 {
-			fail("block %q must be 32 hex digits", blockHex)
-		}
+	for _, block := range blocks {
 		out, cycles, err := drv.Process(block, !*dec)
 		if err != nil {
 			fail("process: %v", err)
@@ -117,5 +130,55 @@ func main() {
 		if !bytes.Equal(out, want) {
 			os.Exit(1)
 		}
+	}
+}
+
+// runEngine fans the blocks across a sharded pool of replicated cores and
+// prints the per-shard and aggregate throughput report.
+func runEngine(impl *rijndaelip.Implementation, key []byte, blocks [][]byte, ref interface {
+	Encrypt(dst, src []byte)
+	Decrypt(dst, src []byte)
+}, shards int, dec bool) {
+	eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards})
+	if err != nil {
+		fail("engine: %v", err)
+	}
+	defer eng.Close()
+	fmt.Printf("engine: %d shards (each a fresh keyed simulation of %s)\n", shards, impl.Core.Design.Name)
+
+	outs, err := eng.Process(context.Background(), blocks, !dec)
+	if err != nil {
+		fail("engine process: %v", err)
+	}
+	op := "encrypt"
+	if dec {
+		op = "decrypt"
+	}
+	mismatched := false
+	want := make([]byte, 16)
+	for i, out := range outs {
+		if dec {
+			ref.Decrypt(want, blocks[i])
+		} else {
+			ref.Encrypt(want, blocks[i])
+		}
+		status := "OK"
+		if !bytes.Equal(out, want) {
+			status = fmt.Sprintf("MISMATCH (reference %x)", want)
+			mismatched = true
+		}
+		fmt.Printf("%s %x -> %x  %s\n", op, blocks[i], out, status)
+	}
+
+	st := eng.Stats()
+	for _, ss := range st.Shards {
+		fmt.Printf("shard %d: %d blocks, %d cycles, %.2f cycles/block, %d stolen\n",
+			ss.Shard, ss.Blocks, ss.Cycles, ss.CyclesPerBlock, ss.Stolen)
+	}
+	fmt.Printf("aggregate: %d blocks, makespan %d cycles, %.2f cycles/block, %.1f Mbps at %.2f ns clk (single core: %.1f Mbps)\n",
+		st.Blocks, st.MaxShardCycles, st.AggregateCyclesPerBlock, eng.Throughput(),
+		impl.ClockNS(), impl.ThroughputMbps())
+	if mismatched {
+		os.Exit(1)
 	}
 }

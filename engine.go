@@ -1,0 +1,552 @@
+package rijndaelip
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/modes"
+)
+
+// Engine is a sharded hardware throughput pool: N independent
+// cycle-accurate simulations of the same generated IP core, each behind
+// its own bus-functional driver keyed once at construction, fed by a
+// work-stealing block scheduler. The paper's decoupled Data-In / Rijndael
+// / Data-Out processes let one core sustain back-to-back blocks; the
+// engine scales past a single core the way a board full of the paper's
+// low-occupation IPs would — by replicating the device and fanning
+// independent blocks across the replicas.
+//
+// Scheduling model: Process round-robins blocks onto bounded per-shard
+// queues (a full queue blocks the submitter — that is the backpressure
+// boundary), each shard drains its own queue first, and an idle shard
+// steals queued blocks from its siblings so a transient imbalance never
+// leaves a replica dark. Output ordering always matches input ordering:
+// results are written to their submission slot, not to a completion-order
+// stream.
+//
+// Which modes parallelize: ECB and the CTR keystream are embarrassingly
+// parallel, and CBC decryption is too (every plaintext block is
+// D(C_i) XOR C_{i-1} with both operands known up front). CBC and CFB
+// encryption chain each input on the previous output, so they fall back
+// to sequential block-at-a-time streaming through the pool.
+type Engine struct {
+	impl   *Implementation
+	opts   EngineOptions
+	shards []*engineShard
+
+	// wake is poked (non-blocking) on every submission so parked shards
+	// re-run their steal scan instead of waiting on their own queue alone.
+	wake   chan struct{}
+	closed chan struct{}
+
+	// mu guards the closed flag against racing submissions: Close takes
+	// the write side after which no submit can enqueue, so draining the
+	// queues at shutdown cannot strand a job.
+	mu       sync.RWMutex
+	isClosed bool
+	wg       sync.WaitGroup
+	rr       atomic.Uint64
+}
+
+// EngineOptions tunes the shard pool.
+type EngineOptions struct {
+	// Shards is the number of replicated core instances. Default 1.
+	Shards int
+	// QueueDepth bounds each shard's queue; a submitter that finds every
+	// slot of the chosen queue full blocks until the pool catches up
+	// (backpressure) or its context is cancelled. Default 2.
+	QueueDepth int
+	// Jitter, when set, is invoked before each block is processed with the
+	// executing shard and the block's submission index. Tests use it to
+	// inject per-shard latency skew and prove result ordering survives
+	// out-of-order completion. Leave nil in production.
+	Jitter func(shard, index int)
+}
+
+// ErrEngineClosed is returned for blocks submitted after Close.
+var ErrEngineClosed = errors.New("rijndaelip: engine closed")
+
+type engineShard struct {
+	id     int
+	drv    *bfm.Driver
+	q      chan *engineJob
+	blocks atomic.Uint64
+	cycles atomic.Uint64
+	stolen atomic.Uint64
+}
+
+type engineJob struct {
+	index   int
+	src     []byte
+	dst     []byte
+	encrypt bool
+	batch   *engineBatch
+}
+
+// engineBatch tracks one Process call's fan-out: jobs decrement remaining
+// as they complete (successfully or not) and the last one home closes
+// done. The first error wins.
+type engineBatch struct {
+	remaining atomic.Int64
+	done      chan struct{}
+	mu        sync.Mutex
+	err       error
+	jitter    func(shard, index int)
+}
+
+func (b *engineBatch) complete(err error) {
+	if err != nil {
+		b.mu.Lock()
+		if b.err == nil {
+			b.err = err
+		}
+		b.mu.Unlock()
+	}
+	if b.remaining.Add(-1) == 0 {
+		close(b.done)
+	}
+}
+
+// NewEngine clones the implementation's core into opts.Shards independent
+// keyed simulations (each paying the key-setup walk exactly once) and
+// starts one scheduler worker per shard. Close releases the workers.
+func (im *Implementation) NewEngine(key []byte, opts EngineOptions) (*Engine, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 2
+	}
+	factory, err := bfm.NewKeyedFactory(im.Core, key)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		impl:   im,
+		opts:   opts,
+		wake:   make(chan struct{}, opts.Shards),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		drv, _, err := factory.Clone()
+		if err != nil {
+			return nil, fmt.Errorf("rijndaelip: engine shard %d: %w", i, err)
+		}
+		e.shards = append(e.shards, &engineShard{
+			id:  i,
+			drv: drv,
+			q:   make(chan *engineJob, opts.QueueDepth),
+		})
+	}
+	for _, s := range e.shards {
+		e.wg.Add(1)
+		go e.worker(s)
+	}
+	return e, nil
+}
+
+// Close stops the shard workers and waits for them to exit. Outstanding
+// Process calls complete (already-queued blocks are failed with
+// ErrEngineClosed rather than stranded); new submissions are rejected.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.isClosed {
+		e.mu.Unlock()
+		return
+	}
+	e.isClosed = true
+	close(e.closed)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// submit places one job on a shard queue, blocking for backpressure. The
+// read lock is held across the send so Close cannot declare the engine
+// closed while a job is in flight toward a queue.
+func (e *Engine) submit(ctx context.Context, j *engineJob) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.isClosed {
+		return ErrEngineClosed
+	}
+	s := e.shards[int(e.rr.Add(1)-1)%len(e.shards)]
+	select {
+	case s.q <- j:
+		e.poke()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) poke() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (e *Engine) worker(s *engineShard) {
+	defer e.wg.Done()
+	for {
+		// Fast path: the shard's own queue.
+		select {
+		case j := <-s.q:
+			e.run(s, j)
+			continue
+		default:
+		}
+		// Idle: steal from a sibling before parking.
+		if e.trySteal(s) {
+			continue
+		}
+		select {
+		case j := <-s.q:
+			e.run(s, j)
+		case <-e.wake:
+			// A submission landed somewhere; rescan.
+		case <-e.closed:
+			e.drain(s)
+			return
+		}
+	}
+}
+
+// trySteal claims one queued block from a sibling shard. Only surplus
+// work is stolen — a victim queue holding a single block keeps it for its
+// owner. Stealing the last block from a momentarily descheduled (but
+// otherwise idle) owner would concentrate the workload on whichever
+// shards woke first and inflate the pool's makespan; the surplus rule
+// keeps every replica lit while still draining genuine backlogs. (The
+// length check races with other thieves, which is harmless: the worst
+// case is stealing what just became the last block.)
+func (e *Engine) trySteal(s *engineShard) bool {
+	for off := 1; off < len(e.shards); off++ {
+		victim := e.shards[(s.id+off)%len(e.shards)]
+		if len(victim.q) < 2 {
+			continue
+		}
+		select {
+		case j := <-victim.q:
+			s.stolen.Add(1)
+			e.run(s, j)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// drain fails any block still queued at shutdown so its batch completes.
+func (e *Engine) drain(s *engineShard) {
+	for {
+		select {
+		case j := <-s.q:
+			j.batch.complete(ErrEngineClosed)
+		default:
+			return
+		}
+	}
+}
+
+func (e *Engine) run(s *engineShard, j *engineJob) {
+	if j.batch.jitter != nil {
+		j.batch.jitter(s.id, j.index)
+	}
+	out, cycles, err := s.drv.Process(j.src, j.encrypt)
+	// +1 accounts the wr_data load edge, which Process steps before it
+	// starts counting completion-wait cycles.
+	s.cycles.Add(uint64(cycles) + 1)
+	if err == nil {
+		s.blocks.Add(1)
+		copy(j.dst, out)
+	}
+	j.batch.complete(err)
+}
+
+// process fans the concatenated 16-byte blocks of src across the shard
+// pool and writes each result into the matching offset of dst. It returns
+// after every submitted block has completed; ctx cancels blocks that are
+// still waiting for queue space (in-flight transactions always finish —
+// a bus transaction is bounded by the driver watchdog).
+func (e *Engine) process(ctx context.Context, dst, src []byte, encrypt bool) error {
+	if len(src)%16 != 0 || len(dst) < len(src) {
+		return fmt.Errorf("rijndaelip: engine: need whole blocks and dst >= src, got src=%d dst=%d",
+			len(src), len(dst))
+	}
+	n := len(src) / 16
+	if n == 0 {
+		return nil
+	}
+	batch := &engineBatch{done: make(chan struct{}), jitter: e.opts.Jitter}
+	batch.remaining.Store(int64(n))
+	var submitErr error
+	for i := 0; i < n; i++ {
+		j := &engineJob{
+			index:   i,
+			src:     src[i*16 : i*16+16],
+			dst:     dst[i*16 : i*16+16],
+			encrypt: encrypt,
+			batch:   batch,
+		}
+		if err := e.submit(ctx, j); err != nil {
+			submitErr = err
+			// This job and everything after it never ran; settle their
+			// share of the batch so done can close once the submitted
+			// prefix finishes.
+			if batch.remaining.Add(int64(-(n - i))) == 0 {
+				close(batch.done)
+			}
+			break
+		}
+	}
+	<-batch.done
+	if submitErr != nil {
+		return submitErr
+	}
+	batch.mu.Lock()
+	defer batch.mu.Unlock()
+	return batch.err
+}
+
+// Process runs independent 16-byte blocks through the pool, preserving
+// order: result i is the transformation of blocks[i].
+func (e *Engine) Process(ctx context.Context, blocks [][]byte, encrypt bool) ([][]byte, error) {
+	src := make([]byte, 0, len(blocks)*16)
+	for i, b := range blocks {
+		if len(b) != 16 {
+			return nil, fmt.Errorf("rijndaelip: engine: block %d is %d bytes, want 16", i, len(b))
+		}
+		src = append(src, b...)
+	}
+	dst := make([]byte, len(src))
+	if err := e.process(ctx, dst, src, encrypt); err != nil {
+		return nil, err
+	}
+	outs := make([][]byte, len(blocks))
+	for i := range outs {
+		outs[i] = dst[i*16 : i*16+16 : i*16+16]
+	}
+	return outs, nil
+}
+
+// EngineBlock adapts the shard pool to the modes.Block interface, so every
+// protocol in internal/modes runs over the replicated hardware. It also
+// implements modes.BatchBlock: the mode helpers hand independent-block
+// work (ECB, the CTR keystream, CBC decryption) to the pool in one call,
+// which is where the parallel speedup comes from; single-block calls
+// still go through the scheduler, one shard busy at a time.
+//
+// Like HardwareBlock, protocol errors surface via Err (the Block
+// interface has no error returns) and the affected output is zeroed.
+// EngineBlock is safe for concurrent use.
+type EngineBlock struct {
+	e   *Engine
+	ctx context.Context
+
+	mu  sync.Mutex
+	err error
+}
+
+// Block returns a modes.Block adapter over the pool with a background
+// context.
+func (e *Engine) Block() *EngineBlock { return e.BlockContext(context.Background()) }
+
+// BlockContext returns a modes.Block adapter whose submissions are bounded
+// by ctx.
+func (e *Engine) BlockContext(ctx context.Context) *EngineBlock {
+	return &EngineBlock{e: e, ctx: ctx}
+}
+
+// BlockSize returns 16.
+func (b *EngineBlock) BlockSize() int { return 16 }
+
+// Err returns the first engine error encountered through this adapter.
+func (b *EngineBlock) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+func (b *EngineBlock) record(err error) error {
+	if err != nil {
+		b.mu.Lock()
+		if b.err == nil {
+			b.err = err
+		}
+		b.mu.Unlock()
+	}
+	return err
+}
+
+func (b *EngineBlock) one(dst, src []byte, encrypt bool) {
+	if len(src) < 16 || len(dst) < 16 {
+		b.record(fmt.Errorf("rijndaelip: engine block: need 16-byte src and dst, got src=%d dst=%d",
+			len(src), len(dst)))
+		zeroBlock(dst)
+		return
+	}
+	if b.record(b.e.process(b.ctx, dst[:16], src[:16], encrypt)) != nil {
+		zeroBlock(dst)
+	}
+}
+
+// Encrypt runs one block through the pool in the encrypt direction.
+func (b *EngineBlock) Encrypt(dst, src []byte) { b.one(dst, src, true) }
+
+// Decrypt runs one block through the pool in the decrypt direction.
+func (b *EngineBlock) Decrypt(dst, src []byte) { b.one(dst, src, false) }
+
+// EncryptBlocks fans the concatenated independent blocks of src across
+// the shard pool (modes.BatchBlock).
+func (b *EngineBlock) EncryptBlocks(dst, src []byte) error {
+	return b.record(b.e.process(b.ctx, dst, src, true))
+}
+
+// DecryptBlocks is the decrypt-direction counterpart of EncryptBlocks.
+func (b *EngineBlock) DecryptBlocks(dst, src []byte) error {
+	return b.record(b.e.process(b.ctx, dst, src, false))
+}
+
+// blockErr folds an EngineBlock's recorded error into a mode result.
+func blockErr(out []byte, err error, blk *EngineBlock) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	if blkErr := blk.Err(); blkErr != nil {
+		return nil, blkErr
+	}
+	return out, nil
+}
+
+// CTR XORs src (any length) with the counter-mode keystream derived from
+// the 16-byte iv. The keystream blocks are independent, so they fan out
+// across all shards — the engine's headline parallel mode.
+func (e *Engine) CTR(ctx context.Context, iv, src []byte) ([]byte, error) {
+	blk := e.BlockContext(ctx)
+	out, err := modes.CTRStream(blk, iv, src)
+	return blockErr(out, err, blk)
+}
+
+// EncryptECB encrypts whole independent blocks across the pool.
+func (e *Engine) EncryptECB(ctx context.Context, src []byte) ([]byte, error) {
+	blk := e.BlockContext(ctx)
+	out, err := modes.EncryptECB(blk, src)
+	return blockErr(out, err, blk)
+}
+
+// DecryptECB decrypts whole independent blocks across the pool.
+func (e *Engine) DecryptECB(ctx context.Context, src []byte) ([]byte, error) {
+	blk := e.BlockContext(ctx)
+	out, err := modes.DecryptECB(blk, src)
+	return blockErr(out, err, blk)
+}
+
+// EncryptCBC chains each block on the previous ciphertext, so it cannot
+// fan out: it streams sequentially through the pool (single shard busy at
+// a time). Use CTR when throughput matters.
+func (e *Engine) EncryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
+	blk := e.BlockContext(ctx)
+	out, err := modes.EncryptCBC(blk, iv, src)
+	return blockErr(out, err, blk)
+}
+
+// DecryptCBC decrypts CBC ciphertext with the block decrypts fanned out
+// across the pool (CBC decryption is order-independent).
+func (e *Engine) DecryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
+	blk := e.BlockContext(ctx)
+	out, err := modes.DecryptCBC(blk, iv, src)
+	return blockErr(out, err, blk)
+}
+
+// EncryptCFB chains like CBC encryption and therefore streams
+// sequentially through the pool.
+func (e *Engine) EncryptCFB(ctx context.Context, iv, src []byte) ([]byte, error) {
+	blk := e.BlockContext(ctx)
+	out, err := modes.EncryptCFB(blk, iv, src)
+	return blockErr(out, err, blk)
+}
+
+// DecryptCFB inverts EncryptCFB (keystream blocks derive from known
+// ciphertext; the modes layer still walks them in order).
+func (e *Engine) DecryptCFB(ctx context.Context, iv, src []byte) ([]byte, error) {
+	blk := e.BlockContext(ctx)
+	out, err := modes.DecryptCFB(blk, iv, src)
+	return blockErr(out, err, blk)
+}
+
+// ShardStats is one replica's share of the work.
+type ShardStats struct {
+	Shard int
+	// Blocks is how many transactions this shard completed successfully.
+	Blocks uint64
+	// Cycles is the simulated clock cycles this shard's device spent,
+	// including the load edge of every transaction.
+	Cycles uint64
+	// CyclesPerBlock is Cycles / Blocks.
+	CyclesPerBlock float64
+	// Stolen counts blocks this shard claimed from a sibling's queue.
+	Stolen uint64
+	// QueueDepth is the queue occupancy at snapshot time.
+	QueueDepth int
+}
+
+// EngineStats aggregates the pool.
+type EngineStats struct {
+	Shards []ShardStats
+	// Blocks is the total completed across all shards.
+	Blocks uint64
+	// MaxShardCycles is the busiest shard's simulated cycle count — the
+	// makespan: the replicas run concurrently in hardware, so the wall
+	// clock of the whole pool is the slowest replica, not the sum.
+	MaxShardCycles uint64
+	// AggregateCyclesPerBlock is MaxShardCycles / Blocks: the effective
+	// per-block cost of the pool. With N evenly loaded shards it
+	// approaches (single-core cycles per block) / N.
+	AggregateCyclesPerBlock float64
+}
+
+// Stats snapshots per-shard and aggregate counters. Safe to call while
+// blocks are in flight.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{Shards: make([]ShardStats, len(e.shards))}
+	for i, s := range e.shards {
+		ss := ShardStats{
+			Shard:      i,
+			Blocks:     s.blocks.Load(),
+			Cycles:     s.cycles.Load(),
+			Stolen:     s.stolen.Load(),
+			QueueDepth: len(s.q),
+		}
+		if ss.Blocks > 0 {
+			ss.CyclesPerBlock = float64(ss.Cycles) / float64(ss.Blocks)
+		}
+		st.Blocks += ss.Blocks
+		if ss.Cycles > st.MaxShardCycles {
+			st.MaxShardCycles = ss.Cycles
+		}
+		st.Shards[i] = ss
+	}
+	if st.Blocks > 0 {
+		st.AggregateCyclesPerBlock = float64(st.MaxShardCycles) / float64(st.Blocks)
+	}
+	return st
+}
+
+// Throughput converts the aggregate steady-state rate into the paper's
+// megabit-per-second metric at the implementation's timing-closed clock.
+func (e *Engine) Throughput() float64 {
+	st := e.Stats()
+	if st.AggregateCyclesPerBlock == 0 {
+		return 0
+	}
+	ns := st.AggregateCyclesPerBlock * e.impl.ClockNS()
+	if ns == 0 {
+		return 0
+	}
+	return 128 / ns * 1000
+}

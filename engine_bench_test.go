@@ -1,0 +1,56 @@
+// BenchmarkEngine measures the sharded throughput engine's scaling curve:
+// the same 64-block CTR message is pushed through pools of 1, 2, 4 and 8
+// replicated cores, and each sub-benchmark reports the aggregate
+// steady-state cycles-per-block (makespan over blocks — the hardware-time
+// cost of the pool) plus the paper-metric throughput at the timing-closed
+// clock. Near-linear scaling shows up as cycles/block halving with each
+// doubling of the shard count.
+//
+// Run the smoke version with `make bench-smoke`.
+package rijndaelip_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"rijndaelip"
+)
+
+func BenchmarkEngine(b *testing.B) {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := []byte("bench-engine-key")
+	iv := bytes.Repeat([]byte{0x24}, 16)
+	msg := make([]byte, 64*16)
+	for i := range msg {
+		msg[i] = byte(i * 3)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ctr/shards=%d", shards), func(b *testing.B) {
+			eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.CTR(context.Background(), iv, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := eng.Stats()
+			b.ReportMetric(st.AggregateCyclesPerBlock, "cycles/block")
+			b.ReportMetric(eng.Throughput(), "Mbps")
+			var stolen uint64
+			for _, ss := range st.Shards {
+				stolen += ss.Stolen
+			}
+			b.ReportMetric(float64(stolen)/float64(b.N), "stolen/op")
+		})
+	}
+}

@@ -1,0 +1,337 @@
+package rijndaelip_test
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"rijndaelip"
+	"rijndaelip/internal/modes"
+)
+
+// engineImpl caches one built implementation for the engine tests; every
+// engine clones fresh simulator state from it, so sharing the build is
+// safe.
+var (
+	engineImplOnce sync.Once
+	engineImplVal  *rijndaelip.Implementation
+	engineImplErr  error
+)
+
+func engineImpl(t *testing.T) *rijndaelip.Implementation {
+	t.Helper()
+	engineImplOnce.Do(func() {
+		engineImplVal, engineImplErr = rijndaelip.Build(rijndaelip.Both, rijndaelip.Acex1K())
+	})
+	if engineImplErr != nil {
+		t.Fatal(engineImplErr)
+	}
+	return engineImplVal
+}
+
+var engineKey = []byte("engine-key-00000")
+
+func engineRef(t *testing.T) modes.Block {
+	t.Helper()
+	ref, err := rijndaelip.NewCipher(engineKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// TestEngineECBMatchesReference fans independent blocks across 4 shards
+// and checks every result, in order, against the software reference.
+func TestEngineECBMatchesReference(t *testing.T) {
+	impl := engineImpl(t)
+	eng, err := impl.NewEngine(engineKey, rijndaelip.EngineOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	src := make([]byte, 24*16)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	got, err := eng.EncryptECB(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := modes.EncryptECB(engineRef(t), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("sharded ECB diverged from software reference")
+	}
+	back, err := eng.DecryptECB(context.Background(), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatal("sharded ECB round trip failed")
+	}
+	st := eng.Stats()
+	if st.Blocks != 48 {
+		t.Errorf("stats count %d blocks, want 48", st.Blocks)
+	}
+	var sum uint64
+	for _, ss := range st.Shards {
+		sum += ss.Blocks
+		if ss.Blocks > 0 && ss.CyclesPerBlock <= 0 {
+			t.Errorf("shard %d has blocks but no cycle rate: %+v", ss.Shard, ss)
+		}
+	}
+	if sum != st.Blocks {
+		t.Errorf("per-shard blocks sum %d != aggregate %d", sum, st.Blocks)
+	}
+	if st.MaxShardCycles == 0 || st.AggregateCyclesPerBlock <= 0 {
+		t.Errorf("aggregate cycle accounting empty: %+v", st)
+	}
+}
+
+// TestEngineModesOverHardware runs the full modes stack — CTR, CBC both
+// directions, CFB, and GCM through the modes.Block adapter — over the
+// shard pool and cross-checks the software implementations.
+func TestEngineModesOverHardware(t *testing.T) {
+	impl := engineImpl(t)
+	eng, err := impl.NewEngine(engineKey, rijndaelip.EngineOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ref := engineRef(t)
+	ctx := context.Background()
+	iv := bytes.Repeat([]byte{0x42}, 16)
+	msg := make([]byte, 10*16+5) // deliberately not block-aligned
+	for i := range msg {
+		msg[i] = byte(i ^ 0x5C)
+	}
+
+	ctGot, err := eng.CTR(ctx, iv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctWant, _ := modes.CTRStream(ref, iv, msg)
+	if !bytes.Equal(ctGot, ctWant) {
+		t.Error("engine CTR diverged from software CTR")
+	}
+
+	aligned := msg[:10*16]
+	cbcGot, err := eng.EncryptCBC(ctx, iv, aligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbcWant, _ := modes.EncryptCBC(ref, iv, aligned)
+	if !bytes.Equal(cbcGot, cbcWant) {
+		t.Error("engine CBC encrypt diverged from software CBC")
+	}
+	cbcBack, err := eng.DecryptCBC(ctx, iv, cbcGot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cbcBack, aligned) {
+		t.Error("engine CBC round trip failed")
+	}
+
+	cfbGot, err := eng.EncryptCFB(ctx, iv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfbWant, _ := modes.EncryptCFB(ref, iv, msg)
+	if !bytes.Equal(cfbGot, cfbWant) {
+		t.Error("engine CFB diverged from software CFB")
+	}
+	cfbBack, err := eng.DecryptCFB(ctx, iv, cfbGot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cfbBack, msg) {
+		t.Error("engine CFB round trip failed")
+	}
+
+	// GCM over the hardware pool: the adapter is a plain modes.Block, so
+	// the authenticated mode composes with zero engine-specific code.
+	hwGCM, err := modes.NewGCM(eng.Block())
+	if err != nil {
+		t.Fatal(err)
+	}
+	swGCM, err := modes.NewGCM(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("engine-nonce")
+	sealedHW, err := hwGCM.Seal(nonce, msg, []byte("aad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealedSW, err := swGCM.Seal(nonce, msg, []byte("aad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sealedHW, sealedSW) {
+		t.Error("GCM over the shard pool diverged from software GCM")
+	}
+	opened, err := swGCM.Open(nonce, sealedHW, []byte("aad"))
+	if err != nil || !bytes.Equal(opened, msg) {
+		t.Errorf("software GCM rejected hardware-sealed message: %v", err)
+	}
+}
+
+// TestEngineOrderingUnderJitter is the satellite ordering check: 8 shards
+// with randomized per-shard latency skew must still return results in
+// submission order — result i is always E(blocks[i]).
+func TestEngineOrderingUnderJitter(t *testing.T) {
+	impl := engineImpl(t)
+	eng, err := impl.NewEngine(engineKey, rijndaelip.EngineOptions{
+		Shards: 8,
+		Jitter: func(shard, index int) {
+			// Deterministically lopsided: some shards run up to ~1ms late
+			// per block, so completion order scrambles thoroughly.
+			time.Sleep(time.Duration((shard*131+index*17)%5) * 250 * time.Microsecond)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const n = 64
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		blocks[i] = bytes.Repeat([]byte{byte(i)}, 16)
+		blocks[i][15] = byte(i >> 4)
+	}
+	outs, err := eng.Process(context.Background(), blocks, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := engineRef(t)
+	want := make([]byte, 16)
+	for i := range blocks {
+		ref.Encrypt(want, blocks[i])
+		if !bytes.Equal(outs[i], want) {
+			t.Fatalf("result %d out of order under jitter", i)
+		}
+	}
+	// The jitter skews shards enough that stealing must have happened —
+	// the scheduler property the test is really about.
+	st := eng.Stats()
+	var stolen uint64
+	for _, ss := range st.Shards {
+		stolen += ss.Stolen
+	}
+	t.Logf("jitter run: %d/%d blocks stolen across shards", stolen, st.Blocks)
+}
+
+// TestEngineScalingCTR is the acceptance gate: aggregate cycles-per-block
+// must improve monotonically from 1 to 4 shards with at least 3x
+// aggregate throughput at 4 shards.
+func TestEngineScalingCTR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three engine sweeps over 64-block messages in -short mode")
+	}
+	impl := engineImpl(t)
+	iv := bytes.Repeat([]byte{0x01}, 16)
+	msg := make([]byte, 64*16)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	cpb := map[int]float64{}
+	for _, shards := range []int{1, 2, 4} {
+		eng, err := impl.NewEngine(engineKey, rijndaelip.EngineOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.CTR(context.Background(), iv, msg); err != nil {
+			eng.Close()
+			t.Fatal(err)
+		}
+		st := eng.Stats()
+		eng.Close()
+		if st.Blocks != 64 {
+			t.Fatalf("shards=%d processed %d blocks, want 64", shards, st.Blocks)
+		}
+		cpb[shards] = st.AggregateCyclesPerBlock
+		t.Logf("shards=%d: %.2f cycles/block (makespan %d)", shards, st.AggregateCyclesPerBlock, st.MaxShardCycles)
+	}
+	if !(cpb[2] < cpb[1]) || !(cpb[4] < cpb[2]) {
+		t.Errorf("cycles/block not monotonically improving: 1->%.2f 2->%.2f 4->%.2f",
+			cpb[1], cpb[2], cpb[4])
+	}
+	if speedup := cpb[1] / cpb[4]; speedup < 3 {
+		t.Errorf("4-shard speedup %.2fx, want >= 3x", speedup)
+	}
+}
+
+// TestEngineBackpressureAndCancel pins the bounded-queue semantics: with
+// one deliberately slow shard and a tiny queue, a cancelled context must
+// abort a stuck submission, and the batch must still settle (no leaked
+// goroutines, no hung Process).
+func TestEngineBackpressureAndCancel(t *testing.T) {
+	impl := engineImpl(t)
+	block := make(chan struct{})
+	var once sync.Once
+	eng, err := impl.NewEngine(engineKey, rijndaelip.EngineOptions{
+		Shards:     1,
+		QueueDepth: 1,
+		Jitter: func(shard, index int) {
+			once.Do(func() { <-block }) // wedge the only shard on its first block
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		close(block)
+	}()
+	// Shard busy on block 0, queue holds block 1, block 2's submission
+	// must park on backpressure until the context cancels it.
+	src := make([]byte, 8*16)
+	_, err = eng.EncryptECB(ctx, src)
+	if err == nil {
+		t.Fatal("cancelled batch reported success")
+	}
+	// After cancellation the pool must still be serviceable.
+	out, err := eng.EncryptECB(context.Background(), src[:2*16])
+	if err != nil {
+		t.Fatalf("engine unusable after cancelled batch: %v", err)
+	}
+	want, _ := modes.EncryptECB(engineRef(t), src[:2*16])
+	if !bytes.Equal(out, want) {
+		t.Error("post-cancel result diverged from reference")
+	}
+}
+
+// TestEngineClose pins shutdown semantics: Close is idempotent and
+// further submissions are rejected with ErrEngineClosed.
+func TestEngineClose(t *testing.T) {
+	impl := engineImpl(t)
+	eng, err := impl.NewEngine(engineKey, rijndaelip.EngineOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.EncryptECB(context.Background(), make([]byte, 4*16)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if _, err := eng.EncryptECB(context.Background(), make([]byte, 16)); err != rijndaelip.ErrEngineClosed {
+		t.Errorf("post-close submission: got %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestEngineKeyValidation checks construction-time key checking.
+func TestEngineKeyValidation(t *testing.T) {
+	impl := engineImpl(t)
+	if _, err := impl.NewEngine(make([]byte, 5), rijndaelip.EngineOptions{}); err == nil {
+		t.Error("5-byte key accepted by engine")
+	}
+}

@@ -145,6 +145,98 @@ func TestDriverStreamOverlap(t *testing.T) {
 	}
 }
 
+// TestStreamCycleAccounting pins the documented stream boundary: the
+// steady-state CyclesPerBlock excludes the one-time pipe fill, so streams
+// of different lengths over the same device report the same rate, and
+// TotalCycles lands on the capture cycle of the final result.
+func TestStreamCycleAccounting(t *testing.T) {
+	mkBlocks := func(n int) [][]byte {
+		blocks := make([][]byte, n)
+		for i := range blocks {
+			blocks[i] = bytes.Repeat([]byte{byte(i + 1)}, 16)
+		}
+		return blocks
+	}
+	stream := func(n int) StreamResult {
+		drv := toyDriver(t, 9)
+		drv.LoadKey(bytes.Repeat([]byte{0x0F}, 16))
+		outs, res, err := drv.Stream(mkBlocks(n), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outs) != n {
+			t.Fatalf("stream of %d returned %d results", n, len(outs))
+		}
+		return res
+	}
+	short, long := stream(3), stream(12)
+	if short.CyclesPerBlock != long.CyclesPerBlock {
+		t.Errorf("steady-state rate depends on stream length: 3 blocks %.2f, 12 blocks %.2f",
+			short.CyclesPerBlock, long.CyclesPerBlock)
+	}
+	if short.PipeFillCycles <= 0 || short.PipeFillCycles >= short.TotalCycles {
+		t.Errorf("pipe fill %d out of range (total %d)", short.PipeFillCycles, short.TotalCycles)
+	}
+	// The last-result boundary: total = fill + (blocks-1) * steady rate.
+	want := float64(short.PipeFillCycles) + float64(short.Blocks-1)*short.CyclesPerBlock
+	if got := float64(short.TotalCycles); got != want {
+		t.Errorf("TotalCycles %v, want fill+steady = %v", got, want)
+	}
+	// A single-block stream has no steady-state window: the rate is the
+	// whole transaction.
+	single := stream(1)
+	if single.CyclesPerBlock != float64(single.TotalCycles) {
+		t.Errorf("single-block rate %.2f, want TotalCycles %d", single.CyclesPerBlock, single.TotalCycles)
+	}
+}
+
+// TestKeyedFactoryClones checks that factory clones are identically keyed
+// but fully independent: both produce the reference ciphertext, and
+// advancing one simulator does not disturb the other.
+func TestKeyedFactoryClones(t *testing.T) {
+	core, err := rijndael.New(rijndael.Config{Variant: rijndael.Encrypt, ROMStyle: rtl.ROMAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := bytes.Repeat([]byte{0xA5}, 16)
+	if _, err := NewKeyedFactory(core, make([]byte, 7)); err == nil {
+		t.Error("7-byte key accepted by factory")
+	}
+	f, err := NewKeyedFactory(core, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, setupA, err := f.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, setupB, err := f.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setupA != setupB || setupA <= 0 {
+		t.Errorf("setup cycles differ between clones: %d vs %d", setupA, setupB)
+	}
+	pt := []byte("clone-block-0000")
+	outA1, _, err := a.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push extra traffic through clone a only; clone b must be unaffected.
+	for i := 0; i < 3; i++ {
+		if _, _, err := a.Encrypt(bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outB, _, err := b.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outA1, outB) {
+		t.Errorf("clones disagree on the same block: %x vs %x", outA1, outB)
+	}
+}
+
 func TestDriverReset(t *testing.T) {
 	drv := toyDriver(t, 4)
 	drv.LoadKey(make([]byte, 16))

@@ -1,0 +1,58 @@
+package modes
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPKCS7 fuzzes the pad/unpad pair: for any payload and block size the
+// round trip must be lossless, corrupting the padding must be rejected
+// with the constant-time sentinel, and no input — including hostile block
+// sizes — may panic the unpad path.
+func FuzzPKCS7(f *testing.F) {
+	f.Add([]byte(nil), 16)
+	f.Add([]byte("a"), 16)
+	f.Add([]byte("0123456789abcdef"), 16)
+	f.Add([]byte("block"), 1)
+	f.Add(bytes.Repeat([]byte{0x10}, 16), 16)
+	f.Add([]byte("x"), 0)
+	f.Add([]byte("x"), -4)
+	f.Add([]byte("x"), 300)
+	f.Fuzz(func(t *testing.T, data []byte, blockSize int) {
+		if blockSize <= 0 || blockSize > 255 {
+			// Hostile sizes: unpad must return an error, never panic or
+			// divide by zero (PadPKCS7 documents a panic for misuse, so only
+			// the attacker-facing unpad path is exercised here).
+			if _, err := UnpadPKCS7(data, blockSize); err == nil {
+				t.Fatalf("blockSize=%d accepted", blockSize)
+			}
+			return
+		}
+		padded := PadPKCS7(data, blockSize)
+		back, err := UnpadPKCS7(padded, blockSize)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip lost data: %x != %x", back, data)
+		}
+		// Corrupt each padding byte in turn: every corruption must be
+		// rejected with the single sentinel error. (Flipping a low bit of a
+		// filler byte always invalidates it because the correct value is
+		// the pad length itself.)
+		padLen := int(padded[len(padded)-1])
+		for i := len(padded) - padLen; i < len(padded)-1; i++ {
+			bad := append([]byte(nil), padded...)
+			bad[i] ^= 0x01
+			if _, err := UnpadPKCS7(bad, blockSize); err != ErrBadPadding {
+				t.Fatalf("corrupt filler@%d: got %v, want ErrBadPadding", i, err)
+			}
+		}
+		// A zero length byte is never valid padding.
+		bad := append([]byte(nil), padded...)
+		bad[len(bad)-1] = 0
+		if _, err := UnpadPKCS7(bad, blockSize); err != ErrBadPadding {
+			t.Fatalf("zero pad byte: got %v, want ErrBadPadding", err)
+		}
+	})
+}

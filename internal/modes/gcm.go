@@ -170,6 +170,9 @@ func CTRStream32(b Block, iv, src []byte) ([]byte, error) {
 	if len(iv) != bs {
 		return nil, fmt.Errorf("modes: CTR iv must be %d bytes", bs)
 	}
+	if bb, ok := b.(BatchBlock); ok {
+		return ctrBatch(bb, iv, src, incCounter32)
+	}
 	dst := make([]byte, len(src))
 	counter := append([]byte(nil), iv...)
 	ks := make([]byte, bs)

@@ -11,6 +11,7 @@
 package modes
 
 import (
+	"errors"
 	"fmt"
 )
 
@@ -20,6 +21,48 @@ type Block interface {
 	BlockSize() int
 	Encrypt(dst, src []byte)
 	Decrypt(dst, src []byte)
+}
+
+// BatchBlock is optionally implemented by ciphers that can process many
+// independent blocks in one call — e.g. a sharded hardware engine fanning
+// blocks across replicated cores. dst and src are concatenations of whole
+// blocks of equal length. The mode helpers detect BatchBlock and hand all
+// independent-block work (ECB, the CTR keystream, CBC decryption) to it in
+// a single call, so those modes parallelize transparently; chained modes
+// (CBC encryption, CFB encryption) stay block-by-block because each input
+// depends on the previous output.
+type BatchBlock interface {
+	Block
+	// EncryptBlocks encrypts len(src)/BlockSize() independent blocks.
+	EncryptBlocks(dst, src []byte) error
+	// DecryptBlocks decrypts len(src)/BlockSize() independent blocks.
+	DecryptBlocks(dst, src []byte) error
+}
+
+// encryptBlocks runs independent blocks through the batch interface when
+// the cipher provides one, and block by block otherwise. len(src) must be
+// a multiple of the block size.
+func encryptBlocks(b Block, dst, src []byte) error {
+	if bb, ok := b.(BatchBlock); ok {
+		return bb.EncryptBlocks(dst, src)
+	}
+	bs := b.BlockSize()
+	for i := 0; i+bs <= len(src); i += bs {
+		b.Encrypt(dst[i:], src[i:])
+	}
+	return nil
+}
+
+// decryptBlocks is the decrypt-direction counterpart of encryptBlocks.
+func decryptBlocks(b Block, dst, src []byte) error {
+	if bb, ok := b.(BatchBlock); ok {
+		return bb.DecryptBlocks(dst, src)
+	}
+	bs := b.BlockSize()
+	for i := 0; i+bs <= len(src); i += bs {
+		b.Decrypt(dst[i:], src[i:])
+	}
+	return nil
 }
 
 // xorBytes sets dst = a ^ b over the first n bytes.
@@ -43,21 +86,58 @@ func PadPKCS7(data []byte, blockSize int) []byte {
 	return out
 }
 
-// UnpadPKCS7 removes PKCS#7 padding, validating it fully.
+// ErrBadPadding is the single error returned for any invalid PKCS#7
+// padding content. One sentinel for every content failure (length byte out
+// of range, mismatched filler bytes) means the error value itself cannot
+// tell an attacker where the check failed.
+var ErrBadPadding = errors.New("modes: invalid PKCS#7 padding")
+
+// UnpadPKCS7 removes PKCS#7 padding, validating it fully. The padding
+// check is constant-time over the final block: every byte of the last
+// block is examined and folded into one accumulated verdict regardless of
+// the claimed padding length or where a mismatch sits, so a decrypt+unpad
+// pipeline does not hand a CBC padding oracle its timing side channel.
 func UnpadPKCS7(data []byte, blockSize int) ([]byte, error) {
+	if blockSize <= 0 || blockSize > 255 {
+		return nil, fmt.Errorf("modes: invalid block size %d", blockSize)
+	}
 	if len(data) == 0 || len(data)%blockSize != 0 {
 		return nil, fmt.Errorf("modes: padded data length %d invalid", len(data))
 	}
-	n := int(data[len(data)-1])
-	if n == 0 || n > blockSize || n > len(data) {
-		return nil, fmt.Errorf("modes: bad padding byte %d", n)
-	}
-	for _, b := range data[len(data)-n:] {
-		if int(b) != n {
-			return nil, fmt.Errorf("modes: corrupt padding")
-		}
+	n, ok := pkcs7Verify(data[len(data)-blockSize:])
+	if !ok {
+		return nil, ErrBadPadding
 	}
 	return data[:len(data)-n], nil
+}
+
+// pkcs7Verify validates the padding of the final block in constant time:
+// the loop always walks all len(last) bytes, and each byte contributes to
+// the verdict through a data-independent mask (a byte is required to equal
+// the padding length exactly when its distance from the end is below that
+// length). There is no data-dependent early exit.
+func pkcs7Verify(last []byte) (int, bool) {
+	bs := len(last)
+	n := last[bs-1]
+	bad := ctLess(byte(bs), n) | ctEq(n, 0) // n out of [1, blockSize]
+	for i := 0; i < bs; i++ {
+		inPad := ctLess(byte(i), n) // 1 when last[bs-1-i] is a padding byte
+		bad |= inPad &^ ctEq(last[bs-1-i], n)
+	}
+	if bad != 0 {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// ctLess returns 1 when x < y, 0 otherwise, without branching.
+func ctLess(x, y byte) byte {
+	return byte((uint16(x) - uint16(y)) >> 15)
+}
+
+// ctEq returns 1 when x == y, 0 otherwise, without branching.
+func ctEq(x, y byte) byte {
+	return byte((uint16(x^y) - 1) >> 15)
 }
 
 // EncryptECB encrypts src (a multiple of the block size) block by block.
@@ -69,8 +149,8 @@ func EncryptECB(b Block, src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("modes: ECB input %d not a multiple of %d", len(src), bs)
 	}
 	dst := make([]byte, len(src))
-	for i := 0; i < len(src); i += bs {
-		b.Encrypt(dst[i:], src[i:])
+	if err := encryptBlocks(b, dst, src); err != nil {
+		return nil, err
 	}
 	return dst, nil
 }
@@ -82,8 +162,8 @@ func DecryptECB(b Block, src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("modes: ECB input %d not a multiple of %d", len(src), bs)
 	}
 	dst := make([]byte, len(src))
-	for i := 0; i < len(src); i += bs {
-		b.Decrypt(dst[i:], src[i:])
+	if err := decryptBlocks(b, dst, src); err != nil {
+		return nil, err
 	}
 	return dst, nil
 }
@@ -109,7 +189,11 @@ func EncryptCBC(b Block, iv, src []byte) ([]byte, error) {
 	return dst, nil
 }
 
-// DecryptCBC inverts EncryptCBC.
+// DecryptCBC inverts EncryptCBC. Unlike encryption, CBC decryption has no
+// chained dependency — every plaintext block is D(C_i) XOR C_{i-1} with
+// both operands known up front — so the block decrypts are handed to the
+// cipher as one independent batch (parallel on a BatchBlock) before the
+// XOR pass.
 func DecryptCBC(b Block, iv, src []byte) ([]byte, error) {
 	bs := b.BlockSize()
 	if len(iv) != bs {
@@ -119,9 +203,11 @@ func DecryptCBC(b Block, iv, src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("modes: CBC input %d not a multiple of %d", len(src), bs)
 	}
 	dst := make([]byte, len(src))
+	if err := decryptBlocks(b, dst, src); err != nil {
+		return nil, err
+	}
 	prev := iv
 	for i := 0; i < len(src); i += bs {
-		b.Decrypt(dst[i:], src[i:])
 		xorBytes(dst[i:], dst[i:], prev, bs)
 		prev = src[i : i+bs]
 	}
@@ -136,6 +222,9 @@ func CTRStream(b Block, iv, src []byte) ([]byte, error) {
 	if len(iv) != bs {
 		return nil, fmt.Errorf("modes: CTR iv must be %d bytes", bs)
 	}
+	if bb, ok := b.(BatchBlock); ok {
+		return ctrBatch(bb, iv, src, incCounter)
+	}
 	dst := make([]byte, len(src))
 	counter := append([]byte(nil), iv...)
 	ks := make([]byte, bs)
@@ -148,6 +237,27 @@ func CTRStream(b Block, iv, src []byte) ([]byte, error) {
 		xorBytes(dst[i:], src[i:], ks, n)
 		incCounter(counter)
 	}
+	return dst, nil
+}
+
+// ctrBatch is the counter-mode keystream via the batch interface: every
+// counter block is known up front, so the whole keystream is one
+// independent batch the cipher can fan out across hardware shards.
+func ctrBatch(bb BatchBlock, iv, src []byte, inc func([]byte)) ([]byte, error) {
+	bs := bb.BlockSize()
+	nblocks := (len(src) + bs - 1) / bs
+	counters := make([]byte, nblocks*bs)
+	counter := append([]byte(nil), iv...)
+	for i := 0; i < nblocks; i++ {
+		copy(counters[i*bs:], counter)
+		inc(counter)
+	}
+	ks := make([]byte, nblocks*bs)
+	if err := bb.EncryptBlocks(ks, counters); err != nil {
+		return nil, err
+	}
+	dst := make([]byte, len(src))
+	xorBytes(dst, src, ks, len(src))
 	return dst, nil
 }
 

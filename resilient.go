@@ -3,6 +3,7 @@ package rijndaelip
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"rijndaelip/internal/aes"
 	"rijndaelip/internal/bfm"
@@ -84,6 +85,13 @@ type ResilientStats struct {
 // Unlike HardwareBlock, a detected hardware fault is not an error the
 // caller sees: it is absorbed by the recovery policy. Err reports only
 // unrecoverable protocol misuse (short buffers).
+//
+// ResilientBlock is safe for concurrent use: there is one simulated device
+// behind the adapter, so concurrent Encrypt/Decrypt calls serialize on an
+// internal mutex (one bus transaction at a time), and the Stats/Degraded/
+// Err accessors take the same lock. The exported Cycles field is updated
+// under that lock; read it only after concurrent callers have quiesced
+// (for a racing snapshot use Stats, which is synchronized).
 type ResilientBlock struct {
 	impl *Implementation
 	opts ResilientOptions
@@ -94,6 +102,8 @@ type ResilientBlock struct {
 	main *netlist.Simulator
 	lock *faultcampaign.Lockstep
 
+	// mu serializes bus transactions and guards stats, err and Cycles.
+	mu    sync.Mutex
 	stats ResilientStats
 	err   error
 	// Cycles accumulates simulated clock cycles spent on the hardware
@@ -154,14 +164,27 @@ func (im *Implementation) NewResilientBlock(key []byte, opts ResilientOptions) (
 func (r *ResilientBlock) BlockSize() int { return 16 }
 
 // Err returns the first protocol-misuse error, if any.
-func (r *ResilientBlock) Err() error { return r.err }
+func (r *ResilientBlock) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
 
-// Stats returns a snapshot of the recovery counters.
-func (r *ResilientBlock) Stats() ResilientStats { return r.stats }
+// Stats returns a snapshot of the recovery counters. It is safe to call
+// while other goroutines are processing blocks.
+func (r *ResilientBlock) Stats() ResilientStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
 
 // Degraded reports whether the adapter has given up on the hardware path
 // and is serving blocks from the software reference.
-func (r *ResilientBlock) Degraded() bool { return r.stats.Degraded }
+func (r *ResilientBlock) Degraded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats.Degraded
+}
 
 // Encrypt processes one block, recovering from (or degrading around) any
 // injected hardware fault.
@@ -171,6 +194,8 @@ func (r *ResilientBlock) Encrypt(dst, src []byte) { r.process(dst, src, true) }
 func (r *ResilientBlock) Decrypt(dst, src []byte) { r.process(dst, src, false) }
 
 func (r *ResilientBlock) process(dst, src []byte, encrypt bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(src) < 16 || len(dst) < 16 {
 		if r.err == nil {
 			r.err = fmt.Errorf("rijndaelip: resilient block: need 16-byte src and dst, got src=%d dst=%d",
