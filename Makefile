@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test short bench bench-smoke vet race faults examples reports verify clean
+.PHONY: all test short bench bench-smoke bench-json vet race faults examples reports verify clean
 
 all: vet test
 
@@ -15,11 +15,19 @@ short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# One pass over the sharded-engine scaling curve (1/2/4/8 shards): a cheap
+# One pass over the sharded-engine scaling curve (1/2/4/8 shards) and the
+# shards x lanes grid (1/16/64 blocks per lane-packed submission): a cheap
 # smoke that surfaces throughput-scaling regressions without the full
 # bench suite. Wired into `verify` alongside vet and the race sweep.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '^BenchmarkEngine$$' -benchtime=1x .
+	$(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes)$$' -benchtime=1x .
+
+# Machine-readable perf trajectory: runs the engine benchmarks once and
+# writes cycles-per-block, Mbps and blocks/sec for every shards x lanes
+# point to BENCH_engine.json, so regressions are diffable across PRs.
+bench-json:
+	BENCH_JSON=BENCH_engine.json $(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes)$$' -benchtime=1x .
+	@echo wrote BENCH_engine.json
 
 vet:
 	$(GO) vet ./...
@@ -48,4 +56,4 @@ verify: vet race bench-smoke
 
 clean:
 	$(GO) clean ./...
-	rm -f aes128.vcd aes128.v aes128.blif test_output.txt bench_output.txt
+	rm -f aes128.vcd aes128.v aes128.blif test_output.txt bench_output.txt BENCH_engine.json

@@ -34,6 +34,7 @@ func main() {
 	deviceName := flag.String("device", "acex", "device model: acex or cyclone")
 	sync := flag.Bool("sync", false, "use the synchronous-ROM future-work core")
 	shards := flag.Int("shards", 0, "process blocks through a sharded engine with N replicated cores (0: single-driver bus protocol path)")
+	lanes := flag.Int("lanes", 0, "max blocks packed per lane-parallel submission, 1..64 (0: full 64-lane packing; engine mode only)")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -95,7 +96,7 @@ func main() {
 	}
 
 	if *shards > 0 {
-		runEngine(impl, key, blocks, ref, *shards, *dec)
+		runEngine(impl, key, blocks, ref, *shards, *lanes, *dec)
 		return
 	}
 
@@ -138,13 +139,17 @@ func main() {
 func runEngine(impl *rijndaelip.Implementation, key []byte, blocks [][]byte, ref interface {
 	Encrypt(dst, src []byte)
 	Decrypt(dst, src []byte)
-}, shards int, dec bool) {
-	eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards})
+}, shards, lanes int, dec bool) {
+	eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards, MaxLanes: lanes})
 	if err != nil {
 		fail("engine: %v", err)
 	}
 	defer eng.Close()
-	fmt.Printf("engine: %d shards (each a fresh keyed simulation of %s)\n", shards, impl.Core.Design.Name)
+	if lanes <= 0 || lanes > 64 {
+		lanes = 64
+	}
+	fmt.Printf("engine: %d shards (each a fresh keyed simulation of %s, up to %d blocks per lane-packed submission)\n",
+		shards, impl.Core.Design.Name, lanes)
 
 	outs, err := eng.Process(context.Background(), blocks, !dec)
 	if err != nil {
@@ -172,11 +177,12 @@ func runEngine(impl *rijndaelip.Implementation, key []byte, blocks [][]byte, ref
 
 	st := eng.Stats()
 	for _, ss := range st.Shards {
-		fmt.Printf("shard %d: %d blocks, %d cycles, %.2f cycles/block, %d stolen\n",
-			ss.Shard, ss.Blocks, ss.Cycles, ss.CyclesPerBlock, ss.Stolen)
+		fmt.Printf("shard %d: %d blocks in %d submissions, %d cycles, %.2f cycles/block, %d stolen\n",
+			ss.Shard, ss.Blocks, ss.Submissions, ss.Cycles, ss.CyclesPerBlock, ss.Stolen)
 	}
-	fmt.Printf("aggregate: %d blocks, makespan %d cycles, %.2f cycles/block, %.1f Mbps at %.2f ns clk (single core: %.1f Mbps)\n",
-		st.Blocks, st.MaxShardCycles, st.AggregateCyclesPerBlock, eng.Throughput(),
+	fmt.Printf("aggregate: %d blocks in %d submissions (lane occupancy %.1f%%, %d lanes idle), makespan %d cycles, %.2f cycles/block, %.1f Mbps at %.2f ns clk (single core: %.1f Mbps)\n",
+		st.Blocks, st.Submissions, 100*st.LaneOccupancy, st.WastedLanes,
+		st.MaxShardCycles, st.AggregateCyclesPerBlock, eng.Throughput(),
 		impl.ClockNS(), impl.ThroughputMbps())
 	if mismatched {
 		os.Exit(1)

@@ -20,13 +20,17 @@ import (
 // low-occupation IPs would — by replicating the device and fanning
 // independent blocks across the replicas.
 //
-// Scheduling model: Process round-robins blocks onto bounded per-shard
-// queues (a full queue blocks the submitter — that is the backpressure
-// boundary), each shard drains its own queue first, and an idle shard
-// steals queued blocks from its siblings so a transient imbalance never
-// leaves a replica dark. Output ordering always matches input ordering:
-// results are written to their submission slot, not to a completion-order
-// stream.
+// Scheduling model: Process packs up to MaxLanes consecutive blocks into
+// one lane-parallel submission (the simulators carry 64 independent lanes
+// per sweep, so a packed submission costs the same simulated cycles as a
+// single block — see internal/logic/lanes.go), round-robins submissions
+// onto bounded per-shard queues (a full queue blocks the submitter — that
+// is the backpressure boundary), each shard drains its own queue first,
+// and an idle shard steals queued submissions from its siblings so a
+// transient imbalance never leaves a replica dark. Output ordering always
+// matches input ordering: results are written to their submission slot,
+// not to a completion-order stream. Lanes and shards compound: 8 shards ×
+// 64 lanes keep 512 blocks in flight.
 //
 // Which modes parallelize: ECB and the CTR keystream are embarrassingly
 // parallel, and CBC decryption is too (every plaintext block is
@@ -60,6 +64,12 @@ type EngineOptions struct {
 	// slot of the chosen queue full blocks until the pool catches up
 	// (backpressure) or its context is cancelled. Default 2.
 	QueueDepth int
+	// MaxLanes caps how many blocks one submission packs into the
+	// simulator's 64 parallel lanes. Default (0) and any value above
+	// bfm.Lanes mean full packing (64); 1 forces scalar one-block
+	// submissions, which scheduler-behavior tests use to keep per-block
+	// queueing observable.
+	MaxLanes int
 	// Jitter, when set, is invoked before each block is processed with the
 	// executing shard and the block's submission index. Tests use it to
 	// inject per-shard latency skew and prove result ordering survives
@@ -71,16 +81,22 @@ type EngineOptions struct {
 var ErrEngineClosed = errors.New("rijndaelip: engine closed")
 
 type engineShard struct {
-	id     int
-	drv    *bfm.Driver
-	q      chan *engineJob
-	blocks atomic.Uint64
-	cycles atomic.Uint64
-	stolen atomic.Uint64
+	id          int
+	drv         *bfm.VectorDriver
+	q           chan *engineJob
+	blocks      atomic.Uint64
+	cycles      atomic.Uint64
+	stolen      atomic.Uint64
+	submissions atomic.Uint64
+	wasted      atomic.Uint64
 }
 
+// engineJob is one lane-packed submission: n consecutive 16-byte blocks
+// (n in [1, MaxLanes]) that ride one protocol transaction, block i on
+// lane i.
 type engineJob struct {
 	index   int
+	n       int
 	src     []byte
 	dst     []byte
 	encrypt bool
@@ -121,6 +137,9 @@ func (im *Implementation) NewEngine(key []byte, opts EngineOptions) (*Engine, er
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 2
 	}
+	if opts.MaxLanes <= 0 || opts.MaxLanes > bfm.Lanes {
+		opts.MaxLanes = bfm.Lanes
+	}
 	factory, err := bfm.NewKeyedFactory(im.Core, key)
 	if err != nil {
 		return nil, err
@@ -132,7 +151,7 @@ func (im *Implementation) NewEngine(key []byte, opts EngineOptions) (*Engine, er
 		closed: make(chan struct{}),
 	}
 	for i := 0; i < opts.Shards; i++ {
-		drv, _, err := factory.Clone()
+		drv, _, err := factory.CloneVector()
 		if err != nil {
 			return nil, fmt.Errorf("rijndaelip: engine shard %d: %w", i, err)
 		}
@@ -257,22 +276,32 @@ func (e *Engine) run(s *engineShard, j *engineJob) {
 	if j.batch.jitter != nil {
 		j.batch.jitter(s.id, j.index)
 	}
-	out, cycles, err := s.drv.Process(j.src, j.encrypt)
-	// +1 accounts the wr_data load edge, which Process steps before it
-	// starts counting completion-wait cycles.
+	blocks := make([][]byte, j.n)
+	for i := range blocks {
+		blocks[i] = j.src[i*16 : i*16+16]
+	}
+	outs, cycles, err := s.drv.ProcessVector(blocks, j.encrypt)
+	// +1 accounts the wr_data load edge, which ProcessVector steps before
+	// it starts counting completion-wait cycles. The cycle cost is per
+	// submission, not per block: all j.n lanes share one transaction.
 	s.cycles.Add(uint64(cycles) + 1)
+	s.submissions.Add(1)
 	if err == nil {
-		s.blocks.Add(1)
-		copy(j.dst, out)
+		s.blocks.Add(uint64(j.n))
+		s.wasted.Add(uint64(e.opts.MaxLanes - j.n))
+		for i, out := range outs {
+			copy(j.dst[i*16:i*16+16], out)
+		}
 	}
 	j.batch.complete(err)
 }
 
-// process fans the concatenated 16-byte blocks of src across the shard
-// pool and writes each result into the matching offset of dst. It returns
-// after every submitted block has completed; ctx cancels blocks that are
-// still waiting for queue space (in-flight transactions always finish —
-// a bus transaction is bounded by the driver watchdog).
+// process packs the concatenated 16-byte blocks of src into lane groups
+// of up to MaxLanes, fans the groups across the shard pool, and writes
+// each result into the matching offset of dst. It returns after every
+// submitted group has completed; ctx cancels groups that are still
+// waiting for queue space (in-flight transactions always finish — a bus
+// transaction is bounded by the driver watchdog).
 func (e *Engine) process(ctx context.Context, dst, src []byte, encrypt bool) error {
 	if len(src)%16 != 0 || len(dst) < len(src) {
 		return fmt.Errorf("rijndaelip: engine: need whole blocks and dst >= src, got src=%d dst=%d",
@@ -282,14 +311,19 @@ func (e *Engine) process(ctx context.Context, dst, src []byte, encrypt bool) err
 	if n == 0 {
 		return nil
 	}
+	lanes := e.opts.MaxLanes
+	nJobs := (n + lanes - 1) / lanes
 	batch := &engineBatch{done: make(chan struct{}), jitter: e.opts.Jitter}
-	batch.remaining.Store(int64(n))
+	batch.remaining.Store(int64(nJobs))
 	var submitErr error
-	for i := 0; i < n; i++ {
+	for i := 0; i < nJobs; i++ {
+		lo := i * lanes
+		hi := min(lo+lanes, n)
 		j := &engineJob{
 			index:   i,
-			src:     src[i*16 : i*16+16],
-			dst:     dst[i*16 : i*16+16],
+			n:       hi - lo,
+			src:     src[lo*16 : hi*16],
+			dst:     dst[lo*16 : hi*16],
 			encrypt: encrypt,
 			batch:   batch,
 		}
@@ -298,7 +332,7 @@ func (e *Engine) process(ctx context.Context, dst, src []byte, encrypt bool) err
 			// This job and everything after it never ran; settle their
 			// share of the batch so done can close once the submitted
 			// prefix finishes.
-			if batch.remaining.Add(int64(-(n - i))) == 0 {
+			if batch.remaining.Add(int64(-(nJobs - i))) == 0 {
 				close(batch.done)
 			}
 			break
@@ -489,10 +523,16 @@ type ShardStats struct {
 	Cycles uint64
 	// CyclesPerBlock is Cycles / Blocks.
 	CyclesPerBlock float64
-	// Stolen counts blocks this shard claimed from a sibling's queue.
+	// Stolen counts submissions this shard claimed from a sibling's queue.
 	Stolen uint64
 	// QueueDepth is the queue occupancy at snapshot time.
 	QueueDepth int
+	// Submissions is how many lane-packed transactions this shard ran
+	// (each carrying 1..MaxLanes blocks).
+	Submissions uint64
+	// WastedLanes sums, over successful submissions, the lanes left idle
+	// because fewer than MaxLanes blocks were available to pack.
+	WastedLanes uint64
 }
 
 // EngineStats aggregates the pool.
@@ -506,8 +546,17 @@ type EngineStats struct {
 	MaxShardCycles uint64
 	// AggregateCyclesPerBlock is MaxShardCycles / Blocks: the effective
 	// per-block cost of the pool. With N evenly loaded shards it
-	// approaches (single-core cycles per block) / N.
+	// approaches (single-core cycles per block) / N, and lane packing
+	// divides it further by the average blocks per submission.
 	AggregateCyclesPerBlock float64
+	// Submissions is the total lane-packed transactions across all shards.
+	Submissions uint64
+	// WastedLanes is the total idle lanes across successful submissions.
+	WastedLanes uint64
+	// LaneOccupancy is Blocks / (Blocks + WastedLanes): the fraction of
+	// configured lane capacity that carried real blocks. 1.0 means every
+	// submission was fully packed.
+	LaneOccupancy float64
 }
 
 // Stats snapshots per-shard and aggregate counters. Safe to call while
@@ -516,16 +565,20 @@ func (e *Engine) Stats() EngineStats {
 	st := EngineStats{Shards: make([]ShardStats, len(e.shards))}
 	for i, s := range e.shards {
 		ss := ShardStats{
-			Shard:      i,
-			Blocks:     s.blocks.Load(),
-			Cycles:     s.cycles.Load(),
-			Stolen:     s.stolen.Load(),
-			QueueDepth: len(s.q),
+			Shard:       i,
+			Blocks:      s.blocks.Load(),
+			Cycles:      s.cycles.Load(),
+			Stolen:      s.stolen.Load(),
+			QueueDepth:  len(s.q),
+			Submissions: s.submissions.Load(),
+			WastedLanes: s.wasted.Load(),
 		}
 		if ss.Blocks > 0 {
 			ss.CyclesPerBlock = float64(ss.Cycles) / float64(ss.Blocks)
 		}
 		st.Blocks += ss.Blocks
+		st.Submissions += ss.Submissions
+		st.WastedLanes += ss.WastedLanes
 		if ss.Cycles > st.MaxShardCycles {
 			st.MaxShardCycles = ss.Cycles
 		}
@@ -533,6 +586,7 @@ func (e *Engine) Stats() EngineStats {
 	}
 	if st.Blocks > 0 {
 		st.AggregateCyclesPerBlock = float64(st.MaxShardCycles) / float64(st.Blocks)
+		st.LaneOccupancy = float64(st.Blocks) / float64(st.Blocks+st.WastedLanes)
 	}
 	return st
 }

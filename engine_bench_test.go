@@ -4,19 +4,81 @@
 // steady-state cycles-per-block (makespan over blocks — the hardware-time
 // cost of the pool) plus the paper-metric throughput at the timing-closed
 // clock. Near-linear scaling shows up as cycles/block halving with each
-// doubling of the shard count.
+// doubling of the shard count. MaxLanes is pinned to 1 so the curve stays
+// a pure shard-scaling measurement; BenchmarkVectorLanes sweeps the lane
+// axis (and the shards × lanes grid).
 //
-// Run the smoke version with `make bench-smoke`.
+// Run the smoke version with `make bench-smoke`; `make bench-json` writes
+// the whole grid to BENCH_engine.json for cross-PR tracking.
 package rijndaelip_test
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 
 	"rijndaelip"
 )
+
+// benchRow is one machine-readable benchmark sample for BENCH_engine.json.
+type benchRow struct {
+	Bench          string  `json:"bench"`
+	Mode           string  `json:"mode"`
+	Shards         int     `json:"shards"`
+	Lanes          int     `json:"lanes"`
+	Blocks         uint64  `json:"blocks"`
+	CyclesPerBlock float64 `json:"cycles_per_block"`
+	Mbps           float64 `json:"mbps"`
+	BlocksPerSec   float64 `json:"blocks_per_sec"`
+}
+
+// benchRows accumulates samples across benchmarks; TestMain flushes them
+// to the path named by BENCH_JSON after the run (benchmarks execute
+// sequentially, so no locking is needed).
+var benchRows []benchRow
+
+// TestMain writes the collected benchmark grid as JSON when BENCH_JSON
+// names an output file (the `make bench-json` flow). Plain test runs are
+// untouched.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRows) > 0 {
+		data, err := json.MarshalIndent(benchRows, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// benchReport publishes the standard engine metrics for one sub-benchmark
+// and records the JSON row.
+func benchReport(b *testing.B, eng *rijndaelip.Engine, bench, mode string, shards, lanes int) {
+	st := eng.Stats()
+	blocksPerSec := float64(st.Blocks) / b.Elapsed().Seconds()
+	b.ReportMetric(st.AggregateCyclesPerBlock, "cycles/block")
+	b.ReportMetric(eng.Throughput(), "Mbps")
+	b.ReportMetric(blocksPerSec, "blocks/s")
+	benchRows = append(benchRows, benchRow{
+		Bench:          bench,
+		Mode:           mode,
+		Shards:         shards,
+		Lanes:          lanes,
+		Blocks:         st.Blocks,
+		CyclesPerBlock: st.AggregateCyclesPerBlock,
+		Mbps:           eng.Throughput(),
+		BlocksPerSec:   blocksPerSec,
+	})
+}
 
 func BenchmarkEngine(b *testing.B) {
 	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
@@ -31,7 +93,7 @@ func BenchmarkEngine(b *testing.B) {
 	}
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("ctr/shards=%d", shards), func(b *testing.B) {
-			eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards})
+			eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards, MaxLanes: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -43,14 +105,49 @@ func BenchmarkEngine(b *testing.B) {
 				}
 			}
 			b.StopTimer()
+			benchReport(b, eng, "engine", "ctr", shards, 1)
 			st := eng.Stats()
-			b.ReportMetric(st.AggregateCyclesPerBlock, "cycles/block")
-			b.ReportMetric(eng.Throughput(), "Mbps")
 			var stolen uint64
 			for _, ss := range st.Shards {
 				stolen += ss.Stolen
 			}
 			b.ReportMetric(float64(stolen)/float64(b.N), "stolen/op")
 		})
+	}
+}
+
+// BenchmarkVectorLanes sweeps the shards × lanes grid: the same 64-block
+// ECB message through 1/2/4/8 shards at 1/16/64 blocks packed per
+// lane-parallel submission. The lanes=1 rows are the scalar baseline; the
+// lanes=64 single-shard row is the acceptance gate (>= 10x blocks/sec over
+// scalar), and the corners show that lanes and shards compound.
+func BenchmarkVectorLanes(b *testing.B) {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := []byte("bench-engine-key")
+	msg := make([]byte, 64*16)
+	for i := range msg {
+		msg[i] = byte(i * 5)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, lanes := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("ecb/shards=%d/lanes=%d", shards, lanes), func(b *testing.B) {
+				eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards, MaxLanes: lanes})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.EncryptECB(context.Background(), msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				benchReport(b, eng, "vector_lanes", "ecb", shards, lanes)
+			})
+		}
 	}
 }

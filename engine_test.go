@@ -188,6 +188,10 @@ func TestEngineOrderingUnderJitter(t *testing.T) {
 	impl := engineImpl(t)
 	eng, err := impl.NewEngine(engineKey, rijndaelip.EngineOptions{
 		Shards: 8,
+		// Two blocks per submission: with full 64-lane packing the whole
+		// message would collapse into one submission and there would be no
+		// completion order to scramble.
+		MaxLanes: 2,
 		Jitter: func(shard, index int) {
 			// Deterministically lopsided: some shards run up to ~1ms late
 			// per block, so completion order scrambles thoroughly.
@@ -242,7 +246,10 @@ func TestEngineScalingCTR(t *testing.T) {
 	}
 	cpb := map[int]float64{}
 	for _, shards := range []int{1, 2, 4} {
-		eng, err := impl.NewEngine(engineKey, rijndaelip.EngineOptions{Shards: shards})
+		// MaxLanes 1 keeps this a pure shard-scaling measurement: lane
+		// packing would absorb all 64 blocks into one submission per shard
+		// and flatten the curve (see TestEngineLaneScaling for that axis).
+		eng, err := impl.NewEngine(engineKey, rijndaelip.EngineOptions{Shards: shards, MaxLanes: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -278,6 +285,9 @@ func TestEngineBackpressureAndCancel(t *testing.T) {
 	eng, err := impl.NewEngine(engineKey, rijndaelip.EngineOptions{
 		Shards:     1,
 		QueueDepth: 1,
+		// One block per submission so the 8-block batch actually exercises
+		// the bounded queue (a packed batch would be a single submission).
+		MaxLanes: 1,
 		Jitter: func(shard, index int) {
 			once.Do(func() { <-block }) // wedge the only shard on its first block
 		},

@@ -222,9 +222,13 @@ func RunFaults(cfg Config, faults []Fault) (*Result, error) {
 
 // campaign is the prepared runtime state shared by all trials: one primary
 // simulator (plus shadow for lockstep), one driver, one golden output.
+// Trials run 64 at a time: the simulator's lanes each carry one fault
+// scenario, so a whole group of injections shares a single transaction's
+// sweeps (see internal/logic/lanes.go for the lane model).
 type campaign struct {
 	cfg    Config
 	main   *netlist.Simulator
+	shadow *netlist.Simulator
 	lock   *Lockstep
 	drv    *bfm.Driver
 	key    []byte
@@ -238,14 +242,21 @@ func newCampaign(cfg Config) (*campaign, error) {
 	if cfg.Netlist == nil || cfg.Core == nil {
 		return nil, errors.New("faultcampaign: Config.Netlist and Config.Core are required")
 	}
+	if cfg.Decrypt && cfg.Core.Config.Variant == rijndael.Encrypt {
+		return nil, errors.New("faultcampaign: encrypt-only core cannot run a decrypt campaign")
+	}
+	if !cfg.Decrypt && cfg.Core.Config.Variant == rijndael.Decrypt {
+		return nil, errors.New("faultcampaign: decrypt-only core cannot run an encrypt campaign")
+	}
 	main, err := netlist.NewSimulator(cfg.Netlist)
 	if err != nil {
 		return nil, fmt.Errorf("faultcampaign: %w", err)
 	}
 	var sim bfm.Sim = main
+	var shadow *netlist.Simulator
 	var lock *Lockstep
 	if cfg.Lockstep {
-		shadow, err := netlist.NewSimulator(cfg.Netlist)
+		shadow, err = netlist.NewSimulator(cfg.Netlist)
 		if err != nil {
 			return nil, fmt.Errorf("faultcampaign: shadow replica: %w", err)
 		}
@@ -275,16 +286,20 @@ func newCampaign(cfg Config) (*campaign, error) {
 		ref.Encrypt(golden, pt)
 	}
 	return &campaign{
-		cfg: cfg, main: main, lock: lock, drv: drv,
+		cfg: cfg, main: main, shadow: shadow, lock: lock, drv: drv,
 		key: key, pt: pt, golden: golden,
 		nFFs:   main.NumFFs(),
 		cycles: cfg.Core.BlockLatency,
 	}, nil
 }
 
-// run executes and classifies one transaction per fault. The simulator is
-// reset between trials (cheaper than rebuilding, and scheduled upsets are
-// dropped by Reset), so trials are independent.
+// run executes and classifies the faults in lane groups of up to 64: each
+// fault rides its own simulation lane, so one transaction's sweeps carry a
+// whole group of independent fault scenarios. The simulator is reset
+// between groups (cheaper than rebuilding, and scheduled upsets are
+// dropped by Reset); lanes never couple inside the simulator, so each
+// trial's trajectory is bit-exactly the trajectory a dedicated scalar
+// transaction would have produced.
 func (c *campaign) run(faults []Fault) (*Result, error) {
 	res := &Result{
 		Trials: make([]Trial, 0, len(faults)),
@@ -297,33 +312,143 @@ func (c *campaign) run(faults []Fault) (*Result, error) {
 				return nil, fmt.Errorf("faultcampaign: flip-flop %d out of range [0,%d)", ff, c.nFFs)
 			}
 		}
-		c.drv.Reset()
-		if _, err := c.drv.LoadKey(c.key); err != nil {
-			return nil, fmt.Errorf("faultcampaign: load key: %w", err)
+	}
+	for lo := 0; lo < len(faults); lo += bfm.Lanes {
+		hi := min(lo+bfm.Lanes, len(faults))
+		trials, err := c.runGroup(faults[lo:hi])
+		if err != nil {
+			return nil, err
 		}
-		// The driver's load edge is one Step away; processing cycle n of
-		// the transaction is Step 1+n from here.
-		c.main.ScheduleFlip(1+f.Cycle, f.FFs...)
-		out, _, err := c.drv.Process(c.pt, !c.cfg.Decrypt)
-		res.Trials = append(res.Trials, Trial{Fault: f, Outcome: c.classify(out, err), Err: err})
-		res.Counts[res.Trials[len(res.Trials)-1].Outcome]++
+		for _, t := range trials {
+			res.Trials = append(res.Trials, t)
+			res.Counts[t.Outcome]++
+		}
 	}
 	return res, nil
 }
 
-func (c *campaign) classify(out []byte, err error) Outcome {
-	diverged := false
-	if c.lock != nil {
-		_, _, diverged = c.lock.Mismatch()
+// runGroup pushes one transaction with up to 64 armed faults — fault i
+// struck on lane i only — and classifies every lane. All stimulus is
+// broadcast (same key, same block on every lane), so lanes differ solely
+// by their injected upset. Completion is tracked per lane: a fault that
+// corrupts the control FSM delays or wedges only its own lane's data_ok.
+func (c *campaign) runGroup(group []Fault) ([]Trial, error) {
+	c.drv.Reset()
+	if _, err := c.drv.LoadKey(c.key); err != nil {
+		return nil, fmt.Errorf("faultcampaign: load key: %w", err)
 	}
-	switch {
-	case errors.Is(err, bfm.ErrTimeout):
-		return Hung
-	case err != nil, diverged:
-		return Detected
-	case bytes.Equal(out, c.golden):
-		return SilentCorrect
-	default:
-		return Corrupted
+	for lane, f := range group {
+		// The driver's load edge is one Step away; processing cycle n of
+		// the transaction is Step 1+n from here.
+		c.main.ScheduleFlipLanes(1+f.Cycle, 1<<uint(lane), f.FFs...)
 	}
+	sim := c.drv.Sim // the lockstep pair in lockstep mode, else main
+	if c.cfg.Core.Config.Variant == rijndael.Both {
+		v := uint64(1)
+		if c.cfg.Decrypt {
+			v = 0
+		}
+		if err := sim.SetInput("encdec", v); err != nil {
+			return nil, err
+		}
+	}
+	sim.SetInput("setup", 0)
+	sim.SetInput("wr_key", 0)
+	sim.SetInput("wr_data", 1)
+	if err := sim.SetInputBits("din", c.pt); err != nil {
+		return nil, err
+	}
+	sim.Step() // load edge
+	sim.SetInput("wr_data", 0)
+
+	pending := uint64(1)<<uint(len(group)) - 1
+	outs := make([][]byte, len(group))
+	lat := make([]int, len(group))
+	var div uint64
+	cycles := 0
+	for {
+		sim.Eval()
+		okw, err := c.main.OutputWords("data_ok")
+		if err != nil {
+			return nil, err
+		}
+		if c.shadow != nil {
+			d, err := c.divergence()
+			if err != nil {
+				return nil, err
+			}
+			// Divergence counts for a lane up to and including the Eval
+			// where its data_ok is captured, mirroring the scalar
+			// lockstep comparator's window.
+			div |= d & pending
+		}
+		ready := okw[0] & pending
+		for lane := range group {
+			if ready>>uint(lane)&1 == 0 {
+				continue
+			}
+			out, err := c.main.OutputBitsLane("dout", lane)
+			if err != nil {
+				return nil, err
+			}
+			outs[lane] = out
+			lat[lane] = cycles
+		}
+		pending &^= ready
+		if pending == 0 || cycles >= c.drv.Timeout {
+			break
+		}
+		sim.Step()
+		cycles++
+	}
+
+	trials := make([]Trial, len(group))
+	for lane, f := range group {
+		t := Trial{Fault: f}
+		// Classification order matches the scalar driver's: a wedged
+		// handshake is Hung; a tripped checker (latency assertion or
+		// lockstep divergence) is Detected; then the payload decides
+		// between masked and silent corruption.
+		switch {
+		case pending>>uint(lane)&1 == 1:
+			t.Err = fmt.Errorf("%w: watchdog expired after %d cycles on %s",
+				bfm.ErrTimeout, cycles, c.drv.DUT.Name)
+			t.Outcome = Hung
+		case c.drv.AssertLatency && c.drv.DUT.BlockLatency > 0 && lat[lane] != c.drv.DUT.BlockLatency:
+			t.Err = fmt.Errorf("%w: data_ok after %d cycles, expected %d on %s",
+				bfm.ErrLatency, lat[lane], c.drv.DUT.BlockLatency, c.drv.DUT.Name)
+			t.Outcome = Detected
+		case div>>uint(lane)&1 == 1:
+			t.Outcome = Detected
+		case bytes.Equal(outs[lane], c.golden):
+			t.Outcome = SilentCorrect
+		default:
+			t.Outcome = Corrupted
+		}
+		trials[lane] = t
+	}
+	return trials, nil
+}
+
+// divergence compares the watched observable ports of the primary and
+// shadow replicas lane by lane and returns the mask of diverged lanes.
+// The shadow is fault-free on every lane, so any XOR between the
+// replicas' lane words pinpoints exactly the lanes whose upset became
+// visible.
+func (c *campaign) divergence() (uint64, error) {
+	var div uint64
+	for _, port := range c.lock.Watch {
+		wm, err := c.main.OutputWords(port)
+		if err != nil {
+			return 0, err
+		}
+		ws, err := c.shadow.OutputWords(port)
+		if err != nil {
+			return 0, err
+		}
+		for i := range wm {
+			div |= wm[i] ^ ws[i]
+		}
+	}
+	return div, nil
 }

@@ -1,0 +1,70 @@
+package logic
+
+// Lane/word data layout
+//
+// Every value flowing through Eval/EvalInto is a uint64 *lane word*: bit L
+// of the word carries the value of independent simulation lane L, so one
+// AIG sweep evaluates Lanes parallel patterns at the cost of one. The
+// cycle-accurate simulators built on top (internal/rtl, internal/netlist)
+// keep their whole sequential state in the same layout — a W-bit register
+// is W lane words, one per register bit — which turns a single simulated
+// device into a 64-lane SIMD machine: 64 independent blocks (or fault
+// scenarios) ride through one sweep sequence in lockstep.
+//
+// A bus-level value for lane L is therefore *word-transposed*: bit b of
+// the bus lives at bit L of word b, not packed contiguously. Word(v)
+// broadcasts a scalar across all lanes (the layout every scalar API uses),
+// and GatherROM resolves a 256x8 ROM read per lane.
+
+// Lanes is the simulation lane count: the pattern width of one uint64
+// sweep word.
+const Lanes = 64
+
+// Word broadcasts a scalar bit across all lanes.
+func Word(v bool) uint64 {
+	if v {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// GatherROM performs a per-lane 256x8 ROM read: addr holds the 8
+// word-transposed address bits, and the result holds the 8 word-transposed
+// data bits, where each lane L reads contents[addr_L] independently. When
+// every address word is lane-uniform (the scalar broadcast case) a single
+// table lookup is broadcast instead of the 64-lane gather/scatter.
+func GatherROM(contents *[256]byte, addr *[8]uint64) [8]uint64 {
+	var out [8]uint64
+	uniform := true
+	a0 := 0
+	for bit := 0; bit < 8; bit++ {
+		switch addr[bit] {
+		case 0:
+		case ^uint64(0):
+			a0 |= 1 << uint(bit)
+		default:
+			uniform = false
+		}
+		if !uniform {
+			break
+		}
+	}
+	if uniform {
+		w := contents[a0]
+		for bit := 0; bit < 8; bit++ {
+			out[bit] = Word(w>>uint(bit)&1 != 0)
+		}
+		return out
+	}
+	for lane := 0; lane < Lanes; lane++ {
+		a := 0
+		for bit := 0; bit < 8; bit++ {
+			a |= int(addr[bit]>>uint(lane)&1) << uint(bit)
+		}
+		w := uint64(contents[a])
+		for bit := 0; bit < 8; bit++ {
+			out[bit] |= (w >> uint(bit) & 1) << uint(lane)
+		}
+	}
+	return out
+}

@@ -1,9 +1,10 @@
 package logic
 
 // Eval simulates the whole net with 64 parallel input patterns. inputs[i]
-// carries the 64 pattern bits for primary input ordinal i. The returned
-// slice is indexed by node id and holds the 64 pattern bits of every node's
-// positive output.
+// is the lane word of primary input ordinal i: bit L carries lane L's
+// value (see the layout notes in lanes.go). The returned slice is indexed
+// by node id and holds the lane word of every node's positive output, so
+// the 64 lanes sweep the combinational logic at the cost of one pass.
 func (n *Net) Eval(inputs []uint64) []uint64 {
 	if len(inputs) != len(n.inputs) {
 		panic("logic: Eval input count mismatch")

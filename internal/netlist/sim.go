@@ -4,64 +4,84 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"rijndaelip/internal/logic"
 )
 
-// Simulator evaluates a netlist cycle by cycle. It holds the current value
-// of every net plus the sequential state (flip-flops and synchronous ROM
-// output registers).
+// Simulator evaluates a netlist cycle by cycle on 64 parallel lanes. It
+// holds the current value of every net plus the sequential state
+// (flip-flops and synchronous ROM output registers).
+//
+// Lane/word data layout (see internal/logic/lanes.go): every net and
+// flip-flop value is a uint64 lane word whose bit L belongs to independent
+// lane L. LUTs are evaluated bit-parallel by folding the truth-table mask
+// over the input lane words, flip-flops latch under a per-lane enable
+// mask, and ROM macros gather contents[addr] per lane. The scalar API
+// (SetInput, Output, Net, RegValue, FlipFF) broadcasts across all lanes
+// and observes lane 0 — single-device semantics — while the *Lane/*Lanes
+// variants address individual lanes, so one gate-level sweep carries up to
+// 64 independent blocks or fault scenarios.
 type Simulator struct {
 	nl     *Netlist
-	values []bool // per-net current value (after last Eval)
-	ffQ    []bool // flip-flop state
-	romQ   [][8]bool
+	values []uint64 // per-net lane word (after last Eval)
+	ffQ    []uint64 // per-flip-flop lane word
+	romQ   [][8]uint64
 	inputs map[string][]NetID
 
 	regIndex map[string][]int // lazy FF-name index for RegValue
 
 	// Fault-injection state (see ScheduleFlip / StickFF).
-	cycle    int           // Step count since construction or last Reset
-	flips    map[int][]int // pending transient upsets, keyed by target cycle
-	stuck    map[int]bool  // permanent stuck-at faults: FF index -> forced value
-	injected int           // bit-flips applied so far
+	cycle    int                // Step count since construction or last Reset
+	flips    map[int][]laneFlip // pending transient upsets, keyed by target cycle
+	stuck    map[int]bool       // permanent stuck-at faults: FF index -> forced value
+	injected int                // bit-flips applied so far
+}
+
+// laneFlip is one armed transient upset: the flip-flop inverts on the
+// masked lanes only.
+type laneFlip struct {
+	ff    int
+	lanes uint64
 }
 
 // NewSimulator builds the netlist and returns a simulator with all state at
-// the flip-flops' init values.
+// the flip-flops' init values (broadcast across all lanes).
 func NewSimulator(nl *Netlist) (*Simulator, error) {
 	if err := nl.Build(); err != nil {
 		return nil, err
 	}
 	s := &Simulator{
 		nl:     nl,
-		values: make([]bool, nl.NumNets()),
-		ffQ:    make([]bool, len(nl.FFs)),
-		romQ:   make([][8]bool, len(nl.ROMs)),
+		values: make([]uint64, nl.NumNets()),
+		ffQ:    make([]uint64, len(nl.FFs)),
+		romQ:   make([][8]uint64, len(nl.ROMs)),
 		inputs: make(map[string][]NetID, len(nl.Inputs)),
 	}
 	for _, p := range nl.Inputs {
 		s.inputs[p.Name] = p.Nets
 	}
 	for i := range nl.FFs {
-		s.ffQ[i] = nl.FFs[i].Init
+		s.ffQ[i] = logic.Word(nl.FFs[i].Init)
 	}
-	s.values[Const1] = true
+	s.values[Const1] = ^uint64(0)
 	return s, nil
 }
 
-// Reset returns all sequential state to initial values. Scheduled transient
-// upsets are dropped (they were relative to the aborted run), but stuck-at
-// faults persist: a permanent physical defect survives a reset, which is
-// exactly what retry-with-reset recovery policies need to observe.
+// Reset returns all sequential state to initial values on every lane.
+// Scheduled transient upsets are dropped (they were relative to the
+// aborted run), but stuck-at faults persist: a permanent physical defect
+// survives a reset, which is exactly what retry-with-reset recovery
+// policies need to observe.
 func (s *Simulator) Reset() {
 	for i := range s.values {
-		s.values[i] = false
+		s.values[i] = 0
 	}
-	s.values[Const1] = true
+	s.values[Const1] = ^uint64(0)
 	for i := range s.nl.FFs {
-		s.ffQ[i] = s.nl.FFs[i].Init
+		s.ffQ[i] = logic.Word(s.nl.FFs[i].Init)
 	}
 	for i := range s.romQ {
-		s.romQ[i] = [8]bool{}
+		s.romQ[i] = [8]uint64{}
 	}
 	s.cycle = 0
 	s.flips = nil
@@ -69,7 +89,8 @@ func (s *Simulator) Reset() {
 }
 
 // SetInput drives the named input port with the little-endian bits of
-// value. Ports wider than 64 bits must use SetInputBits.
+// value, broadcast identically across all 64 lanes. Ports wider than 64
+// bits must use SetInputBits.
 func (s *Simulator) SetInput(name string, value uint64) error {
 	nets, ok := s.inputs[name]
 	if !ok {
@@ -79,13 +100,14 @@ func (s *Simulator) SetInput(name string, value uint64) error {
 		return fmt.Errorf("netlist: input %q wider than 64 bits, use SetInputBits", name)
 	}
 	for i, n := range nets {
-		s.values[n] = value>>uint(i)&1 != 0
+		s.values[n] = logic.Word(value>>uint(i)&1 != 0)
 	}
 	return nil
 }
 
 // SetInputBits drives the named input port from a byte slice, bit i of the
-// port taken from bits[i/8]>>(i%8).
+// port taken from bits[i/8]>>(i%8), broadcast identically across all 64
+// lanes.
 func (s *Simulator) SetInputBits(name string, bits []byte) error {
 	nets, ok := s.inputs[name]
 	if !ok {
@@ -95,13 +117,61 @@ func (s *Simulator) SetInputBits(name string, bits []byte) error {
 		return fmt.Errorf("netlist: input %q needs %d bits, got %d", name, len(nets), len(bits)*8)
 	}
 	for i, n := range nets {
-		s.values[n] = bits[i/8]>>(uint(i)%8)&1 != 0
+		s.values[n] = logic.Word(bits[i/8]>>(uint(i)%8)&1 != 0)
+	}
+	return nil
+}
+
+// SetInputLane drives the named input port on a single lane, leaving the
+// other lanes' stimulus untouched.
+func (s *Simulator) SetInputLane(name string, lane int, value uint64) error {
+	if lane < 0 || lane >= logic.Lanes {
+		return fmt.Errorf("netlist: lane %d out of range [0,%d)", lane, logic.Lanes)
+	}
+	nets, ok := s.inputs[name]
+	if !ok {
+		return fmt.Errorf("netlist: no input port %q", name)
+	}
+	if len(nets) > 64 {
+		return fmt.Errorf("netlist: input %q wider than 64 bits, use SetInputBitsLane", name)
+	}
+	mask := uint64(1) << uint(lane)
+	for i, n := range nets {
+		if value>>uint(i)&1 != 0 {
+			s.values[n] |= mask
+		} else {
+			s.values[n] &^= mask
+		}
+	}
+	return nil
+}
+
+// SetInputBitsLane drives the named input port on a single lane from a
+// byte slice, leaving the other lanes' stimulus untouched.
+func (s *Simulator) SetInputBitsLane(name string, lane int, bits []byte) error {
+	if lane < 0 || lane >= logic.Lanes {
+		return fmt.Errorf("netlist: lane %d out of range [0,%d)", lane, logic.Lanes)
+	}
+	nets, ok := s.inputs[name]
+	if !ok {
+		return fmt.Errorf("netlist: no input port %q", name)
+	}
+	if len(bits)*8 < len(nets) {
+		return fmt.Errorf("netlist: input %q needs %d bits, got %d", name, len(nets), len(bits)*8)
+	}
+	mask := uint64(1) << uint(lane)
+	for i, n := range nets {
+		if bits[i/8]>>(uint(i)%8)&1 != 0 {
+			s.values[n] |= mask
+		} else {
+			s.values[n] &^= mask
+		}
 	}
 	return nil
 }
 
 // Eval propagates the current input and state values through the
-// combinational logic without advancing the clock.
+// combinational logic on all lanes without advancing the clock.
 func (s *Simulator) Eval() {
 	nl := s.nl
 	// Present sequential state on the driven nets first.
@@ -119,38 +189,71 @@ func (s *Simulator) Eval() {
 		switch cn.Kind {
 		case CombLUT:
 			l := &nl.LUTs[cn.Index]
-			idx := 0
-			for i, in := range l.Inputs {
-				if s.values[in] {
-					idx |= 1 << uint(i)
-				}
-			}
-			s.values[l.Out] = l.Mask>>uint(idx)&1 != 0
+			s.values[l.Out] = s.evalLUT(l)
 		case CombROM:
 			r := &nl.ROMs[cn.Index]
-			addr := 0
+			var addr [8]uint64
 			for i, a := range r.Addr {
-				if s.values[a] {
-					addr |= 1 << uint(i)
-				}
+				addr[i] = s.values[a]
 			}
-			word := r.Contents[addr]
+			data := logic.GatherROM(&r.Contents, &addr)
 			for b, o := range r.Out {
-				s.values[o] = word>>uint(b)&1 != 0
+				s.values[o] = data[b]
 			}
 		}
 	}
+}
+
+// evalLUT computes a LUT's output lane word. The fast path handles
+// lane-uniform inputs (the scalar broadcast case) with a single mask
+// index; mixed lanes fall back to the bit-parallel mux fold.
+func (s *Simulator) evalLUT(l *LUT) uint64 {
+	idx := 0
+	for i, in := range l.Inputs {
+		switch v := s.values[in]; v {
+		case 0:
+		case ^uint64(0):
+			idx |= 1 << uint(i)
+		default:
+			return s.evalLUTMixed(l)
+		}
+	}
+	return logic.Word(l.Mask>>uint(idx)&1 != 0)
+}
+
+// evalLUTMixed evaluates a LUT bit-parallel across lanes: the truth-table
+// mask is expanded into 2^k lane words and folded down one selector input
+// at a time (Shannon expansion, LSB selector first) — 2^k-1 lane-wide
+// muxes replace 64 per-lane table lookups.
+func (s *Simulator) evalLUTMixed(l *LUT) uint64 {
+	var t [16]uint64
+	n := len(l.Inputs)
+	for idx := 0; idx < 1<<uint(n); idx++ {
+		if l.Mask>>uint(idx)&1 != 0 {
+			t[idx] = ^uint64(0)
+		}
+	}
+	w := 1 << uint(n)
+	for _, in := range l.Inputs {
+		v := s.values[in]
+		w >>= 1
+		for j := 0; j < w; j++ {
+			t[j] = t[2*j]&^v | t[2*j+1]&v
+		}
+	}
+	return t[0]
 }
 
 // Step performs one full clock cycle: evaluate combinational logic with the
 // current inputs, then latch flip-flops and synchronous ROM outputs on the
 // rising edge. Faults scheduled for this cycle strike first (so the flipped
 // state is what the cycle's logic sees, matching FlipFF-then-Step), and
-// stuck-at faults are re-asserted around the clock edge.
+// stuck-at faults are re-asserted around the clock edge. Flip-flops latch
+// per lane: lane L loads only when the enable is high on lane L.
 func (s *Simulator) Step() {
-	if ffs, ok := s.flips[s.cycle]; ok {
-		for _, i := range ffs {
-			s.FlipFF(i)
+	if lfs, ok := s.flips[s.cycle]; ok {
+		for _, lf := range lfs {
+			s.flipLanes(lf.ff, lf.lanes)
 		}
 		delete(s.flips, s.cycle)
 	}
@@ -160,36 +263,45 @@ func (s *Simulator) Step() {
 	nl := s.nl
 	for i := range nl.FFs {
 		f := &nl.FFs[i]
-		if f.En == Invalid || s.values[f.En] {
-			s.ffQ[i] = s.values[f.D]
+		en := ^uint64(0)
+		if f.En != Invalid {
+			en = s.values[f.En]
 		}
+		s.ffQ[i] = s.ffQ[i]&^en | s.values[f.D]&en
 	}
 	for i := range nl.ROMs {
 		r := &nl.ROMs[i]
 		if !r.Sync {
 			continue
 		}
-		addr := 0
+		var addr [8]uint64
 		for b, a := range r.Addr {
-			if s.values[a] {
-				addr |= 1 << uint(b)
-			}
+			addr[b] = s.values[a]
 		}
-		word := r.Contents[addr]
-		for b := 0; b < 8; b++ {
-			s.romQ[i][b] = word>>uint(b)&1 != 0
-		}
+		s.romQ[i] = logic.GatherROM(&r.Contents, &addr)
 	}
 	s.applyStuck()
 }
 
-// Net returns the current value of a net (after the last Eval/Step).
-func (s *Simulator) Net(n NetID) bool { return s.values[n] }
+// Net returns the lane-0 value of a net (after the last Eval/Step).
+func (s *Simulator) Net(n NetID) bool { return s.values[n]&1 != 0 }
 
-// Output reads the named output port as a little-endian value. Ports wider
-// than 64 bits must use OutputBits. The combinational logic must have been
-// evaluated (Eval or Step) since inputs last changed.
+// NetWord returns the full lane word of a net (after the last Eval/Step).
+func (s *Simulator) NetWord(n NetID) uint64 { return s.values[n] }
+
+// Output reads the named output port as a little-endian value on lane 0.
+// Ports wider than 64 bits must use OutputBits. The combinational logic
+// must have been evaluated (Eval or Step) since inputs last changed.
 func (s *Simulator) Output(name string) (uint64, error) {
+	return s.OutputLane(name, 0)
+}
+
+// OutputLane reads the named output port as a little-endian value on one
+// lane.
+func (s *Simulator) OutputLane(name string, lane int) (uint64, error) {
+	if lane < 0 || lane >= logic.Lanes {
+		return 0, fmt.Errorf("netlist: lane %d out of range [0,%d)", lane, logic.Lanes)
+	}
 	nets, ok := s.nl.FindOutput(name)
 	if !ok {
 		return 0, fmt.Errorf("netlist: no output port %q", name)
@@ -199,35 +311,68 @@ func (s *Simulator) Output(name string) (uint64, error) {
 	}
 	var v uint64
 	for i, n := range nets {
-		if s.values[n] {
+		if s.values[n]>>uint(lane)&1 != 0 {
 			v |= 1 << uint(i)
 		}
 	}
 	return v, nil
 }
 
-// OutputBits reads the named output port into a byte slice, bit i of the
-// port stored at bits[i/8] bit i%8.
+// OutputBits reads the named output port into a byte slice on lane 0, bit
+// i of the port stored at bits[i/8] bit i%8.
 func (s *Simulator) OutputBits(name string) ([]byte, error) {
+	return s.OutputBitsLane(name, 0)
+}
+
+// OutputBitsLane reads the named output port into a byte slice on one
+// lane.
+func (s *Simulator) OutputBitsLane(name string, lane int) ([]byte, error) {
+	if lane < 0 || lane >= logic.Lanes {
+		return nil, fmt.Errorf("netlist: lane %d out of range [0,%d)", lane, logic.Lanes)
+	}
 	nets, ok := s.nl.FindOutput(name)
 	if !ok {
 		return nil, fmt.Errorf("netlist: no output port %q", name)
 	}
 	bits := make([]byte, (len(nets)+7)/8)
 	for i, n := range nets {
-		if s.values[n] {
+		if s.values[n]>>uint(lane)&1 != 0 {
 			bits[i/8] |= 1 << (uint(i) % 8)
 		}
 	}
 	return bits, nil
 }
 
-// RegValue returns the packed current state of the flip-flops named
+// OutputWords reads the named output port as raw lane words: element i is
+// the lane word of port bit i (bit L = lane L's value). This is the
+// transposed view vectorized monitors use to compare all lanes in one
+// pass.
+func (s *Simulator) OutputWords(name string) ([]uint64, error) {
+	nets, ok := s.nl.FindOutput(name)
+	if !ok {
+		return nil, fmt.Errorf("netlist: no output port %q", name)
+	}
+	out := make([]uint64, len(nets))
+	for i, n := range nets {
+		out[i] = s.values[n]
+	}
+	return out, nil
+}
+
+// RegValue returns the packed lane-0 state of the flip-flops named
 // "name[i]" (the naming convention the RTL elaborator uses), bit i of the
 // register at bits[i/8]. The second result reports whether any such
 // flip-flop exists. This gives post-synthesis simulations the same
 // register visibility as RTL simulations.
 func (s *Simulator) RegValue(name string) ([]byte, bool) {
+	return s.RegValueLane(name, 0)
+}
+
+// RegValueLane returns the packed state of the named register on one lane.
+func (s *Simulator) RegValueLane(name string, lane int) ([]byte, bool) {
+	if lane < 0 || lane >= logic.Lanes {
+		return nil, false
+	}
 	if s.regIndex == nil {
 		s.regIndex = make(map[string][]int)
 		for i := range s.nl.FFs {
@@ -255,7 +400,7 @@ func (s *Simulator) RegValue(name string) ([]byte, bool) {
 	}
 	bits := make([]byte, (len(idx)+7)/8)
 	for bit, ff := range idx {
-		if ff >= 0 && s.ffQ[ff] {
+		if ff >= 0 && s.ffQ[ff]>>uint(lane)&1 != 0 {
 			bits[bit/8] |= 1 << (uint(bit) % 8)
 		}
 	}
@@ -265,11 +410,24 @@ func (s *Simulator) RegValue(name string) ([]byte, bool) {
 // NumFFs returns the number of flip-flops in the simulated netlist.
 func (s *Simulator) NumFFs() int { return len(s.ffQ) }
 
-// FlipFF injects a single-event upset: the state of flip-flop i is
-// inverted, as a particle strike would do to a configuration- or user-
-// register bit. The effect is visible at the next Eval.
-func (s *Simulator) FlipFF(i int) {
-	s.ffQ[i] = !s.ffQ[i]
+// FlipFF injects a single-event upset on every lane: the state of
+// flip-flop i is inverted, as a particle strike would do to a
+// configuration- or user-register bit. The effect is visible at the next
+// Eval. In broadcast (scalar) use all lanes stay identical, preserving
+// single-device semantics.
+func (s *Simulator) FlipFF(i int) { s.flipLanes(i, ^uint64(0)) }
+
+// FlipFFLanes injects a single-event upset on the masked lanes only: bit L
+// of lanes set inverts flip-flop i's lane-L state. This is what lets a
+// vectorized fault campaign carry 64 independent fault scenarios — one
+// struck lane each — through a single simulation.
+func (s *Simulator) FlipFFLanes(i int, lanes uint64) { s.flipLanes(i, lanes) }
+
+func (s *Simulator) flipLanes(i int, lanes uint64) {
+	if lanes == 0 {
+		return
+	}
+	s.ffQ[i] ^= lanes
 	s.injected++
 }
 
@@ -286,35 +444,47 @@ func (s *Simulator) FindFF(name string) int {
 	return -1
 }
 
-// ScheduleFlip arms a transient upset that strikes at the start of the Step
-// that is delay Steps in the future (delay 0 = the very next Step). Passing
-// several flip-flop indices models a multi-bit upset: all of them invert in
-// the same cycle. Scheduling is relative to "now", so a caller can arm a
-// fault and then hand the simulator to a bus-functional driver; the strike
-// lands mid-transaction without the driver's cooperation.
+// ScheduleFlip arms a transient upset on every lane that strikes at the
+// start of the Step that is delay Steps in the future (delay 0 = the very
+// next Step). Passing several flip-flop indices models a multi-bit upset:
+// all of them invert in the same cycle. Scheduling is relative to "now",
+// so a caller can arm a fault and then hand the simulator to a
+// bus-functional driver; the strike lands mid-transaction without the
+// driver's cooperation.
 func (s *Simulator) ScheduleFlip(delay int, ffs ...int) {
-	if delay < 0 || len(ffs) == 0 {
+	s.ScheduleFlipLanes(delay, ^uint64(0), ffs...)
+}
+
+// ScheduleFlipLanes is ScheduleFlip restricted to the masked lanes: the
+// upset inverts only lane L for each set bit L. Arming a different lane
+// mask per fault lets one transaction sweep up to 64 independent fault
+// scenarios.
+func (s *Simulator) ScheduleFlipLanes(delay int, lanes uint64, ffs ...int) {
+	if delay < 0 || len(ffs) == 0 || lanes == 0 {
 		return
 	}
 	if s.flips == nil {
-		s.flips = make(map[int][]int)
+		s.flips = make(map[int][]laneFlip)
 	}
 	at := s.cycle + delay
-	s.flips[at] = append(s.flips[at], ffs...)
+	for _, ff := range ffs {
+		s.flips[at] = append(s.flips[at], laneFlip{ff: ff, lanes: lanes})
+	}
 }
 
 // StickFF installs a permanent stuck-at fault: flip-flop i is forced to val
-// on every clock edge until ClearFaults. Unlike transient upsets, stuck-at
-// faults survive Reset — they model a hard defect (latched configuration
-// upset, shorted cell), the failure mode that defeats retry-from-reset
-// recovery and forces graceful degradation.
+// on every clock edge (on all lanes) until ClearFaults. Unlike transient
+// upsets, stuck-at faults survive Reset — they model a hard defect
+// (latched configuration upset, shorted cell), the failure mode that
+// defeats retry-from-reset recovery and forces graceful degradation.
 func (s *Simulator) StickFF(i int, val bool) {
 	if s.stuck == nil {
 		s.stuck = make(map[int]bool)
 	}
 	s.stuck[i] = val
-	if s.ffQ[i] != val {
-		s.ffQ[i] = val
+	want := logic.Word(val)
+	if s.ffQ[i] != want {
+		s.ffQ[i] = want
 		s.injected++
 	}
 }
@@ -326,8 +496,8 @@ func (s *Simulator) ClearFaults() {
 }
 
 // Injections returns the number of state bit-flips applied so far (each
-// flip-flop of a multi-bit upset counts once; stuck-at faults count each
-// time they actually override a latched value).
+// flip-flop of a multi-bit upset counts once, whatever its lane mask;
+// stuck-at faults count each time they actually override a latched value).
 func (s *Simulator) Injections() int { return s.injected }
 
 // Cycle returns the number of Steps since construction or the last Reset
@@ -336,8 +506,9 @@ func (s *Simulator) Cycle() int { return s.cycle }
 
 func (s *Simulator) applyStuck() {
 	for i, v := range s.stuck {
-		if s.ffQ[i] != v {
-			s.ffQ[i] = v
+		want := logic.Word(v)
+		if s.ffQ[i] != want {
+			s.ffQ[i] = want
 			s.injected++
 		}
 	}

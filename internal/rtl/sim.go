@@ -6,49 +6,72 @@ import (
 	"rijndaelip/internal/logic"
 )
 
-// Simulator is a cycle-accurate simulator of an elaborated design. It
-// evaluates the AIG directly, resolving asynchronous ROM reads in address-
-// dependency order, and latches register and synchronous-ROM state on Step.
+// Simulator is a cycle-accurate, 64-lane bit-parallel simulator of an
+// elaborated design. It evaluates the AIG directly, resolving asynchronous
+// ROM reads in address-dependency order, and latches register and
+// synchronous-ROM state on Step.
+//
+// Lane/word data layout (see internal/logic/lanes.go): every simulated
+// value is a uint64 lane word whose bit L is the value seen by independent
+// lane L. Registers hold one lane word per register bit, register latching
+// applies the per-lane enable mask, and ROM reads gather contents[addr]
+// per lane — so one AIG sweep advances logic.Lanes (64) independent copies
+// of the device in lockstep. The scalar API (SetInput, Output, Lit,
+// RegValue) broadcasts stimulus across all lanes and reads lane 0, which
+// reproduces single-device semantics exactly; the *Lane variants drive and
+// observe a single lane for vectorized workloads.
 type Simulator struct {
 	d      *Design
-	inputs []uint64 // per-AIG-input pattern values (bit 0 used)
-	values []uint64 // per-AIG-node values from the last Eval
-	regQ   [][]bool
-	romQ   [][8]bool
+	inputs []uint64   // per-AIG-input lane word (bit L = lane L's value)
+	values []uint64   // per-AIG-node lane words from the last Eval
+	regQ   [][]uint64 // per register, per bit: one lane word
+	romQ   [][8]uint64
 	cycles uint64
 
 	piIndex map[string]int
 }
 
-// NewSimulator returns a simulator with registers at their initial values.
+// NewSimulator returns a simulator with registers at their initial values
+// (broadcast across all lanes).
 func (d *Design) NewSimulator() *Simulator {
 	s := &Simulator{
 		d:       d,
 		inputs:  make([]uint64, d.b.aig.NumInputs()),
 		values:  make([]uint64, d.b.aig.NumNodes()),
-		regQ:    make([][]bool, len(d.b.regs)),
-		romQ:    make([][8]bool, len(d.b.roms)),
+		regQ:    make([][]uint64, len(d.b.regs)),
+		romQ:    make([][8]uint64, len(d.b.roms)),
 		piIndex: map[string]int{},
 	}
 	for i, p := range d.b.inputs {
 		s.piIndex[p.name] = i
 	}
 	for i := range d.b.regs {
-		s.regQ[i] = append([]bool(nil), d.b.regs[i].init...)
+		s.regQ[i] = initWords(d.b.regs[i].init)
 	}
 	return s
 }
 
-// Reset restores initial register and ROM-register state and clears inputs.
+func initWords(init []bool) []uint64 {
+	q := make([]uint64, len(init))
+	for bit, v := range init {
+		q[bit] = logic.Word(v)
+	}
+	return q
+}
+
+// Reset restores initial register and ROM-register state on every lane and
+// clears inputs.
 func (s *Simulator) Reset() {
 	for i := range s.inputs {
 		s.inputs[i] = 0
 	}
 	for i := range s.d.b.regs {
-		copy(s.regQ[i], s.d.b.regs[i].init)
+		for bit, v := range s.d.b.regs[i].init {
+			s.regQ[i][bit] = logic.Word(v)
+		}
 	}
 	for i := range s.romQ {
-		s.romQ[i] = [8]bool{}
+		s.romQ[i] = [8]uint64{}
 	}
 	s.cycles = 0
 }
@@ -56,7 +79,8 @@ func (s *Simulator) Reset() {
 // Cycles returns the number of Step calls since construction or Reset.
 func (s *Simulator) Cycles() uint64 { return s.cycles }
 
-// SetInput drives an input port with the little-endian bits of value.
+// SetInput drives an input port with the little-endian bits of value,
+// broadcast identically across all 64 lanes.
 func (s *Simulator) SetInput(name string, value uint64) error {
 	i, ok := s.piIndex[name]
 	if !ok {
@@ -73,7 +97,7 @@ func (s *Simulator) SetInput(name string, value uint64) error {
 }
 
 // SetInputBits drives an input port from packed bytes (bit i of the port at
-// bits[i/8] bit i%8).
+// bits[i/8] bit i%8), broadcast identically across all 64 lanes.
 func (s *Simulator) SetInputBits(name string, bits []byte) error {
 	i, ok := s.piIndex[name]
 	if !ok {
@@ -89,37 +113,89 @@ func (s *Simulator) SetInputBits(name string, bits []byte) error {
 	return nil
 }
 
+// SetInputLane drives an input port on a single lane, leaving the other
+// lanes' stimulus untouched.
+func (s *Simulator) SetInputLane(name string, lane int, value uint64) error {
+	if lane < 0 || lane >= logic.Lanes {
+		return fmt.Errorf("rtl: lane %d out of range [0,%d)", lane, logic.Lanes)
+	}
+	i, ok := s.piIndex[name]
+	if !ok {
+		return fmt.Errorf("rtl: no input port %q", name)
+	}
+	p := s.d.b.inputs[i]
+	if len(p.bus) > 64 {
+		return fmt.Errorf("rtl: input %q wider than 64 bits, use SetInputBitsLane", name)
+	}
+	for bit, l := range p.bus {
+		s.setInputLitLane(l, lane, value>>uint(bit)&1 != 0)
+	}
+	return nil
+}
+
+// SetInputBitsLane drives an input port on a single lane from packed
+// bytes, leaving the other lanes' stimulus untouched.
+func (s *Simulator) SetInputBitsLane(name string, lane int, bits []byte) error {
+	if lane < 0 || lane >= logic.Lanes {
+		return fmt.Errorf("rtl: lane %d out of range [0,%d)", lane, logic.Lanes)
+	}
+	i, ok := s.piIndex[name]
+	if !ok {
+		return fmt.Errorf("rtl: no input port %q", name)
+	}
+	p := s.d.b.inputs[i]
+	if len(bits)*8 < len(p.bus) {
+		return fmt.Errorf("rtl: input %q needs %d bits, got %d", name, len(p.bus), len(bits)*8)
+	}
+	for bit, l := range p.bus {
+		s.setInputLitLane(l, lane, bits[bit/8]>>(uint(bit)%8)&1 != 0)
+	}
+	return nil
+}
+
 func (s *Simulator) setInputLit(l logic.Lit, v bool) {
+	s.inputs[s.d.b.aig.InputOrdinal(l)] = logic.Word(v)
+}
+
+func (s *Simulator) setInputLitLane(l logic.Lit, lane int, v bool) {
 	ord := s.d.b.aig.InputOrdinal(l)
+	mask := uint64(1) << uint(lane)
 	if v {
-		s.inputs[ord] = ^uint64(0)
+		s.inputs[ord] |= mask
 	} else {
-		s.inputs[ord] = 0
+		s.inputs[ord] &^= mask
 	}
 }
 
-// Eval propagates inputs and current state through the combinational logic,
-// resolving asynchronous ROM reads. It does not advance the clock.
+// setInputWord presents a full lane word on an AIG pseudo-input (register
+// and ROM state presentation).
+func (s *Simulator) setInputWord(l logic.Lit, w uint64) {
+	s.inputs[s.d.b.aig.InputOrdinal(l)] = w
+}
+
+// Eval propagates inputs and current state through the combinational logic
+// on all lanes, resolving asynchronous ROM reads per lane. It does not
+// advance the clock.
 func (s *Simulator) Eval() {
 	b := s.d.b
 	// Present register state.
 	for i := range b.regs {
 		for bit, l := range b.regs[i].q {
-			s.setInputLit(l, s.regQ[i][bit])
+			s.setInputWord(l, s.regQ[i][bit])
 		}
 	}
 	// Present synchronous ROM state; async ROM outputs resolved below.
 	for i := range b.roms {
 		if b.roms[i].style == ROMSync {
 			for bit, l := range b.roms[i].out {
-				s.setInputLit(l, s.romQ[i][bit])
+				s.setInputWord(l, s.romQ[i][bit])
 			}
 		}
 	}
 	// Resolve asynchronous ROM reads level by level: after each evaluation
 	// pass, every ROM whose address cone is already valid (level == pass)
-	// latches its read data onto its output pseudo-inputs, and the AIG is
-	// re-evaluated. A final pass propagates the last level's outputs.
+	// latches its per-lane read data onto its output pseudo-inputs, and the
+	// AIG is re-evaluated. A final pass propagates the last level's outputs.
 	for lvl := 0; lvl <= s.d.maxROMLevel; lvl++ {
 		b.aig.EvalInto(s.inputs, s.values)
 		for ri := range b.roms {
@@ -127,15 +203,13 @@ func (s *Simulator) Eval() {
 				continue
 			}
 			rom := &b.roms[ri]
-			addr := 0
+			var addr [8]uint64
 			for bit, l := range rom.addr {
-				if logic.LitValue(s.values, l)&1 != 0 {
-					addr |= 1 << uint(bit)
-				}
+				addr[bit] = logic.LitValue(s.values, l)
 			}
-			word := rom.contents[addr]
+			data := logic.GatherROM(&rom.contents, &addr)
 			for bit, l := range rom.out {
-				s.setInputLit(l, word>>uint(bit)&1 != 0)
+				s.setInputWord(l, data[bit])
 			}
 		}
 	}
@@ -143,17 +217,20 @@ func (s *Simulator) Eval() {
 }
 
 // Step runs one clock cycle: Eval, then latch registers and synchronous
-// ROM output registers.
+// ROM output registers. Both latch per lane — a register bit's lane L only
+// loads when the enable is high on lane L.
 func (s *Simulator) Step() {
 	s.Eval()
 	b := s.d.b
 	for i := range b.regs {
 		r := &b.regs[i]
-		if logic.LitValue(s.values, r.en)&1 == 0 {
+		en := logic.LitValue(s.values, r.en)
+		if en == 0 {
 			continue
 		}
+		q := s.regQ[i]
 		for bit, l := range r.next {
-			s.regQ[i][bit] = logic.LitValue(s.values, l)&1 != 0
+			q[bit] = q[bit]&^en | logic.LitValue(s.values, l)&en
 		}
 	}
 	for i := range b.roms {
@@ -161,28 +238,38 @@ func (s *Simulator) Step() {
 		if rom.style != ROMSync {
 			continue
 		}
-		addr := 0
+		var addr [8]uint64
 		for bit, l := range rom.addr {
-			if logic.LitValue(s.values, l)&1 != 0 {
-				addr |= 1 << uint(bit)
-			}
+			addr[bit] = logic.LitValue(s.values, l)
 		}
-		word := rom.contents[addr]
-		for bit := 0; bit < 8; bit++ {
-			s.romQ[i][bit] = word>>uint(bit)&1 != 0
-		}
+		s.romQ[i] = logic.GatherROM(&rom.contents, &addr)
 	}
 	s.cycles++
 }
 
-// Lit returns the value of an arbitrary literal after the last Eval/Step.
+// Lit returns the lane-0 value of an arbitrary literal after the last
+// Eval/Step.
 func (s *Simulator) Lit(l logic.Lit) bool {
 	return logic.LitValue(s.values, l)&1 != 0
 }
 
-// Output reads an output port as a little-endian value (ports up to 64
-// bits).
+// LitWord returns the full lane word of an arbitrary literal after the
+// last Eval/Step.
+func (s *Simulator) LitWord(l logic.Lit) uint64 {
+	return logic.LitValue(s.values, l)
+}
+
+// Output reads an output port as a little-endian value on lane 0 (ports up
+// to 64 bits).
 func (s *Simulator) Output(name string) (uint64, error) {
+	return s.OutputLane(name, 0)
+}
+
+// OutputLane reads an output port as a little-endian value on one lane.
+func (s *Simulator) OutputLane(name string, lane int) (uint64, error) {
+	if lane < 0 || lane >= logic.Lanes {
+		return 0, fmt.Errorf("rtl: lane %d out of range [0,%d)", lane, logic.Lanes)
+	}
 	for _, p := range s.d.b.outputs {
 		if p.name != name {
 			continue
@@ -192,7 +279,7 @@ func (s *Simulator) Output(name string) (uint64, error) {
 		}
 		var v uint64
 		for bit, l := range p.bus {
-			if s.Lit(l) {
+			if logic.LitValue(s.values, l)>>uint(lane)&1 != 0 {
 				v |= 1 << uint(bit)
 			}
 		}
@@ -201,15 +288,23 @@ func (s *Simulator) Output(name string) (uint64, error) {
 	return 0, fmt.Errorf("rtl: no output port %q", name)
 }
 
-// OutputBits reads an output port into packed bytes.
+// OutputBits reads an output port into packed bytes on lane 0.
 func (s *Simulator) OutputBits(name string) ([]byte, error) {
+	return s.OutputBitsLane(name, 0)
+}
+
+// OutputBitsLane reads an output port into packed bytes on one lane.
+func (s *Simulator) OutputBitsLane(name string, lane int) ([]byte, error) {
+	if lane < 0 || lane >= logic.Lanes {
+		return nil, fmt.Errorf("rtl: lane %d out of range [0,%d)", lane, logic.Lanes)
+	}
 	for _, p := range s.d.b.outputs {
 		if p.name != name {
 			continue
 		}
 		bits := make([]byte, (len(p.bus)+7)/8)
 		for bit, l := range p.bus {
-			if s.Lit(l) {
+			if logic.LitValue(s.values, l)>>uint(lane)&1 != 0 {
 				bits[bit/8] |= 1 << (uint(bit) % 8)
 			}
 		}
@@ -218,17 +313,43 @@ func (s *Simulator) OutputBits(name string) ([]byte, error) {
 	return nil, fmt.Errorf("rtl: no output port %q", name)
 }
 
-// RegValue returns the current state of a named register as packed bytes,
+// OutputWords reads an output port as raw lane words: element i is the
+// lane word of port bit i (bit L = lane L's value). This is the transposed
+// view vectorized monitors use to compare all lanes in one pass.
+func (s *Simulator) OutputWords(name string) ([]uint64, error) {
+	for _, p := range s.d.b.outputs {
+		if p.name != name {
+			continue
+		}
+		out := make([]uint64, len(p.bus))
+		for bit, l := range p.bus {
+			out[bit] = logic.LitValue(s.values, l)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("rtl: no output port %q", name)
+}
+
+// RegValue returns the lane-0 state of a named register as packed bytes,
 // for debugging and waveform dumps.
 func (s *Simulator) RegValue(name string) ([]byte, bool) {
+	return s.RegValueLane(name, 0)
+}
+
+// RegValueLane returns one lane's state of a named register as packed
+// bytes.
+func (s *Simulator) RegValueLane(name string, lane int) ([]byte, bool) {
+	if lane < 0 || lane >= logic.Lanes {
+		return nil, false
+	}
 	for i := range s.d.b.regs {
 		if s.d.b.regs[i].name != name {
 			continue
 		}
 		q := s.regQ[i]
 		bits := make([]byte, (len(q)+7)/8)
-		for bit, v := range q {
-			if v {
+		for bit, w := range q {
+			if w>>uint(lane)&1 != 0 {
 				bits[bit/8] |= 1 << (uint(bit) % 8)
 			}
 		}
