@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test short bench bench-smoke bench-json vet race faults examples reports verify clean
+.PHONY: all test short bench bench-smoke bench-json chaos-smoke vet race faults examples reports verify clean
 
 all: vet test
 
@@ -20,14 +20,23 @@ bench:
 # smoke that surfaces throughput-scaling regressions without the full
 # bench suite. Wired into `verify` alongside vet and the race sweep.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes)$$' -benchtime=1x .
+	$(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes|ChaosRecovery)$$' -benchtime=1x .
 
 # Machine-readable perf trajectory: runs the engine benchmarks once and
 # writes cycles-per-block, Mbps and blocks/sec for every shards x lanes
-# point to BENCH_engine.json, so regressions are diffable across PRs.
+# point — plus the supervised engine's chaos-recovery counters
+# (detections, quarantines, respawns, fallback blocks) — to
+# BENCH_engine.json, so regressions are diffable across PRs.
 bench-json:
-	BENCH_JSON=BENCH_engine.json $(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes)$$' -benchtime=1x .
+	BENCH_JSON=BENCH_engine.json $(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes|ChaosRecovery)$$' -benchtime=1x .
 	@echo wrote BENCH_engine.json
+
+# A short seeded chaos run under the race detector: live strikes against a
+# supervised 4-shard engine, every block checked against the software
+# reference, quarantine/respawn/overhead gates enforced. Wired into
+# `verify`.
+chaos-smoke:
+	$(GO) test -race -short -run '^TestChaosGate$$' -v ./internal/chaos/
 
 vet:
 	$(GO) vet ./...
@@ -51,7 +60,7 @@ reports:
 	$(GO) run ./cmd/synthreport -sync -power -harden
 	$(GO) run ./cmd/ipcompare -ablation
 
-verify: vet race bench-smoke
+verify: vet race bench-smoke chaos-smoke
 	$(GO) run ./cmd/verifyall -full
 
 clean:

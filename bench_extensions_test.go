@@ -143,7 +143,7 @@ func BenchmarkResilience(b *testing.B) {
 			if r.Degraded() {
 				b.Fatal("fault-free benchmark degraded to software")
 			}
-			b.ReportMetric(float64(r.Cycles)/float64(b.N), "cycles/block")
+			b.ReportMetric(float64(r.Cycles())/float64(b.N), "cycles/block")
 		}
 	}
 	b.Run("resilient-watchdog", resilient(encImpl, rijndaelip.ResilientOptions{Check: rijndaelip.CheckNone}))

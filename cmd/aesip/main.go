@@ -6,6 +6,7 @@
 //	aesip -key 2b7e151628aed2a6abf7158809cf4f3c -in 3243f6a8885a308d313198a2e0370734
 //	aesip -variant both -dec -key ... -in ...
 //	aesip -shards 4 -in <block>,<block>,...   # sharded engine with a throughput report
+//	aesip -chaos 50                           # live fault-injection run against a supervised engine
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"rijndaelip"
+	"rijndaelip/internal/chaos"
 	"rijndaelip/internal/rtl"
 )
 
@@ -35,6 +37,10 @@ func main() {
 	sync := flag.Bool("sync", false, "use the synchronous-ROM future-work core")
 	shards := flag.Int("shards", 0, "process blocks through a sharded engine with N replicated cores (0: single-driver bus protocol path)")
 	lanes := flag.Int("lanes", 0, "max blocks packed per lane-parallel submission, 1..64 (0: full 64-lane packing; engine mode only)")
+	chaosRate := flag.Int("chaos", 0, "run the live chaos harness: strike a supervised engine about once per N submissions and verify every block (ignores -in)")
+	chaosBlocks := flag.Int("chaos-blocks", 256, "blocks per chaos wave")
+	chaosWaves := flag.Int("chaos-waves", 4, "chaos waves (respawned shards rejoin between waves)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos traffic and strike schedule")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -95,6 +101,11 @@ func main() {
 		fail("%v", err)
 	}
 
+	if *chaosRate > 0 {
+		runChaos(impl, key, *shards, *lanes, *chaosRate, *chaosBlocks, *chaosWaves, *chaosSeed)
+		return
+	}
+
 	if *shards > 0 {
 		runEngine(impl, key, blocks, ref, *shards, *lanes, *dec)
 		return
@@ -132,6 +143,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runChaos drives seeded traffic through a supervised engine while the
+// chaos injector strikes live shards, then prints the recovery report and
+// per-shard health.
+func runChaos(impl *rijndaelip.Implementation, key []byte, shards, lanes, rate, blocks, waves int, seed int64) {
+	rc := chaos.RunConfig{
+		Shards:   shards, // 0 takes the harness default of 4
+		MaxLanes: lanes,
+		Blocks:   blocks,
+		Waves:    waves,
+		Baseline: true,
+		Chaos:    chaos.Config{Seed: seed, Period: rate},
+	}
+	fmt.Printf("chaos: supervised engine under live strikes (about 1 per %d submissions, seed %d)\n", rate, seed)
+	rep, err := chaos.Run(context.Background(), impl, key, rc)
+	if err != nil {
+		fail("chaos: %v", err)
+	}
+	fmt.Println(rep)
+	for _, ss := range rep.Stats.Shards {
+		fmt.Printf("shard %d: %s (generation %d), %d blocks, %d detections, %d quarantines, %d respawns\n",
+			ss.Shard, ss.Health, ss.Generation, ss.Blocks, ss.Detections, ss.Quarantines, ss.Respawns)
+	}
+	if rep.Mismatches > 0 {
+		fail("chaos: %d of %d blocks diverged from the software reference", rep.Mismatches, rep.Blocks)
+	}
+	fmt.Printf("all %d blocks bit-exact against the FIPS-197 reference\n", rep.Blocks)
 }
 
 // runEngine fans the blocks across a sharded pool of replicated cores and

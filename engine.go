@@ -7,8 +7,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rijndaelip/internal/aes"
 	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/faultcampaign"
 	"rijndaelip/internal/modes"
+	"rijndaelip/internal/netlist"
 )
 
 // Engine is a sharded hardware throughput pool: N independent
@@ -38,9 +41,16 @@ import (
 // encryption chain each input on the previous output, so they fall back
 // to sequential block-at-a-time streaming through the pool.
 type Engine struct {
-	impl   *Implementation
-	opts   EngineOptions
-	shards []*engineShard
+	impl    *Implementation
+	opts    EngineOptions
+	factory *bfm.KeyedFactory
+	shards  []*engineShard
+
+	// sup is the normalized supervision policy, nil for a plain engine.
+	// soft is the software reference cipher the supervised recovery ladder
+	// falls back to (built only when supervision is armed).
+	sup  *SupervisorOptions
+	soft *aes.Cipher
 
 	// wake is poked (non-blocking) on every submission so parked shards
 	// re-run their steal scan instead of waiting on their own queue alone.
@@ -54,6 +64,14 @@ type Engine struct {
 	isClosed bool
 	wg       sync.WaitGroup
 	rr       atomic.Uint64
+
+	// Supervision counters (see EngineStats).
+	detections      atomic.Uint64
+	retries         atomic.Uint64
+	quarantines     atomic.Uint64
+	respawns        atomic.Uint64
+	respawnFailures atomic.Uint64
+	fallbackBlocks  atomic.Uint64
 }
 
 // EngineOptions tunes the shard pool.
@@ -75,25 +93,50 @@ type EngineOptions struct {
 	// inject per-shard latency skew and prove result ordering survives
 	// out-of-order completion. Leave nil in production.
 	Jitter func(shard, index int)
+	// Watchdog overrides every shard driver's cycle budget for hung
+	// transactions (0 keeps the driver's 4x-latency default).
+	Watchdog int
+	// Supervise arms the per-shard supervision layer (detect → re-queue →
+	// quarantine → hot-respawn → degrade); see SupervisorOptions. A
+	// supervised engine simulates the technology-mapped netlist on every
+	// shard instead of the RTL, so fault campaigns and chaos harnesses can
+	// strike real flip-flops of live shards.
+	Supervise *SupervisorOptions
 }
 
 // ErrEngineClosed is returned for blocks submitted after Close.
 var ErrEngineClosed = errors.New("rijndaelip: engine closed")
 
 type engineShard struct {
-	id          int
-	drv         *bfm.VectorDriver
+	id int
+
+	// state is the supervision lifecycle (healthy / quarantined / dead);
+	// unsupervised engines keep every shard healthy forever. drv, sim and
+	// lock are written at construction and by the respawner while the
+	// shard is quarantined; the worker reads them only while the shard is
+	// healthy, so the atomic state transitions order the accesses.
+	state atomic.Int32
+	gen   atomic.Uint64
+	drv   *bfm.VectorDriver
+	sim   *netlist.Simulator            // primary mapped simulation (supervised only)
+	lock  *faultcampaign.VectorLockstep // shadow comparator (CheckLockstep only)
+
 	q           chan *engineJob
 	blocks      atomic.Uint64
 	cycles      atomic.Uint64
 	stolen      atomic.Uint64
 	submissions atomic.Uint64
 	wasted      atomic.Uint64
+	detections  atomic.Uint64
+	quarantines atomic.Uint64
+	respawns    atomic.Uint64
 }
 
 // engineJob is one lane-packed submission: n consecutive 16-byte blocks
 // (n in [1, MaxLanes]) that ride one protocol transaction, block i on
-// lane i.
+// lane i. attempt counts supervised re-queues after detections; it is
+// only touched by the worker currently executing the job (handoffs ride
+// the shard queues, which order the accesses).
 type engineJob struct {
 	index   int
 	n       int
@@ -101,6 +144,7 @@ type engineJob struct {
 	dst     []byte
 	encrypt bool
 	batch   *engineBatch
+	attempt int
 }
 
 // engineBatch tracks one Process call's fan-out: jobs decrement remaining
@@ -144,22 +188,36 @@ func (im *Implementation) NewEngine(key []byte, opts EngineOptions) (*Engine, er
 	if err != nil {
 		return nil, err
 	}
+	sup, err := normalizedSupervisor(im, opts.Supervise)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
-		impl:   im,
-		opts:   opts,
-		wake:   make(chan struct{}, opts.Shards),
-		closed: make(chan struct{}),
+		impl:    im,
+		opts:    opts,
+		factory: factory,
+		sup:     sup,
+		wake:    make(chan struct{}, opts.Shards),
+		closed:  make(chan struct{}),
+	}
+	if sup != nil {
+		soft, err := aes.NewCipher(key)
+		if err != nil {
+			return nil, err
+		}
+		e.soft = soft
 	}
 	for i := 0; i < opts.Shards; i++ {
-		drv, _, err := factory.CloneVector()
+		s := &engineShard{
+			id: i,
+			q:  make(chan *engineJob, opts.QueueDepth),
+		}
+		s.drv, s.sim, s.lock, err = e.buildDriver()
 		if err != nil {
 			return nil, fmt.Errorf("rijndaelip: engine shard %d: %w", i, err)
 		}
-		e.shards = append(e.shards, &engineShard{
-			id:  i,
-			drv: drv,
-			q:   make(chan *engineJob, opts.QueueDepth),
-		})
+		s.gen.Store(1)
+		e.shards = append(e.shards, s)
 	}
 	for _, s := range e.shards {
 		e.wg.Add(1)
@@ -183,16 +241,30 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
-// submit places one job on a shard queue, blocking for backpressure. The
-// read lock is held across the send so Close cannot declare the engine
-// closed while a job is in flight toward a queue.
+// submit places one job on a healthy shard's queue, blocking for
+// backpressure. The read lock is held across the send so Close cannot
+// declare the engine closed while a job is in flight toward a queue. When
+// every shard is quarantined or dead it returns errNoHealthyShard so the
+// submitter can degrade to the software reference instead of stalling. (A
+// shard that is quarantined after we picked it is harmless: its worker
+// redistributes queue arrivals while unhealthy.)
 func (e *Engine) submit(ctx context.Context, j *engineJob) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.isClosed {
 		return ErrEngineClosed
 	}
-	s := e.shards[int(e.rr.Add(1)-1)%len(e.shards)]
+	start := int(e.rr.Add(1) - 1)
+	var s *engineShard
+	for off := 0; off < len(e.shards); off++ {
+		if c := e.shards[(start+off)%len(e.shards)]; c.state.Load() == shardHealthy {
+			s = c
+			break
+		}
+	}
+	if s == nil {
+		return errNoHealthyShard
+	}
 	select {
 	case s.q <- j:
 		e.poke()
@@ -212,19 +284,24 @@ func (e *Engine) poke() {
 func (e *Engine) worker(s *engineShard) {
 	defer e.wg.Done()
 	for {
-		// Fast path: the shard's own queue.
+		if s.state.Load() == shardHealthy {
+			// Fast path: the shard's own queue.
+			select {
+			case j := <-s.q:
+				e.run(s, j)
+				continue
+			default:
+			}
+			// Idle: steal from a sibling before parking.
+			if e.trySteal(s) {
+				continue
+			}
+		}
 		select {
 		case j := <-s.q:
-			e.run(s, j)
-			continue
-		default:
-		}
-		// Idle: steal from a sibling before parking.
-		if e.trySteal(s) {
-			continue
-		}
-		select {
-		case j := <-s.q:
+			// run redistributes the job if this shard is not healthy, so
+			// a submission that raced onto a quarantined queue can never
+			// stall or touch sick hardware.
 			e.run(s, j)
 		case <-e.wake:
 			// A submission landed somewhere; rescan.
@@ -273,6 +350,16 @@ func (e *Engine) drain(s *engineShard) {
 }
 
 func (e *Engine) run(s *engineShard, j *engineJob) {
+	if s.state.Load() != shardHealthy {
+		// The job raced onto a quarantined (or dead) shard's queue; hand
+		// it to a healthy sibling instead of trusting sick hardware.
+		e.redistribute(j)
+		return
+	}
+	if e.sup != nil {
+		e.runSupervised(s, j)
+		return
+	}
 	if j.batch.jitter != nil {
 		j.batch.jitter(s.id, j.index)
 	}
@@ -292,6 +379,11 @@ func (e *Engine) run(s *engineShard, j *engineJob) {
 		for i, out := range outs {
 			copy(j.dst[i*16:i*16+16], out)
 		}
+	} else {
+		// Identify the failing shard, preserving driver sentinels
+		// (bfm.ErrTimeout, bfm.ErrLatency) for errors.Is through
+		// Process/EngineBlock.
+		err = fmt.Errorf("rijndaelip: engine shard %d: %w", s.id, err)
 	}
 	j.batch.complete(err)
 }
@@ -328,6 +420,13 @@ func (e *Engine) process(ctx context.Context, dst, src []byte, encrypt bool) err
 			batch:   batch,
 		}
 		if err := e.submit(ctx, j); err != nil {
+			if e.sup != nil && errors.Is(err, errNoHealthyShard) {
+				// Engine-wide degradation: every replica is quarantined or
+				// dead, so this job is served by the software reference —
+				// callers never see corrupted data or a stalled pipeline.
+				e.fallback(j)
+				continue
+			}
 			submitErr = err
 			// This job and everything after it never ran; settle their
 			// share of the batch so done can close once the submitted
@@ -528,11 +627,24 @@ type ShardStats struct {
 	// QueueDepth is the queue occupancy at snapshot time.
 	QueueDepth int
 	// Submissions is how many lane-packed transactions this shard ran
-	// (each carrying 1..MaxLanes blocks).
+	// (each carrying 1..MaxLanes blocks; under supervision, detected-bad
+	// attempts count too).
 	Submissions uint64
 	// WastedLanes sums, over successful submissions, the lanes left idle
 	// because fewer than MaxLanes blocks were available to pack.
 	WastedLanes uint64
+	// Health is the shard's supervision state at snapshot time:
+	// "healthy", "quarantined" or "dead". Always "healthy" on an
+	// unsupervised engine.
+	Health string
+	// Generation counts driver builds: 1 at construction, +1 per
+	// successful hot-respawn.
+	Generation uint64
+	// Detections, Quarantines and Respawns are this shard's share of the
+	// supervision counters.
+	Detections  uint64
+	Quarantines uint64
+	Respawns    uint64
 }
 
 // EngineStats aggregates the pool.
@@ -557,13 +669,45 @@ type EngineStats struct {
 	// configured lane capacity that carried real blocks. 1.0 means every
 	// submission was fully packed.
 	LaneOccupancy float64
+
+	// Supervision counters (all zero on an unsupervised engine).
+	//
+	// Detections counts checker hits across all shards (watchdog expiry,
+	// latency assertion, lockstep divergence, failed inverse check).
+	// Retries counts detected-bad submissions re-queued to a healthy
+	// shard. Quarantines counts shards taken out of rotation (a shard can
+	// be quarantined more than once across its lifetime). Respawns counts
+	// successful hot-respawns; RespawnFailures counts failed attempts
+	// (hook veto, build error, or power-on self-test mismatch).
+	// FallbackBlocks counts blocks served by the software reference —
+	// retry budgets exhausted or no healthy shard available.
+	Detections      uint64
+	Retries         uint64
+	Quarantines     uint64
+	Respawns        uint64
+	RespawnFailures uint64
+	FallbackBlocks  uint64
+	// HealthyShards is how many shards were healthy at snapshot time;
+	// Degraded reports that none were — the engine is serving every block
+	// from the software reference until a respawn lands.
+	HealthyShards int
+	Degraded      bool
 }
 
 // Stats snapshots per-shard and aggregate counters. Safe to call while
 // blocks are in flight.
 func (e *Engine) Stats() EngineStats {
-	st := EngineStats{Shards: make([]ShardStats, len(e.shards))}
+	st := EngineStats{
+		Shards:          make([]ShardStats, len(e.shards)),
+		Detections:      e.detections.Load(),
+		Retries:         e.retries.Load(),
+		Quarantines:     e.quarantines.Load(),
+		Respawns:        e.respawns.Load(),
+		RespawnFailures: e.respawnFailures.Load(),
+		FallbackBlocks:  e.fallbackBlocks.Load(),
+	}
 	for i, s := range e.shards {
+		state := s.state.Load()
 		ss := ShardStats{
 			Shard:       i,
 			Blocks:      s.blocks.Load(),
@@ -572,9 +716,17 @@ func (e *Engine) Stats() EngineStats {
 			QueueDepth:  len(s.q),
 			Submissions: s.submissions.Load(),
 			WastedLanes: s.wasted.Load(),
+			Health:      healthName(state),
+			Generation:  s.gen.Load(),
+			Detections:  s.detections.Load(),
+			Quarantines: s.quarantines.Load(),
+			Respawns:    s.respawns.Load(),
 		}
 		if ss.Blocks > 0 {
 			ss.CyclesPerBlock = float64(ss.Cycles) / float64(ss.Blocks)
+		}
+		if state == shardHealthy {
+			st.HealthyShards++
 		}
 		st.Blocks += ss.Blocks
 		st.Submissions += ss.Submissions
@@ -584,6 +736,7 @@ func (e *Engine) Stats() EngineStats {
 		}
 		st.Shards[i] = ss
 	}
+	st.Degraded = st.HealthyShards == 0
 	if st.Blocks > 0 {
 		st.AggregateCyclesPerBlock = float64(st.MaxShardCycles) / float64(st.Blocks)
 		st.LaneOccupancy = float64(st.Blocks) / float64(st.Blocks+st.WastedLanes)

@@ -21,9 +21,12 @@ import (
 	"testing"
 
 	"rijndaelip"
+	"rijndaelip/internal/chaos"
 )
 
 // benchRow is one machine-readable benchmark sample for BENCH_engine.json.
+// The chaos/recovery counters are only populated by supervised runs
+// (BenchmarkChaosRecovery) and omitted everywhere else.
 type benchRow struct {
 	Bench          string  `json:"bench"`
 	Mode           string  `json:"mode"`
@@ -33,6 +36,14 @@ type benchRow struct {
 	CyclesPerBlock float64 `json:"cycles_per_block"`
 	Mbps           float64 `json:"mbps"`
 	BlocksPerSec   float64 `json:"blocks_per_sec"`
+
+	Strikes         uint64 `json:"strikes,omitempty"`
+	Detections      uint64 `json:"detections,omitempty"`
+	Retries         uint64 `json:"retries,omitempty"`
+	Quarantines     uint64 `json:"quarantines,omitempty"`
+	Respawns        uint64 `json:"respawns,omitempty"`
+	RespawnFailures uint64 `json:"respawn_failures,omitempty"`
+	FallbackBlocks  uint64 `json:"fallback_blocks,omitempty"`
 }
 
 // benchRows accumulates samples across benchmarks; TestMain flushes them
@@ -62,22 +73,29 @@ func TestMain(m *testing.M) {
 
 // benchReport publishes the standard engine metrics for one sub-benchmark
 // and records the JSON row.
-func benchReport(b *testing.B, eng *rijndaelip.Engine, bench, mode string, shards, lanes int) {
+func benchReport(b *testing.B, eng *rijndaelip.Engine, bench, mode string, shards, lanes int) *benchRow {
 	st := eng.Stats()
 	blocksPerSec := float64(st.Blocks) / b.Elapsed().Seconds()
 	b.ReportMetric(st.AggregateCyclesPerBlock, "cycles/block")
 	b.ReportMetric(eng.Throughput(), "Mbps")
 	b.ReportMetric(blocksPerSec, "blocks/s")
 	benchRows = append(benchRows, benchRow{
-		Bench:          bench,
-		Mode:           mode,
-		Shards:         shards,
-		Lanes:          lanes,
-		Blocks:         st.Blocks,
-		CyclesPerBlock: st.AggregateCyclesPerBlock,
-		Mbps:           eng.Throughput(),
-		BlocksPerSec:   blocksPerSec,
+		Bench:           bench,
+		Mode:            mode,
+		Shards:          shards,
+		Lanes:           lanes,
+		Blocks:          st.Blocks,
+		CyclesPerBlock:  st.AggregateCyclesPerBlock,
+		Mbps:            eng.Throughput(),
+		BlocksPerSec:    blocksPerSec,
+		Detections:      st.Detections,
+		Retries:         st.Retries,
+		Quarantines:     st.Quarantines,
+		Respawns:        st.Respawns,
+		RespawnFailures: st.RespawnFailures,
+		FallbackBlocks:  st.FallbackBlocks,
 	})
+	return &benchRows[len(benchRows)-1]
 }
 
 func BenchmarkEngine(b *testing.B) {
@@ -149,5 +167,59 @@ func BenchmarkVectorLanes(b *testing.B) {
 				benchReport(b, eng, "vector_lanes", "ecb", shards, lanes)
 			})
 		}
+	}
+}
+
+// BenchmarkChaosRecovery measures the supervised engine's throughput with
+// the recovery machinery live: sub-benchmark "faultfree" is a supervised
+// 4-shard pool with no strikes (the cost of lockstep supervision itself),
+// and "chaos" adds seeded strikes about once per 5 submissions, so the
+// row pair in BENCH_engine.json tracks the recovery tax (detection →
+// re-queue → quarantine → hot-respawn) across PRs, alongside the
+// detections/quarantines/respawns counters.
+func BenchmarkChaosRecovery(b *testing.B) {
+	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := []byte("bench-chaos-key0")
+	msg := make([]byte, 64*16)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	for _, strikes := range []bool{false, true} {
+		name := "faultfree"
+		if strikes {
+			name = "chaos"
+		}
+		b.Run(name, func(b *testing.B) {
+			sup := &rijndaelip.SupervisorOptions{Check: rijndaelip.CheckLockstep}
+			var inj *chaos.Injector
+			if strikes {
+				inj = chaos.NewInjector(chaos.Config{Seed: 42, Period: 5}, impl.Core.BlockLatency)
+				sup.Strike = inj.Strike
+			}
+			eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{
+				Shards:    4,
+				MaxLanes:  8,
+				Supervise: sup,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.EncryptECB(context.Background(), msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			row := benchReport(b, eng, "chaos_recovery", name, 4, 8)
+			if inj != nil {
+				row.Strikes = inj.Strikes()
+				b.ReportMetric(float64(row.Strikes)/float64(b.N), "strikes/op")
+			}
+		})
 	}
 }

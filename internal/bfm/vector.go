@@ -200,3 +200,33 @@ func (f *KeyedFactory) CloneVector() (*VectorDriver, int, error) {
 	}
 	return v, cycles, nil
 }
+
+// CloneSim runs the factory's key-load sequence over a caller-built
+// simulation of the same core — a post-synthesis netlist simulator, a
+// lockstep pair wrapping one, or any other Sim — and returns the keyed
+// driver. The package stays decoupled from any particular simulator
+// implementation: the caller owns construction, the factory owns the bus
+// protocol. This is the hot-respawn building block a self-healing engine
+// uses to stamp out a replacement for a quarantined shard.
+func (f *KeyedFactory) CloneSim(sim Sim) (*Driver, int, error) {
+	d := NewPostSynthesis(f.core, sim)
+	cycles, err := d.LoadKey(f.key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return d, cycles, nil
+}
+
+// CloneVectorSim is CloneSim returning a vector driver; the supplied
+// simulator must support per-lane access (satisfy VectorSim).
+func (f *KeyedFactory) CloneVectorSim(sim Sim) (*VectorDriver, int, error) {
+	d, cycles, err := f.CloneSim(sim)
+	if err != nil {
+		return nil, 0, err
+	}
+	v, err := AsVector(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, cycles, nil
+}

@@ -1,0 +1,285 @@
+// Package chaos is a live fault-injection harness for the supervised
+// sharded engine: where internal/faultcampaign sweeps faults over one
+// device transaction at a time under laboratory conditions, chaos strikes
+// random flip-flops of *live* shards mid-traffic — through the
+// supervisor's Strike hook and netlist.Simulator.ScheduleFlipLanes — and
+// holds the engine to the production bar throughout: every returned block
+// bit-exact against the software reference, no stalls, and the recovery
+// ladder (quarantine → hot-respawn → software fallback) visibly doing its
+// job in the stats.
+//
+// Everything is seeded: the traffic, the strike schedule and the struck
+// flip-flops all derive from Config.Seed, so a failing run reproduces.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rijndaelip"
+	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/netlist"
+)
+
+// Config tunes the strike generator.
+type Config struct {
+	// Seed feeds the deterministic traffic and strike sampler.
+	Seed int64
+	// Period is the mean number of lane-packed submissions between
+	// strikes, across all shards (default 50: at least one flip per 50
+	// transactions, the chaos gate's floor).
+	Period int
+	// MultiBit is how many distinct flip-flops each upset strikes
+	// (default 1).
+	MultiBit int
+}
+
+// Injector turns a Config into a SupervisorOptions.Strike hook. Strikes
+// arm a transient upset on one random lane of the shard's primary
+// simulator, at a random cycle inside the upcoming transaction, on
+// MultiBit random flip-flops. The injector is safe for concurrent use:
+// shard workers call Strike from their own goroutines.
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	period   float64
+	multiBit int
+	// window is the strike-cycle range: upsets land 1..window Steps after
+	// arming, i.e. inside the block latency of the transaction.
+	window  int
+	strikes uint64
+}
+
+// NewInjector builds an injector; window is the transaction's cycle count
+// (the core's BlockLatency), inside which every upset lands.
+func NewInjector(cfg Config, window int) *Injector {
+	period := cfg.Period
+	if period <= 0 {
+		period = 50
+	}
+	multi := cfg.MultiBit
+	if multi <= 0 {
+		multi = 1
+	}
+	if window <= 0 {
+		window = 1
+	}
+	return &Injector{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		period:   float64(period),
+		multiBit: multi,
+		window:   window,
+	}
+}
+
+// Strike is the SupervisorOptions.Strike hook: with probability 1/Period
+// it arms one upset on the submitting shard.
+func (in *Injector) Strike(shard int, submission uint64, sim *netlist.Simulator) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64()*in.period >= 1 {
+		return
+	}
+	nFFs := sim.NumFFs()
+	if nFFs == 0 {
+		return
+	}
+	ffs := make([]int, 0, in.multiBit)
+	seen := make(map[int]bool, in.multiBit)
+	for len(ffs) < in.multiBit && len(ffs) < nFFs {
+		ff := in.rng.Intn(nFFs)
+		if !seen[ff] {
+			seen[ff] = true
+			ffs = append(ffs, ff)
+		}
+	}
+	lane := in.rng.Intn(bfm.Lanes)
+	sim.ScheduleFlipLanes(1+in.rng.Intn(in.window), 1<<uint(lane), ffs...)
+	in.strikes++
+}
+
+// Strikes returns how many upsets have been armed so far.
+func (in *Injector) Strikes() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.strikes
+}
+
+// RunConfig describes one harness run.
+type RunConfig struct {
+	// Shards and MaxLanes shape the engine (defaults 4 and 8; small lane
+	// packing keeps the submission count high, which is what the strike
+	// schedule keys on). QueueDepth passes through (default 2).
+	Shards     int
+	MaxLanes   int
+	QueueDepth int
+	// Blocks is the number of 16-byte blocks pushed per wave (default
+	// 256); Waves is how many waves run back to back (default 1) — waves
+	// give background respawns traffic to rejoin.
+	Blocks int
+	Waves  int
+	// Check is the detection policy (default CheckLockstep — the only
+	// policy that catches persistent key-schedule corruption, which is
+	// what random strikes mostly produce).
+	Check rijndaelip.CheckPolicy
+	// Supervisor knobs passed through (zero values take the supervisor's
+	// defaults).
+	RetryBudget        int
+	RespawnBackoff     int // milliseconds; 0 keeps the 1ms default
+	MaxRespawnFailures int
+	// Baseline also runs an identically configured, strike-free engine
+	// over the same traffic and records its cycles/block, so recovery
+	// overhead is measurable.
+	Baseline bool
+	// Chaos tunes the strike generator.
+	Chaos Config
+}
+
+// Report is the harness verdict.
+type Report struct {
+	// Blocks is the total blocks processed (all waves); Mismatches counts
+	// blocks that diverged from the software reference — anything nonzero
+	// is a harness failure.
+	Blocks     int
+	Mismatches int
+	// Strikes is how many upsets the injector armed.
+	Strikes uint64
+	// Stats is the chaos engine's final counter snapshot.
+	Stats rijndaelip.EngineStats
+	// CyclesPerBlock is the chaos engine's aggregate rate;
+	// BaselineCyclesPerBlock is the strike-free engine's (0 unless
+	// RunConfig.Baseline).
+	CyclesPerBlock         float64
+	BaselineCyclesPerBlock float64
+}
+
+// Overhead is the recovery tax: CyclesPerBlock relative to the fault-free
+// baseline (1.0 = no overhead; 0 when no baseline ran).
+func (r *Report) Overhead() float64 {
+	if r.BaselineCyclesPerBlock == 0 {
+		return 0
+	}
+	return r.CyclesPerBlock / r.BaselineCyclesPerBlock
+}
+
+func (r *Report) String() string {
+	s := fmt.Sprintf("chaos: %d blocks, %d strikes, %d mismatches; %d detections, %d retries, %d quarantines, %d respawns (%d failed), %d fallback blocks; %.2f cycles/block",
+		r.Blocks, r.Strikes, r.Mismatches,
+		r.Stats.Detections, r.Stats.Retries, r.Stats.Quarantines,
+		r.Stats.Respawns, r.Stats.RespawnFailures, r.Stats.FallbackBlocks,
+		r.CyclesPerBlock)
+	if r.BaselineCyclesPerBlock > 0 {
+		s += fmt.Sprintf(" (fault-free %.2f, overhead %.2fx)", r.BaselineCyclesPerBlock, r.Overhead())
+	}
+	return s
+}
+
+// settle waits (bounded) for every quarantined shard to hot-respawn.
+func settle(eng *rijndaelip.Engine, shards int) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if eng.Stats().HealthyShards == shards {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Run drives seeded traffic through a supervised engine under live
+// strikes and verifies every block against the software reference. The
+// engine and (optional) baseline are built, exercised and closed inside
+// the call.
+func Run(ctx context.Context, impl *rijndaelip.Implementation, key []byte, rc RunConfig) (*Report, error) {
+	if rc.Shards <= 0 {
+		rc.Shards = 4
+	}
+	if rc.MaxLanes <= 0 {
+		rc.MaxLanes = 8
+	}
+	if rc.Blocks <= 0 {
+		rc.Blocks = 256
+	}
+	if rc.Waves <= 0 {
+		rc.Waves = 1
+	}
+	check := rc.Check
+	if check == rijndaelip.CheckNone {
+		check = rijndaelip.CheckLockstep
+	}
+	inj := NewInjector(rc.Chaos, impl.Core.BlockLatency)
+	sup := rijndaelip.SupervisorOptions{
+		Check:              check,
+		RetryBudget:        rc.RetryBudget,
+		MaxRespawnFailures: rc.MaxRespawnFailures,
+		Strike:             inj.Strike,
+	}
+	if rc.RespawnBackoff > 0 {
+		sup.RespawnBackoff = time.Duration(rc.RespawnBackoff) * time.Millisecond
+	}
+	opts := rijndaelip.EngineOptions{
+		Shards:     rc.Shards,
+		QueueDepth: rc.QueueDepth,
+		MaxLanes:   rc.MaxLanes,
+		Supervise:  &sup,
+	}
+	eng, err := impl.NewEngine(key, opts)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: engine: %w", err)
+	}
+	defer eng.Close()
+
+	ref, err := rijndaelip.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: reference: %w", err)
+	}
+	traffic := rand.New(rand.NewSource(rc.Chaos.Seed ^ 0x6368616f73)) // "chaos"
+	rep := &Report{}
+	want := make([]byte, 16)
+	var waves [][]byte
+	for w := 0; w < rc.Waves; w++ {
+		src := make([]byte, rc.Blocks*16)
+		traffic.Read(src)
+		waves = append(waves, src)
+		got, err := eng.EncryptECB(ctx, src)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: wave %d: %w", w, err)
+		}
+		for b := 0; b < rc.Blocks; b++ {
+			ref.Encrypt(want, src[b*16:b*16+16])
+			if !bytes.Equal(got[b*16:b*16+16], want) {
+				rep.Mismatches++
+			}
+		}
+		rep.Blocks += rc.Blocks
+		// Let background respawns land before the next wave (and before the
+		// final stats snapshot): strikes never kill shards permanently here,
+		// so a full pool is the steady state the counters should reflect.
+		settle(eng, rc.Shards)
+	}
+	rep.Strikes = inj.Strikes()
+	rep.Stats = eng.Stats()
+	rep.CyclesPerBlock = rep.Stats.AggregateCyclesPerBlock
+
+	if rc.Baseline {
+		base := sup
+		base.Strike = nil
+		baseOpts := opts
+		baseOpts.Supervise = &base
+		beng, err := impl.NewEngine(key, baseOpts)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: baseline engine: %w", err)
+		}
+		defer beng.Close()
+		for _, src := range waves {
+			if _, err := beng.EncryptECB(ctx, src); err != nil {
+				return nil, fmt.Errorf("chaos: baseline wave: %w", err)
+			}
+		}
+		rep.BaselineCyclesPerBlock = beng.Stats().AggregateCyclesPerBlock
+	}
+	return rep, nil
+}

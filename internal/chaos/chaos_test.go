@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"rijndaelip"
+)
+
+var (
+	implOnce sync.Once
+	implVal  *rijndaelip.Implementation
+	implErr  error
+)
+
+func chaosImpl(t *testing.T) *rijndaelip.Implementation {
+	t.Helper()
+	implOnce.Do(func() {
+		implVal, implErr = rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	})
+	if implErr != nil {
+		t.Fatal(implErr)
+	}
+	return implVal
+}
+
+// TestChaosGate is the acceptance gate for the recovery layer: seeded
+// strikes at better than one flip per 50 submissions into a live 4-shard
+// engine, with every returned block bit-exact against the software
+// reference, at least one shard quarantined and respawned, and aggregate
+// throughput within 25% of an identically configured fault-free engine.
+func TestChaosGate(t *testing.T) {
+	impl := chaosImpl(t)
+	rc := RunConfig{
+		Shards:   4,
+		MaxLanes: 4,
+		Blocks:   192,
+		Waves:    3,
+		Baseline: true,
+		Chaos:    Config{Seed: 7, Period: 20},
+	}
+	if testing.Short() {
+		rc.Blocks, rc.Waves = 96, 2
+		rc.Chaos.Period = 10
+	}
+	rep, err := Run(context.Background(), impl, []byte("chaos-gate-key-0"), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Strikes == 0 {
+		t.Fatal("injector armed no strikes: the run proved nothing")
+	}
+	if rep.Mismatches != 0 {
+		t.Errorf("%d of %d blocks diverged from the software reference", rep.Mismatches, rep.Blocks)
+	}
+	if rep.Stats.Quarantines == 0 {
+		t.Error("no shard was quarantined despite live strikes")
+	}
+	if rep.Stats.Respawns == 0 {
+		t.Error("no quarantined shard was hot-respawned")
+	}
+	if rep.Stats.RespawnFailures != 0 {
+		t.Errorf("respawns failed %d times with healthy hardware", rep.Stats.RespawnFailures)
+	}
+	if ov := rep.Overhead(); ov > 1.25 {
+		t.Errorf("recovery overhead %.2fx exceeds the 1.25x budget (chaos %.2f vs fault-free %.2f cycles/block)",
+			ov, rep.CyclesPerBlock, rep.BaselineCyclesPerBlock)
+	}
+}
+
+// TestChaosMultiBit checks that multi-bit upsets (several flip-flops per
+// strike) are also detected and recovered from.
+func TestChaosMultiBit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-bit chaos run in -short mode")
+	}
+	impl := chaosImpl(t)
+	rep, err := Run(context.Background(), impl, []byte("chaos-mbu-key-00"), RunConfig{
+		Shards:   2,
+		MaxLanes: 4,
+		Blocks:   96,
+		Waves:    2,
+		Chaos:    Config{Seed: 3, Period: 8, MultiBit: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Strikes == 0 {
+		t.Fatal("injector armed no strikes")
+	}
+	if rep.Mismatches != 0 {
+		t.Errorf("%d of %d blocks diverged under multi-bit upsets", rep.Mismatches, rep.Blocks)
+	}
+}
+
+// TestChaosRepeatedRuns holds the harness to bit-exactness across
+// repeated runs of the same seed: the traffic is identical each time, and
+// no scheduling interleaving may surface a wrong block.
+func TestChaosRepeatedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated chaos runs in -short mode")
+	}
+	impl := chaosImpl(t)
+	rc := RunConfig{
+		Shards:   2,
+		MaxLanes: 8,
+		Blocks:   128,
+		Waves:    1,
+		Chaos:    Config{Seed: 11, Period: 5},
+	}
+	for i := 0; i < 2; i++ {
+		rep, err := Run(context.Background(), impl, []byte("chaos-rep-key-00"), rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Strikes == 0 {
+			t.Fatalf("run %d: injector armed no strikes", i)
+		}
+		if rep.Mismatches != 0 {
+			t.Errorf("run %d: %d mismatches under seeded chaos", i, rep.Mismatches)
+		}
+	}
+}
+
+// TestInjectorDefaults pins the zero-value Config behavior the chaos gate
+// relies on: one single-bit flip per 50 submissions on average, armed
+// inside a minimum 1-cycle window.
+func TestInjectorDefaults(t *testing.T) {
+	in := NewInjector(Config{}, 0)
+	if in.period != 50 || in.multiBit != 1 || in.window != 1 {
+		t.Errorf("defaults: period=%v multiBit=%d window=%d, want 50/1/1", in.period, in.multiBit, in.window)
+	}
+	r := &Report{CyclesPerBlock: 2}
+	if r.Overhead() != 0 {
+		t.Errorf("Overhead without a baseline = %v, want 0", r.Overhead())
+	}
+	r.BaselineCyclesPerBlock = 1
+	if r.Overhead() != 2 {
+		t.Errorf("Overhead = %v, want 2", r.Overhead())
+	}
+}

@@ -72,6 +72,9 @@ type ResilientStats struct {
 	// hardware path.
 	ConsecutiveFailures int
 	Degraded            bool
+	// Cycles accumulates the simulated clock cycles spent on the hardware
+	// path, including retries and inverse-check transactions.
+	Cycles uint64
 }
 
 // ResilientBlock wraps the simulated core in a self-checking,
@@ -89,9 +92,8 @@ type ResilientStats struct {
 // ResilientBlock is safe for concurrent use: there is one simulated device
 // behind the adapter, so concurrent Encrypt/Decrypt calls serialize on an
 // internal mutex (one bus transaction at a time), and the Stats/Degraded/
-// Err accessors take the same lock. The exported Cycles field is updated
-// under that lock; read it only after concurrent callers have quiesced
-// (for a racing snapshot use Stats, which is synchronized).
+// Err/Cycles accessors take the same lock — every counter, including the
+// cycle account, is safe to snapshot while blocks are in flight.
 type ResilientBlock struct {
 	impl *Implementation
 	opts ResilientOptions
@@ -102,13 +104,10 @@ type ResilientBlock struct {
 	main *netlist.Simulator
 	lock *faultcampaign.Lockstep
 
-	// mu serializes bus transactions and guards stats, err and Cycles.
+	// mu serializes bus transactions and guards stats and err.
 	mu    sync.Mutex
 	stats ResilientStats
 	err   error
-	// Cycles accumulates simulated clock cycles spent on the hardware
-	// path (including retries and inverse-check transactions).
-	Cycles uint64
 }
 
 // NewResilientBlock builds the resilient adapter over a post-synthesis
@@ -178,6 +177,17 @@ func (r *ResilientBlock) Stats() ResilientStats {
 	return r.stats
 }
 
+// Cycles returns the simulated clock cycles spent on the hardware path.
+//
+// Deprecated: use Stats().Cycles. Cycles was once an exported field that
+// raced with concurrent Encrypt/Decrypt calls; it is kept as a
+// synchronized accessor for callers of the former field.
+func (r *ResilientBlock) Cycles() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats.Cycles
+}
+
 // Degraded reports whether the adapter has given up on the hardware path
 // and is serving blocks from the software reference.
 func (r *ResilientBlock) Degraded() bool {
@@ -239,10 +249,10 @@ func (r *ResilientBlock) hardware(src []byte, encrypt bool) ([]byte, bool) {
 			r.opts.Corrupt(attempt, r.main)
 		}
 		out, cycles, err := r.drv.Process(src, encrypt)
-		r.Cycles += uint64(cycles)
+		r.stats.Cycles += uint64(cycles)
 		if err == nil && r.opts.Check == CheckInverse {
 			back, invCycles, invErr := r.drv.Process(out, !encrypt)
-			r.Cycles += uint64(invCycles)
+			r.stats.Cycles += uint64(invCycles)
 			if invErr != nil {
 				err = invErr
 			} else if !bytesEqual16(back, src) {
@@ -256,7 +266,7 @@ func (r *ResilientBlock) hardware(src []byte, encrypt bool) ([]byte, bool) {
 		if err == nil && !diverged {
 			return out, true
 		}
-		if isTimeout(err) {
+		if errors.Is(err, bfm.ErrTimeout) {
 			r.stats.Timeouts++
 		} else {
 			r.stats.Detections++
@@ -279,10 +289,6 @@ func (r *ResilientBlock) rebuild() {
 	if _, err := r.drv.LoadKey(r.key); err != nil && r.err == nil {
 		r.err = err
 	}
-}
-
-func isTimeout(err error) bool {
-	return errors.Is(err, bfm.ErrTimeout)
 }
 
 func zeroBlock(dst []byte) {

@@ -1,0 +1,390 @@
+package rijndaelip
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/faultcampaign"
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/rijndael"
+)
+
+// SupervisorOptions arms the engine's per-shard supervision layer: every
+// shard transaction runs under the BFM watchdog and the fixed-latency
+// protocol assertion, optionally cross-checked by a lockstep shadow
+// replica or inverse-operation spot-checks, and any detection triggers
+// the recovery ladder — re-queue the failed submission to a healthy
+// shard, quarantine the sick shard, hot-respawn it in the background, and
+// degrade to the software reference only when every replica is out of
+// service. The policy vocabulary (CheckPolicy) is shared with
+// ResilientBlock: the supervisor is the same detect → retry → degrade
+// idea lifted from one device to the whole pool.
+//
+// Supervised shards simulate the technology-mapped netlist (like
+// ResilientBlock and the fault campaigns) rather than the RTL, so chaos
+// harnesses can strike real flip-flops of live shards mid-traffic.
+type SupervisorOptions struct {
+	// Check selects the per-transaction detection mechanism. CheckNone
+	// relies on the watchdog and latency assertion alone; CheckLockstep
+	// steps a fault-free shadow replica in lockstep with every shard and
+	// flags any observable divergence (detects corrupted data the instant
+	// it surfaces, including persistent key-schedule upsets); CheckInverse
+	// round-trips results through the opposite direction on the same shard
+	// (needs the combined Both variant, costs an extra transaction per
+	// sampled submission, and — like any inverse check — cannot see
+	// common-mode corruption such as a flipped key register that skews
+	// both directions identically).
+	Check CheckPolicy
+	// SampleEvery thins the CheckInverse spot-check to every Nth
+	// submission per shard (default 1: every submission). Ignored by the
+	// other policies — the lockstep comparator is always-on by
+	// construction.
+	SampleEvery int
+	// RetryBudget is how many times a detected-bad submission is re-queued
+	// to a healthy shard before its blocks are served by the software
+	// reference instead. Default 2.
+	RetryBudget int
+	// RespawnBackoff is the delay before a quarantined shard's first
+	// respawn attempt; it doubles after every consecutive failure.
+	// Default 1ms.
+	RespawnBackoff time.Duration
+	// MaxRespawnFailures is the permanent-defect circuit breaker: after
+	// this many consecutive failed respawn attempts the shard is declared
+	// dead and never retried. Default 3.
+	MaxRespawnFailures int
+	// Watchdog overrides the BFM cycle budget for hung transactions
+	// (0 keeps the driver's 4x-latency default).
+	Watchdog int
+	// Strike, when set, is invoked on the shard's worker goroutine
+	// immediately before every hardware submission with the shard id, the
+	// shard's submission ordinal, and its primary simulator. Chaos
+	// harnesses use it to arm ScheduleFlipLanes upsets that land
+	// mid-transaction. The hook runs on the worker goroutine that owns the
+	// simulator, so it may touch the simulator without extra locking.
+	Strike func(shard int, submission uint64, sim *netlist.Simulator)
+	// RespawnHook, when set, gates every respawn attempt: it is invoked
+	// with the shard id and the consecutive-failure ordinal before the
+	// replacement clone is built, and a non-nil return fails the attempt.
+	// Tests use it to model a permanently damaged replica slot and drive
+	// the circuit breaker.
+	RespawnHook func(shard, attempt int) error
+}
+
+// Shard supervision states. Unsupervised engines keep every shard healthy
+// forever; under supervision a detection moves the shard to quarantined,
+// a successful respawn moves it back, and the circuit breaker parks it at
+// dead.
+const (
+	shardHealthy int32 = iota
+	shardQuarantined
+	shardDead
+)
+
+// healthName renders a shard state for stats snapshots.
+func healthName(state int32) string {
+	switch state {
+	case shardHealthy:
+		return "healthy"
+	case shardQuarantined:
+		return "quarantined"
+	case shardDead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", state)
+}
+
+// ErrShardDivergence is the lockstep comparator's detection: a shard's
+// observable outputs diverged from its fault-free shadow replica.
+// Returned errors wrap it; match with errors.Is.
+var ErrShardDivergence = errors.New("rijndaelip: lockstep divergence")
+
+// ErrInverseMismatch is the inverse-operation spot-check's detection:
+// running a result back through the opposite direction did not return the
+// original block. Returned errors wrap it; match with errors.Is.
+var ErrInverseMismatch = errors.New("rijndaelip: inverse check mismatch")
+
+// errNoHealthyShard is the internal signal that every shard is
+// quarantined or dead: the submitting side serves the job from the
+// software reference instead of stalling.
+var errNoHealthyShard = errors.New("rijndaelip: engine: no healthy shard")
+
+// normalizedSupervisor validates and defaults a supervisor policy. A copy
+// is returned so defaulting never mutates the caller's struct.
+func normalizedSupervisor(im *Implementation, opts *SupervisorOptions) (*SupervisorOptions, error) {
+	if opts == nil {
+		return nil, nil
+	}
+	s := *opts
+	if s.Check == CheckInverse && im.Core.Config.Variant != rijndael.Both {
+		return nil, fmt.Errorf("rijndaelip: inverse check needs the combined variant, core is %v", im.Core.Config.Variant)
+	}
+	if s.SampleEvery <= 0 {
+		s.SampleEvery = 1
+	}
+	if s.RetryBudget <= 0 {
+		s.RetryBudget = 2
+	}
+	if s.RespawnBackoff <= 0 {
+		s.RespawnBackoff = time.Millisecond
+	}
+	if s.MaxRespawnFailures <= 0 {
+		s.MaxRespawnFailures = 3
+	}
+	return &s, nil
+}
+
+// buildDriver stamps out one shard's keyed driver. The plain engine
+// clones the RTL simulation; a supervised engine clones a post-synthesis
+// netlist simulation (optionally wrapped in a lockstep pair with a
+// fault-free shadow) so the supervisor checks — and chaos harnesses
+// strike — real mapped flip-flops, exactly like the fault campaigns. The
+// same path serves construction and hot-respawn.
+func (e *Engine) buildDriver() (*bfm.VectorDriver, *netlist.Simulator, *faultcampaign.VectorLockstep, error) {
+	if e.sup == nil {
+		drv, _, err := e.factory.CloneVector()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if e.opts.Watchdog > 0 {
+			drv.Timeout = e.opts.Watchdog
+		}
+		return drv, nil, nil, nil
+	}
+	main, err := netlist.NewSimulator(e.impl.Netlist.nl)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var sim bfm.Sim = main
+	var lock *faultcampaign.VectorLockstep
+	if e.sup.Check == CheckLockstep {
+		shadow, err := netlist.NewSimulator(e.impl.Netlist.nl)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lock = faultcampaign.NewVectorLockstep(main, shadow)
+		sim = lock
+	}
+	drv, _, err := e.factory.CloneVectorSim(sim)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	drv.AssertLatency = true
+	switch {
+	case e.sup.Watchdog > 0:
+		drv.Timeout = e.sup.Watchdog
+	case e.opts.Watchdog > 0:
+		drv.Timeout = e.opts.Watchdog
+	}
+	return drv, main, lock, nil
+}
+
+// runSupervised executes one job on a healthy supervised shard: arm the
+// chaos hook, run the transaction under the watchdog and latency
+// assertion, cross-check per the policy, and either deliver the results
+// or walk the recovery ladder (quarantine the shard, re-queue the job).
+// Detected faults are never surfaced to the caller — they are absorbed by
+// retry or the software fallback.
+func (e *Engine) runSupervised(s *engineShard, j *engineJob) {
+	if j.batch.jitter != nil {
+		j.batch.jitter(s.id, j.index)
+	}
+	sub := s.submissions.Add(1)
+	if e.sup.Strike != nil {
+		e.sup.Strike(s.id, sub, s.sim)
+	}
+	blocks := make([][]byte, j.n)
+	for i := range blocks {
+		blocks[i] = j.src[i*16 : i*16+16]
+	}
+	outs, cycles, err := s.drv.ProcessVector(blocks, j.encrypt)
+	s.cycles.Add(uint64(cycles) + 1)
+	if err == nil && s.lock != nil {
+		// Any diverged lane — used or not — means the primary's state is
+		// corrupt (upsets persist in flip-flops), so the whole shard is
+		// suspect, not just the lanes this job rode.
+		if mask := s.lock.MismatchMask(); mask != 0 {
+			err = fmt.Errorf("%w: shard %d lanes %#x", ErrShardDivergence, s.id, mask)
+		}
+	}
+	if err == nil && e.sup.Check == CheckInverse && sub%uint64(e.sup.SampleEvery) == 0 {
+		back, invCycles, invErr := s.drv.ProcessVector(outs, !j.encrypt)
+		s.cycles.Add(uint64(invCycles) + 1)
+		if invErr != nil {
+			err = invErr
+		} else {
+			for i := range blocks {
+				if !bytesEqual16(back[i], blocks[i]) {
+					err = fmt.Errorf("%w: shard %d lane %d", ErrInverseMismatch, s.id, i)
+					break
+				}
+			}
+		}
+	}
+	if err == nil {
+		s.blocks.Add(uint64(j.n))
+		s.wasted.Add(uint64(e.opts.MaxLanes - j.n))
+		for i, out := range outs {
+			copy(j.dst[i*16:i*16+16], out)
+		}
+		j.batch.complete(nil)
+		return
+	}
+	s.detections.Add(1)
+	e.detections.Add(1)
+	// Quarantine first so the re-queue cannot land back on the sick shard.
+	e.quarantine(s)
+	e.requeue(j)
+}
+
+// quarantine takes a shard out of rotation after a detection: its queued
+// jobs are handed to healthy siblings, and a background respawner starts
+// rebuilding it. Only the shard's own worker moves a shard out of
+// healthy, so the CAS is belt-and-braces.
+func (e *Engine) quarantine(s *engineShard) {
+	if !s.state.CompareAndSwap(shardHealthy, shardQuarantined) {
+		return
+	}
+	s.quarantines.Add(1)
+	e.quarantines.Add(1)
+	for {
+		select {
+		case j := <-s.q:
+			e.redistribute(j)
+		default:
+			e.wg.Add(1)
+			go e.respawner(s)
+			return
+		}
+	}
+}
+
+// requeue sends a detected-bad job back through the pool within its retry
+// budget; past the budget its blocks are served by the software reference
+// (correct data beats hardware pride).
+func (e *Engine) requeue(j *engineJob) {
+	if j.attempt >= e.sup.RetryBudget {
+		e.fallback(j)
+		return
+	}
+	j.attempt++
+	e.retries.Add(1)
+	e.redistribute(j)
+}
+
+// redistribute hands a job to any healthy sibling without blocking; if
+// every healthy queue is full — or no shard is healthy at all — the job
+// is served by the software reference instead. The non-blocking sends are
+// what make the recovery path deadlock-free: a worker redistributing jobs
+// can never park on a sibling that is itself trying to redistribute.
+func (e *Engine) redistribute(j *engineJob) {
+	start := int(e.rr.Add(1) - 1)
+	n := len(e.shards)
+	for off := 0; off < n; off++ {
+		t := e.shards[(start+off)%n]
+		if t.state.Load() != shardHealthy {
+			continue
+		}
+		select {
+		case t.q <- j:
+			e.poke()
+			return
+		default:
+		}
+	}
+	e.fallback(j)
+}
+
+// fallback serves one job from the software reference cipher — the
+// engine-level graceful degradation. Callers see correct data and a
+// completed batch; the FallbackBlocks counter records that the hardware
+// pool did not produce it.
+func (e *Engine) fallback(j *engineJob) {
+	for i := 0; i < j.n; i++ {
+		src := j.src[i*16 : i*16+16]
+		dst := j.dst[i*16 : i*16+16]
+		if j.encrypt {
+			e.soft.Encrypt(dst, src)
+		} else {
+			e.soft.Decrypt(dst, src)
+		}
+	}
+	e.fallbackBlocks.Add(uint64(j.n))
+	j.batch.complete(nil)
+}
+
+// respawner rebuilds a quarantined shard in the background: exponential
+// backoff between attempts, a power-on self-test before the replacement
+// rejoins the pool, and the permanent-defect circuit breaker after
+// MaxRespawnFailures consecutive failures.
+func (e *Engine) respawner(s *engineShard) {
+	defer e.wg.Done()
+	backoff := e.sup.RespawnBackoff
+	for attempt := 1; ; attempt++ {
+		t := time.NewTimer(backoff)
+		select {
+		case <-e.closed:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if err := e.respawnShard(s, attempt); err == nil {
+			s.gen.Add(1)
+			s.respawns.Add(1)
+			e.respawns.Add(1)
+			s.state.Store(shardHealthy)
+			e.poke()
+			return
+		}
+		e.respawnFailures.Add(1)
+		if attempt >= e.sup.MaxRespawnFailures {
+			s.state.Store(shardDead)
+			return
+		}
+		backoff *= 2
+	}
+}
+
+// respawnShard builds and self-tests one replacement driver. The shard's
+// driver fields are written only here (while the shard is quarantined and
+// its worker refuses to touch them) and at construction; the atomic state
+// transition publishes them back to the worker.
+func (e *Engine) respawnShard(s *engineShard, attempt int) error {
+	if e.sup.RespawnHook != nil {
+		if err := e.sup.RespawnHook(s.id, attempt); err != nil {
+			return err
+		}
+	}
+	drv, sim, lock, err := e.buildDriver()
+	if err != nil {
+		return err
+	}
+	if err := e.selfTest(drv); err != nil {
+		return err
+	}
+	s.drv, s.sim, s.lock = drv, sim, lock
+	return nil
+}
+
+// selfTest runs one known-answer transaction through a freshly built
+// driver and verifies it against the software reference — the power-on
+// self-test a replacement shard must pass before rejoining the pool.
+func (e *Engine) selfTest(drv *bfm.VectorDriver) error {
+	pt := []byte("rijndaelip-post!")
+	encrypt := e.impl.Core.Config.Variant != rijndael.Decrypt
+	outs, _, err := drv.ProcessVector([][]byte{pt}, encrypt)
+	if err != nil {
+		return fmt.Errorf("rijndaelip: respawn self-test: %w", err)
+	}
+	want := make([]byte, 16)
+	if encrypt {
+		e.soft.Encrypt(want, pt)
+	} else {
+		e.soft.Decrypt(want, pt)
+	}
+	if !bytesEqual16(outs[0], want) {
+		return fmt.Errorf("rijndaelip: respawn self-test: got %x, want %x", outs[0], want)
+	}
+	return nil
+}

@@ -1,0 +1,425 @@
+package rijndaelip_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"rijndaelip"
+	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/modes"
+	"rijndaelip/internal/netlist"
+)
+
+// supImpl caches an encrypt-only build for the supervisor tests (the
+// combined engineImpl is reused where the inverse check needs it).
+var (
+	supImplOnce sync.Once
+	supImplVal  *rijndaelip.Implementation
+	supImplErr  error
+)
+
+func supImpl(t *testing.T) *rijndaelip.Implementation {
+	t.Helper()
+	supImplOnce.Do(func() {
+		supImplVal, supImplErr = rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
+	})
+	if supImplErr != nil {
+		t.Fatal(supImplErr)
+	}
+	return supImplVal
+}
+
+// waitEngine polls the engine stats until cond is satisfied or the
+// deadline passes (background respawns land asynchronously).
+func waitEngine(t *testing.T, eng *rijndaelip.Engine, what string, cond func(rijndaelip.EngineStats) bool) rijndaelip.EngineStats {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := eng.Stats()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s: %+v", what, st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func checkECB(t *testing.T, got, src []byte, key []byte) {
+	t.Helper()
+	ref, err := rijndaelip.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 16)
+	for b := 0; b*16 < len(src); b++ {
+		ref.Encrypt(want, src[b*16:b*16+16])
+		if !bytes.Equal(got[b*16:b*16+16], want) {
+			t.Fatalf("block %d diverged from software reference", b)
+		}
+	}
+}
+
+// TestSupervisedEngineFaultFree runs a healthy supervised pool: every
+// block must come from hardware with no detections, quarantines or
+// fallbacks — the lockstep comparator must not false-alarm on good
+// replicas.
+func TestSupervisedEngineFaultFree(t *testing.T) {
+	impl := supImpl(t)
+	key := []byte("supervised-key-0")
+	eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{
+		Shards:    2,
+		MaxLanes:  4,
+		Supervise: &rijndaelip.SupervisorOptions{Check: rijndaelip.CheckLockstep},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	src := make([]byte, 16*16)
+	for i := range src {
+		src[i] = byte(i * 11)
+	}
+	got, err := eng.EncryptECB(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkECB(t, got, src, key)
+	st := eng.Stats()
+	if st.Detections != 0 || st.Quarantines != 0 || st.FallbackBlocks != 0 || st.Retries != 0 {
+		t.Errorf("fault-free supervised run tripped the recovery ladder: %+v", st)
+	}
+	if st.HealthyShards != 2 || st.Degraded {
+		t.Errorf("healthy pool reported sick: healthy=%d degraded=%v", st.HealthyShards, st.Degraded)
+	}
+	if st.Blocks != 16 {
+		t.Errorf("hardware blocks = %d, want 16", st.Blocks)
+	}
+	for _, ss := range st.Shards {
+		if ss.Health != "healthy" || ss.Generation != 1 {
+			t.Errorf("shard %d: health=%q generation=%d, want healthy gen 1", ss.Shard, ss.Health, ss.Generation)
+		}
+	}
+}
+
+// TestSupervisedEngineQuarantineRespawnRecovery injects one transient
+// upset into a live shard mid-traffic: the lockstep comparator must catch
+// it, the failed submission must be re-queued to the healthy sibling (so
+// every caller-visible block stays bit-exact and in order), the sick
+// shard must be quarantined, and the background respawner must return it
+// to service with a bumped generation.
+func TestSupervisedEngineQuarantineRespawnRecovery(t *testing.T) {
+	impl := supImpl(t)
+	key := []byte("supervised-key-1")
+	var strikeOnce sync.Once
+	eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{
+		Shards:   2,
+		MaxLanes: 2,
+		Supervise: &rijndaelip.SupervisorOptions{
+			Check: rijndaelip.CheckLockstep,
+			Strike: func(shard int, submission uint64, sim *netlist.Simulator) {
+				if shard != 0 {
+					return
+				}
+				strikeOnce.Do(func() {
+					// Upset a state register of lane 0, mid-transaction.
+					sim.ScheduleFlipLanes(11, 1, sim.FindFF("s0[0]"))
+				})
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	src := make([]byte, 24*16)
+	for i := range src {
+		src[i] = byte(i ^ 0xA5)
+	}
+	got, err := eng.EncryptECB(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkECB(t, got, src, key)
+	st := eng.Stats()
+	if st.Detections == 0 || st.Quarantines == 0 || st.Retries == 0 {
+		t.Fatalf("strike not detected/retried/quarantined: %+v", st)
+	}
+	// The respawner runs in the background; wait for the shard to rejoin.
+	st = waitEngine(t, eng, "hot-respawn", func(st rijndaelip.EngineStats) bool {
+		return st.Respawns >= 1 && st.HealthyShards == 2
+	})
+	if ss := st.Shards[0]; ss.Generation < 2 || ss.Respawns == 0 {
+		t.Errorf("respawned shard 0 generation=%d respawns=%d, want gen >= 2", ss.Generation, ss.Respawns)
+	}
+	// The recovered pool must serve hardware traffic again, on both shards.
+	before := st.Blocks
+	got, err = eng.EncryptECB(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkECB(t, got, src, key)
+	st = eng.Stats()
+	if st.Blocks != before+24 {
+		t.Errorf("post-respawn hardware blocks = %d, want %d", st.Blocks, before+24)
+	}
+}
+
+// TestSupervisedEngineCircuitBreakerAndDegrade strikes every submission
+// on every shard and vetoes every respawn: each shard must walk detection
+// → quarantine → failed respawns → dead (the permanent-defect circuit
+// breaker), the engine must degrade to the software reference — and every
+// block the caller sees must still be correct.
+func TestSupervisedEngineCircuitBreakerAndDegrade(t *testing.T) {
+	impl := supImpl(t)
+	key := []byte("supervised-key-2")
+	respawnErr := errors.New("replica slot burned out")
+	eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{
+		Shards:   2,
+		MaxLanes: 2,
+		Supervise: &rijndaelip.SupervisorOptions{
+			Check:              rijndaelip.CheckLockstep,
+			RetryBudget:        1,
+			MaxRespawnFailures: 2,
+			Strike: func(shard int, submission uint64, sim *netlist.Simulator) {
+				sim.ScheduleFlipLanes(9, 1, sim.FindFF("s0[0]"))
+			},
+			RespawnHook: func(shard, attempt int) error { return respawnErr },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	src := make([]byte, 12*16)
+	for i := range src {
+		src[i] = byte(i * 29)
+	}
+	got, err := eng.EncryptECB(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkECB(t, got, src, key)
+	st := waitEngine(t, eng, "circuit breaker", func(st rijndaelip.EngineStats) bool {
+		dead := 0
+		for _, ss := range st.Shards {
+			if ss.Health == "dead" {
+				dead++
+			}
+		}
+		return dead == 2
+	})
+	if !st.Degraded || st.HealthyShards != 0 {
+		t.Errorf("dead pool not degraded: %+v", st)
+	}
+	if st.Quarantines != 2 || st.Respawns != 0 || st.RespawnFailures < 4 {
+		t.Errorf("circuit-breaker accounting off (want 2 quarantines, 0 respawns, >=4 failures): %+v", st)
+	}
+	if st.FallbackBlocks == 0 {
+		t.Error("degraded engine recorded no software-fallback blocks")
+	}
+	// Fully degraded: new traffic is served entirely by the software
+	// reference, correctly, without stalling.
+	before := eng.Stats().Blocks
+	got, err = eng.EncryptECB(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkECB(t, got, src, key)
+	st = eng.Stats()
+	if st.Blocks != before {
+		t.Errorf("dead pool still claims hardware blocks: %d -> %d", before, st.Blocks)
+	}
+	if st.FallbackBlocks < 12 {
+		t.Errorf("degraded traffic not accounted as fallback: %+v", st)
+	}
+}
+
+// TestSupervisedEngineInverseSpotCheck exercises the no-extra-hardware
+// detection policy on the combined core: a corrupted result fails the
+// decrypt(encrypt(x)) round trip, the submission is re-queued, and the
+// caller sees only correct ciphertext.
+func TestSupervisedEngineInverseSpotCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("combined-core supervised run in -short mode")
+	}
+	impl := engineImpl(t)
+	var strikeOnce sync.Once
+	eng, err := impl.NewEngine(engineKey, rijndaelip.EngineOptions{
+		Shards:   2,
+		MaxLanes: 2,
+		Supervise: &rijndaelip.SupervisorOptions{
+			Check: rijndaelip.CheckInverse,
+			Strike: func(shard int, submission uint64, sim *netlist.Simulator) {
+				if shard != 0 {
+					return
+				}
+				strikeOnce.Do(func() {
+					sim.ScheduleFlipLanes(16, 1, sim.FindFF("s2[7]"))
+				})
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	src := make([]byte, 8*16)
+	for i := range src {
+		src[i] = byte(i * 41)
+	}
+	got, err := eng.EncryptECB(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkECB(t, got, src, engineKey)
+	st := eng.Stats()
+	if st.Detections == 0 || st.Retries == 0 {
+		t.Errorf("inverse spot-check missed the upset: %+v", st)
+	}
+}
+
+// TestSupervisedEngineInverseNeedsBothVariant pins construction-time
+// validation, mirroring ResilientBlock's.
+func TestSupervisedEngineInverseNeedsBothVariant(t *testing.T) {
+	impl := supImpl(t)
+	_, err := impl.NewEngine(make([]byte, 16), rijndaelip.EngineOptions{
+		Supervise: &rijndaelip.SupervisorOptions{Check: rijndaelip.CheckInverse},
+	})
+	if err == nil {
+		t.Error("inverse check accepted on encrypt-only core")
+	}
+}
+
+// TestEngineTimeoutSentinelSurvivesBatch is the error-wrapping satellite:
+// a shard-path watchdog expiry must stay matchable with
+// errors.Is(err, bfm.ErrTimeout) through Engine.Process, the mode
+// helpers, and the EngineBlock adapter's Err.
+func TestEngineTimeoutSentinelSurvivesBatch(t *testing.T) {
+	impl := supImpl(t)
+	key := []byte("watchdog-key-000")
+	eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{
+		Shards:   2,
+		MaxLanes: 2,
+		// A watchdog far below the ~51-cycle block latency: every
+		// transaction trips it.
+		Watchdog: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	blocks := [][]byte{make([]byte, 16), make([]byte, 16), make([]byte, 16)}
+	if _, err := eng.Process(context.Background(), blocks, true); !errors.Is(err, bfm.ErrTimeout) {
+		t.Errorf("Process lost the timeout sentinel: %v", err)
+	}
+	if _, err := eng.EncryptECB(context.Background(), make([]byte, 4*16)); !errors.Is(err, bfm.ErrTimeout) {
+		t.Errorf("EncryptECB lost the timeout sentinel: %v", err)
+	}
+	blk := eng.Block()
+	dst := make([]byte, 16)
+	blk.Encrypt(dst, make([]byte, 16))
+	if err := blk.Err(); !errors.Is(err, bfm.ErrTimeout) {
+		t.Errorf("EngineBlock.Err lost the timeout sentinel: %v", err)
+	}
+	if err := blk.EncryptBlocks(make([]byte, 2*16), make([]byte, 2*16)); !errors.Is(err, bfm.ErrTimeout) {
+		t.Errorf("EncryptBlocks lost the timeout sentinel: %v", err)
+	}
+}
+
+// TestEngineCloseRacesInflightProcess is the shutdown-race satellite:
+// Close racing concurrent Process calls must leave every call settled —
+// success with bit-exact results, ErrEngineClosed, or nothing else — with
+// no stranded batch and no leaked goroutines. Run with -race.
+func TestEngineCloseRacesInflightProcess(t *testing.T) {
+	impl := supImpl(t)
+	key := []byte("close-race-key-0")
+	ref, err := rijndaelip.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	for iter := 0; iter < 3; iter++ {
+		eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{
+			Shards:     2,
+			QueueDepth: 1,
+			MaxLanes:   1, // per-block submissions keep the queues busy
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const callers = 4
+		var wg sync.WaitGroup
+		errs := make(chan error, callers)
+		start := make(chan struct{})
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				src := make([]byte, 6*16)
+				for i := range src {
+					src[i] = byte(c*63 + i)
+				}
+				<-start
+				out, err := eng.EncryptECB(context.Background(), src)
+				if err != nil {
+					if !errors.Is(err, rijndaelip.ErrEngineClosed) {
+						errs <- err
+					}
+					return
+				}
+				want, _ := modes.EncryptECB(ref, src)
+				if !bytes.Equal(out, want) {
+					errs <- errors.New("racing Process returned wrong data")
+				}
+			}(c)
+		}
+		close(start)
+		time.Sleep(time.Duration(iter) * 2 * time.Millisecond)
+		eng.Close()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+	// Every worker must have exited; tolerate unrelated runtime goroutines
+	// by polling until we are back at (or below) the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked: %d at start, %d after Close", baseline, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestResilientStatsCycles pins the Cycles-accounting satellite: the
+// cycle counter lives in ResilientStats (synchronized) and the deprecated
+// accessor agrees with it.
+func TestResilientStatsCycles(t *testing.T) {
+	impl := supImpl(t)
+	key := []byte("cycles-key-00000")
+	rb, err := impl.NewResilientBlock(key, rijndaelip.ResilientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 16)
+	rb.Encrypt(dst, make([]byte, 16))
+	rb.Encrypt(dst, make([]byte, 16))
+	st := rb.Stats()
+	if st.Cycles == 0 {
+		t.Fatal("ResilientStats.Cycles not accumulated")
+	}
+	if got := rb.Cycles(); got != st.Cycles {
+		t.Errorf("deprecated Cycles() accessor = %d, Stats().Cycles = %d", got, st.Cycles)
+	}
+}
