@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test short bench bench-smoke bench-json chaos-smoke vet race faults examples reports verify clean
+.PHONY: all test short bench bench-smoke bench-json chaos-smoke triage-smoke vet race faults examples reports verify clean
 
 all: vet test
 
@@ -24,9 +24,11 @@ bench-smoke:
 
 # Machine-readable perf trajectory: runs the engine benchmarks once and
 # writes cycles-per-block, Mbps and blocks/sec for every shards x lanes
-# point — plus the supervised engine's chaos-recovery counters
-# (detections, quarantines, respawns, fallback blocks) — to
-# BENCH_engine.json, so regressions are diffable across PRs.
+# point — plus the supervised engine's chaos-recovery and triage/scrub
+# counters (detections, transients, in-place recoveries, quarantines,
+# respawns, scrub sweeps/corrected/uncorrectable) — to BENCH_engine.json,
+# so regressions are diffable across PRs. The chaos_recovery
+# faultfree/scrub row pair is the scrub-overhead measurement.
 bench-json:
 	BENCH_JSON=BENCH_engine.json $(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes|ChaosRecovery)$$' -benchtime=1x .
 	@echo wrote BENCH_engine.json
@@ -37,6 +39,14 @@ bench-json:
 # `verify`.
 chaos-smoke:
 	$(GO) test -race -short -run '^TestChaosGate$$' -v ./internal/chaos/
+
+# The mixed-fault triage gate under the race detector: seeded transient
+# flips PLUS welded stuck-at ROM bits into the same live pool. Transients
+# must recover in place; the EDAC-masked stuck-ats must be found by the
+# background scrubber, localized to the exact ROM word, and healed by
+# quarantine + respawn; zero mismatches. Wired into `verify`.
+triage-smoke:
+	$(GO) test -race -short -run '^TestTriageGate$$' -v ./internal/chaos/
 
 vet:
 	$(GO) vet ./...
@@ -60,7 +70,7 @@ reports:
 	$(GO) run ./cmd/synthreport -sync -power -harden
 	$(GO) run ./cmd/ipcompare -ablation
 
-verify: vet race bench-smoke chaos-smoke
+verify: vet race bench-smoke chaos-smoke triage-smoke
 	$(GO) run ./cmd/verifyall -full
 
 clean:

@@ -7,6 +7,7 @@
 //	aesip -variant both -dec -key ... -in ...
 //	aesip -shards 4 -in <block>,<block>,...   # sharded engine with a throughput report
 //	aesip -chaos 50                           # live fault-injection run against a supervised engine
+//	aesip -chaos 50 -stuckat 2                # mixed run: transient flips plus welded stuck-at ROM bits
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 	chaosBlocks := flag.Int("chaos-blocks", 256, "blocks per chaos wave")
 	chaosWaves := flag.Int("chaos-waves", 4, "chaos waves (respawned shards rejoin between waves)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos traffic and strike schedule")
+	stuckAt := flag.Int("stuckat", 0, "weld one stuck-at ROM bit into each of M shards during the chaos run (EDAC-masked: only the background scrubber can find them)")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -102,7 +104,7 @@ func main() {
 	}
 
 	if *chaosRate > 0 {
-		runChaos(impl, key, *shards, *lanes, *chaosRate, *chaosBlocks, *chaosWaves, *chaosSeed)
+		runChaos(impl, key, *shards, *lanes, *chaosRate, *chaosBlocks, *chaosWaves, *stuckAt, *chaosSeed)
 		return
 	}
 
@@ -146,29 +148,46 @@ func main() {
 }
 
 // runChaos drives seeded traffic through a supervised engine while the
-// chaos injector strikes live shards, then prints the recovery report and
-// per-shard health.
-func runChaos(impl *rijndaelip.Implementation, key []byte, shards, lanes, rate, blocks, waves int, seed int64) {
+// chaos injector strikes live shards (and optionally welds stuck-at ROM
+// bits), then prints the triage report, localization log and per-shard
+// health.
+func runChaos(impl *rijndaelip.Implementation, key []byte, shards, lanes, rate, blocks, waves, stuckAt int, seed int64) {
 	rc := chaos.RunConfig{
 		Shards:   shards, // 0 takes the harness default of 4
 		MaxLanes: lanes,
 		Blocks:   blocks,
 		Waves:    waves,
 		Baseline: true,
-		Chaos:    chaos.Config{Seed: seed, Period: rate},
+		Chaos:    chaos.Config{Seed: seed, Period: rate, StuckAt: stuckAt},
 	}
-	fmt.Printf("chaos: supervised engine under live strikes (about 1 per %d submissions, seed %d)\n", rate, seed)
+	fmt.Printf("chaos: supervised engine under live strikes (about 1 per %d submissions, seed %d", rate, seed)
+	if stuckAt > 0 {
+		fmt.Printf(", %d welded stuck-at ROM bits", stuckAt)
+	}
+	fmt.Println(")")
 	rep, err := chaos.Run(context.Background(), impl, key, rc)
 	if err != nil {
 		fail("chaos: %v", err)
 	}
 	fmt.Println(rep)
+	fmt.Printf("triage: %d transients recovered in place, %d escalations, %d persistent classifications; scrub: %d sweeps, %d repaired, %d uncorrectable\n",
+		rep.Stats.Transients, rep.Stats.Escalations, rep.Stats.Persistents,
+		rep.Stats.ScrubSweeps, rep.Stats.ScrubCorrected, rep.Stats.ScrubUncorrectable)
+	for _, d := range rep.Diagnoses {
+		fmt.Printf("diagnosis: %v\n", d)
+	}
+	for _, p := range rep.Planted {
+		fmt.Printf("planted: shard %d rom %s word 0x%02x bit %d\n", p.Shard, p.ROM, p.Word, p.Bit)
+	}
 	for _, ss := range rep.Stats.Shards {
-		fmt.Printf("shard %d: %s (generation %d), %d blocks, %d detections, %d quarantines, %d respawns\n",
-			ss.Shard, ss.Health, ss.Generation, ss.Blocks, ss.Detections, ss.Quarantines, ss.Respawns)
+		fmt.Printf("shard %d: %s (generation %d), %d blocks, %d detections (%d transient), %d quarantines, %d respawns\n",
+			ss.Shard, ss.Health, ss.Generation, ss.Blocks, ss.Detections, ss.Transients, ss.Quarantines, ss.Respawns)
 	}
 	if rep.Mismatches > 0 {
 		fail("chaos: %d of %d blocks diverged from the software reference", rep.Mismatches, rep.Blocks)
+	}
+	if stuckAt > 0 && rep.Localized < len(rep.Planted) {
+		fail("chaos: only %d of %d welded stuck-at ROM bits were localized", rep.Localized, len(rep.Planted))
 	}
 	fmt.Printf("all %d blocks bit-exact against the FIPS-197 reference\n", rep.Blocks)
 }

@@ -8,14 +8,22 @@
 //
 // The campaign is seeded: identical flags reproduce identical fault lists,
 // so coverage numbers are comparable across configurations and runs.
+//
+// The plain configuration additionally classifies every fault as recovered
+// or persistent through the triage retry (the same strike-free re-run the
+// engine supervisor uses in place), and a rom-stuck row welds EDAC-masked
+// stuck-at bits into the S-box ROMs — the fault class only the background
+// scrubber can find.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"rijndaelip"
+	"rijndaelip/internal/edac"
 	"rijndaelip/internal/faultcampaign"
 	"rijndaelip/internal/netlist"
 	"rijndaelip/internal/report"
@@ -28,6 +36,7 @@ func main() {
 	device := flag.String("device", "all", "device to sweep: all, acex, cyclone")
 	exhaustive := flag.Bool("exhaustive", false, "sweep every (flip-flop x cycle) fault instead of sampling")
 	watchdog := flag.Int("watchdog", 0, "watchdog budget in cycles (0 = driver default)")
+	romStuck := flag.Int("romstuck", 4, "welded stuck-at ROM bits per device for the rom-stuck row (0 disables)")
 	flag.Parse()
 
 	type target struct {
@@ -64,12 +73,17 @@ func main() {
 			MultiBit: *multibit,
 			Watchdog: *watchdog,
 		}
+		// The plain row carries the transient-vs-persistent breakdown:
+		// classification re-runs each struck transaction once, exactly like
+		// the engine supervisor's in-place retry.
+		plainCfg := with(base, impl.Netlist.Raw(), false)
+		plainCfg.ClassifyPersistence = true
 		configs := []struct {
 			name     string
 			cfg      faultcampaign.Config
 			lcs, ffs int
 		}{
-			{"plain", with(base, impl.Netlist.Raw(), false), impl.Fit.LogicCells, impl.Netlist.FFs},
+			{"plain", plainCfg, impl.Fit.LogicCells, impl.Netlist.FFs},
 			{"tmr", with(base, hard.Netlist, false), hard.Fit.LogicCells, len(hard.Netlist.FFs)},
 			// Lockstep duplicates the whole core plus the output
 			// comparator; 2x the plain fit is the area floor.
@@ -81,15 +95,24 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("%-8s %-9s %v\n", tg.name, c.name+":", res)
-			rows = append(rows, report.FaultRow{
-				Config: c.name, Device: tg.name,
-				LogicCells: c.lcs, FFs: c.ffs,
-				Trials:    len(res.Trials),
-				Masked:    res.Count(faultcampaign.SilentCorrect),
-				Detected:  res.Count(faultcampaign.Detected),
-				Corrupted: res.Count(faultcampaign.Corrupted),
-				Hung:      res.Count(faultcampaign.Hung),
-			})
+			rows = append(rows, faultRow(c.name, tg.name, c.lcs, c.ffs, res))
+		}
+		if *romStuck > 0 {
+			faults, err := stuckFaults(impl.Netlist.Raw(), *seed, *romStuck)
+			if err != nil {
+				fatal(err)
+			}
+			if faults == nil {
+				// Logic-mapped S-boxes (Cyclone): no ROM storage to weld.
+				fmt.Printf("%-8s %-9s no ROM storage (S-boxes in logic cells), row skipped\n", tg.name, "rom-stuck:")
+				continue
+			}
+			res, err := faultcampaign.RunStuckAt(with(base, impl.Netlist.Raw(), false), faults)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-8s %-9s %v\n", tg.name, "rom-stuck:", res)
+			rows = append(rows, faultRow("rom-stuck", tg.name, impl.Fit.LogicCells, impl.Netlist.FFs, res))
 		}
 	}
 
@@ -115,6 +138,50 @@ func with(base faultcampaign.Config, nl *netlist.Netlist, lockstep bool) faultca
 	base.Netlist = nl
 	base.Lockstep = lockstep
 	return base
+}
+
+func faultRow(config, device string, lcs, ffs int, res *faultcampaign.Result) report.FaultRow {
+	return report.FaultRow{
+		Config: config, Device: device,
+		LogicCells: lcs, FFs: ffs,
+		Trials:     len(res.Trials),
+		Masked:     res.Count(faultcampaign.SilentCorrect),
+		Detected:   res.Count(faultcampaign.Detected),
+		Corrupted:  res.Count(faultcampaign.Corrupted),
+		Hung:       res.Count(faultcampaign.Hung),
+		Classified: res.Classified,
+		Recovered:  res.Recovered,
+		Persistent: res.Persistent,
+	}
+}
+
+// stuckFaults derives a seeded list of distinct welded ROM bits for the
+// rom-stuck campaign row. Returns nil when the netlist maps its S-boxes
+// to logic and has no ROM storage to weld.
+func stuckFaults(nl *netlist.Netlist, seed int64, n int) ([]faultcampaign.ROMFault, error) {
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		return nil, err
+	}
+	if sim.NumROMs() == 0 {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[faultcampaign.ROMFault]bool{}
+	var faults []faultcampaign.ROMFault
+	for len(faults) < n {
+		f := faultcampaign.ROMFault{
+			ROM:  rng.Intn(sim.NumROMs()),
+			Word: rng.Intn(edac.Words),
+			Bit:  rng.Intn(edac.CodeBits),
+		}
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		faults = append(faults, f)
+	}
+	return faults, nil
 }
 
 func campaign(cfg faultcampaign.Config, exhaustive bool) (*faultcampaign.Result, error) {

@@ -9,6 +9,7 @@ import (
 
 	"rijndaelip/internal/aes"
 	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/edac"
 	"rijndaelip/internal/faultcampaign"
 	"rijndaelip/internal/modes"
 	"rijndaelip/internal/netlist"
@@ -72,6 +73,19 @@ type Engine struct {
 	respawns        atomic.Uint64
 	respawnFailures atomic.Uint64
 	fallbackBlocks  atomic.Uint64
+
+	// Triage and memory-integrity counters (see EngineStats).
+	transients         atomic.Uint64
+	persistents        atomic.Uint64
+	inPlaceRecoveries  atomic.Uint64
+	escalations        atomic.Uint64
+	scrubSweeps        atomic.Uint64
+	scrubCorrected     atomic.Uint64
+	scrubUncorrectable atomic.Uint64
+
+	// diagnoses is the persistent-fault localization log (see Diagnoses).
+	diagMu    sync.Mutex
+	diagnoses []Diagnosis
 }
 
 // EngineOptions tunes the shard pool.
@@ -121,6 +135,22 @@ type engineShard struct {
 	sim   *netlist.Simulator            // primary mapped simulation (supervised only)
 	lock  *faultcampaign.VectorLockstep // shadow comparator (CheckLockstep only)
 
+	// runMu serializes transaction execution (worker) with replacement
+	// driver installation (respawner): a scrubber-initiated quarantine can
+	// start a respawn while the worker is still mid-transaction, and the
+	// two must not race on drv/sim/lock/transientLog.
+	runMu sync.Mutex
+
+	// stores publishes the primary simulation's EDAC ROM stores (type
+	// []*edac.ROM) to the background scrubber, which runs on its own
+	// goroutine and must not read the drv/sim fields.
+	stores atomic.Value
+
+	// transientLog holds the submission ordinals of this incarnation's
+	// transient classifications (the sliding-window error budget). Touched
+	// only under runMu; reset by respawn.
+	transientLog []uint64
+
 	q           chan *engineJob
 	blocks      atomic.Uint64
 	cycles      atomic.Uint64
@@ -130,6 +160,50 @@ type engineShard struct {
 	detections  atomic.Uint64
 	quarantines atomic.Uint64
 	respawns    atomic.Uint64
+
+	// Triage and scrub counters (per-shard shares of the engine totals),
+	// plus the EDAC read counters folded from retired store generations.
+	transients           atomic.Uint64
+	persistents          atomic.Uint64
+	inPlace              atomic.Uint64
+	scrubSweeps          atomic.Uint64
+	scrubCorrected       atomic.Uint64
+	scrubUncorrectable   atomic.Uint64
+	romCorrectedBase     atomic.Uint64
+	romUncorrectableBase atomic.Uint64
+}
+
+// publishStores exposes the primary sim's EDAC stores to the scrubber.
+func (s *engineShard) publishStores() {
+	if s.sim != nil {
+		s.stores.Store(s.sim.ROMStores())
+	}
+}
+
+// foldROMStats accumulates the retiring stores' EDAC read counters into
+// the shard's base counters before a respawn replaces them, so the
+// per-shard totals survive generation changes.
+func (s *engineShard) foldROMStats() {
+	stores, _ := s.stores.Load().([]*edac.ROM)
+	for _, r := range stores {
+		st := r.Stats()
+		s.romCorrectedBase.Add(st.CorrectedReads)
+		s.romUncorrectableBase.Add(st.UncorrectableReads)
+	}
+}
+
+// romReadStats returns the shard's lifetime EDAC read counters: the folded
+// base plus the live stores' counts.
+func (s *engineShard) romReadStats() (corrected, uncorrectable uint64) {
+	corrected = s.romCorrectedBase.Load()
+	uncorrectable = s.romUncorrectableBase.Load()
+	stores, _ := s.stores.Load().([]*edac.ROM)
+	for _, r := range stores {
+		st := r.Stats()
+		corrected += st.CorrectedReads
+		uncorrectable += st.UncorrectableReads
+	}
+	return corrected, uncorrectable
 }
 
 // engineJob is one lane-packed submission: n consecutive 16-byte blocks
@@ -217,11 +291,18 @@ func (im *Implementation) NewEngine(key []byte, opts EngineOptions) (*Engine, er
 			return nil, fmt.Errorf("rijndaelip: engine shard %d: %w", i, err)
 		}
 		s.gen.Store(1)
+		s.publishStores()
 		e.shards = append(e.shards, s)
 	}
 	for _, s := range e.shards {
 		e.wg.Add(1)
 		go e.worker(s)
+	}
+	if sup != nil && sup.ScrubInterval > 0 {
+		for _, s := range e.shards {
+			e.wg.Add(1)
+			go e.scrubber(s)
+		}
 	}
 	return e, nil
 }
@@ -645,6 +726,21 @@ type ShardStats struct {
 	Detections  uint64
 	Quarantines uint64
 	Respawns    uint64
+	// Triage classification shares: Transients (detections recovered in
+	// place, within budget), Persistents (classifications that
+	// quarantined this shard, escalations included), InPlaceRecoveries
+	// (successful strike-free retries, whether or not the budget then
+	// escalated).
+	Transients        uint64
+	Persistents       uint64
+	InPlaceRecoveries uint64
+	// Scrub and EDAC shares: words repaired / found hard by this shard's
+	// scrubber and diagnosis sweeps, and EDAC read-path correction events
+	// across all of the shard's driver generations.
+	ScrubCorrected        uint64
+	ScrubUncorrectable    uint64
+	ROMCorrectedReads     uint64
+	ROMUncorrectableReads uint64
 }
 
 // EngineStats aggregates the pool.
@@ -687,6 +783,35 @@ type EngineStats struct {
 	Respawns        uint64
 	RespawnFailures uint64
 	FallbackBlocks  uint64
+
+	// Triage counters (all zero without supervision).
+	//
+	// Every detection is classified: Transients recovered with one
+	// in-place retry and stayed within the shard's error budget (no
+	// quarantine); Persistents quarantined the shard — repeat failures,
+	// ROM damage found by triage or the scrubber, and budget Escalations
+	// all count here. InPlaceRecoveries counts successful strike-free
+	// retries (a budget escalation still recovered its data in place, so
+	// InPlaceRecoveries >= Transients). Detections may exceed
+	// Transients+Persistents only transiently (classification in flight).
+	Transients        uint64
+	Persistents       uint64
+	InPlaceRecoveries uint64
+	Escalations       uint64
+	// Memory-integrity counters. ScrubSweeps counts completed full passes
+	// over a shard's ROM stores; ScrubCorrected counts words whose
+	// correctable error a sweep rewrote successfully (SEUs flushed);
+	// ScrubUncorrectable counts words a sweep could not repair (stuck bit
+	// or multi-bit damage — each such find quarantines its shard).
+	// ROMCorrectedReads / ROMUncorrectableReads count EDAC read-path
+	// events: transactions that touched a faulty word and got corrected
+	// (or raw, for multi-bit) data.
+	ScrubSweeps           uint64
+	ScrubCorrected        uint64
+	ScrubUncorrectable    uint64
+	ROMCorrectedReads     uint64
+	ROMUncorrectableReads uint64
+
 	// HealthyShards is how many shards were healthy at snapshot time;
 	// Degraded reports that none were — the engine is serving every block
 	// from the software reference until a respawn lands.
@@ -698,13 +823,20 @@ type EngineStats struct {
 // blocks are in flight.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
-		Shards:          make([]ShardStats, len(e.shards)),
-		Detections:      e.detections.Load(),
-		Retries:         e.retries.Load(),
-		Quarantines:     e.quarantines.Load(),
-		Respawns:        e.respawns.Load(),
-		RespawnFailures: e.respawnFailures.Load(),
-		FallbackBlocks:  e.fallbackBlocks.Load(),
+		Shards:             make([]ShardStats, len(e.shards)),
+		Detections:         e.detections.Load(),
+		Retries:            e.retries.Load(),
+		Quarantines:        e.quarantines.Load(),
+		Respawns:           e.respawns.Load(),
+		RespawnFailures:    e.respawnFailures.Load(),
+		FallbackBlocks:     e.fallbackBlocks.Load(),
+		Transients:         e.transients.Load(),
+		Persistents:        e.persistents.Load(),
+		InPlaceRecoveries:  e.inPlaceRecoveries.Load(),
+		Escalations:        e.escalations.Load(),
+		ScrubSweeps:        e.scrubSweeps.Load(),
+		ScrubCorrected:     e.scrubCorrected.Load(),
+		ScrubUncorrectable: e.scrubUncorrectable.Load(),
 	}
 	for i, s := range e.shards {
 		state := s.state.Load()
@@ -721,7 +853,16 @@ func (e *Engine) Stats() EngineStats {
 			Detections:  s.detections.Load(),
 			Quarantines: s.quarantines.Load(),
 			Respawns:    s.respawns.Load(),
+
+			Transients:         s.transients.Load(),
+			Persistents:        s.persistents.Load(),
+			InPlaceRecoveries:  s.inPlace.Load(),
+			ScrubCorrected:     s.scrubCorrected.Load(),
+			ScrubUncorrectable: s.scrubUncorrectable.Load(),
 		}
+		ss.ROMCorrectedReads, ss.ROMUncorrectableReads = s.romReadStats()
+		st.ROMCorrectedReads += ss.ROMCorrectedReads
+		st.ROMUncorrectableReads += ss.ROMUncorrectableReads
 		if ss.Blocks > 0 {
 			ss.CyclesPerBlock = float64(ss.Cycles) / float64(ss.Blocks)
 		}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"rijndaelip"
 	"rijndaelip/internal/chaos"
@@ -44,6 +45,15 @@ type benchRow struct {
 	Respawns        uint64 `json:"respawns,omitempty"`
 	RespawnFailures uint64 `json:"respawn_failures,omitempty"`
 	FallbackBlocks  uint64 `json:"fallback_blocks,omitempty"`
+
+	// Triage and ROM-integrity counters (supervised runs only).
+	Transients         uint64 `json:"transients,omitempty"`
+	Persistents        uint64 `json:"persistents,omitempty"`
+	InPlaceRecoveries  uint64 `json:"in_place_recoveries,omitempty"`
+	Escalations        uint64 `json:"escalations,omitempty"`
+	ScrubSweeps        uint64 `json:"scrub_sweeps,omitempty"`
+	ScrubCorrected     uint64 `json:"scrub_corrected,omitempty"`
+	ScrubUncorrectable uint64 `json:"scrub_uncorrectable,omitempty"`
 }
 
 // benchRows accumulates samples across benchmarks; TestMain flushes them
@@ -94,6 +104,14 @@ func benchReport(b *testing.B, eng *rijndaelip.Engine, bench, mode string, shard
 		Respawns:        st.Respawns,
 		RespawnFailures: st.RespawnFailures,
 		FallbackBlocks:  st.FallbackBlocks,
+
+		Transients:         st.Transients,
+		Persistents:        st.Persistents,
+		InPlaceRecoveries:  st.InPlaceRecoveries,
+		Escalations:        st.Escalations,
+		ScrubSweeps:        st.ScrubSweeps,
+		ScrubCorrected:     st.ScrubCorrected,
+		ScrubUncorrectable: st.ScrubUncorrectable,
 	})
 	return &benchRows[len(benchRows)-1]
 }
@@ -172,11 +190,13 @@ func BenchmarkVectorLanes(b *testing.B) {
 
 // BenchmarkChaosRecovery measures the supervised engine's throughput with
 // the recovery machinery live: sub-benchmark "faultfree" is a supervised
-// 4-shard pool with no strikes (the cost of lockstep supervision itself),
-// and "chaos" adds seeded strikes about once per 5 submissions, so the
-// row pair in BENCH_engine.json tracks the recovery tax (detection →
-// re-queue → quarantine → hot-respawn) across PRs, alongside the
-// detections/quarantines/respawns counters.
+// 4-shard pool with no strikes and no scrubber (the cost of lockstep
+// supervision itself), "scrub" adds an aggressive background ROM scrubber
+// to the strike-free pool (the faultfree/scrub pair is the EXPERIMENTS.md
+// scrub-overhead measurement), and "chaos" adds seeded strikes about once
+// per 5 submissions, so the rows in BENCH_engine.json track the recovery
+// tax (detection → triage retry → quarantine → hot-respawn) across PRs,
+// alongside the detections/triage/scrub counters.
 func BenchmarkChaosRecovery(b *testing.B) {
 	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
 	if err != nil {
@@ -187,15 +207,24 @@ func BenchmarkChaosRecovery(b *testing.B) {
 	for i := range msg {
 		msg[i] = byte(i * 7)
 	}
-	for _, strikes := range []bool{false, true} {
-		name := "faultfree"
-		if strikes {
-			name = "chaos"
-		}
-		b.Run(name, func(b *testing.B) {
-			sup := &rijndaelip.SupervisorOptions{Check: rijndaelip.CheckLockstep}
+	cases := []struct {
+		name    string
+		strikes bool
+		scrub   time.Duration
+	}{
+		{"faultfree", false, -1},
+		{"scrub", false, 100 * time.Microsecond},
+		{"chaos", true, -1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			sup := &rijndaelip.SupervisorOptions{
+				Check:         rijndaelip.CheckLockstep,
+				ScrubInterval: tc.scrub,
+			}
 			var inj *chaos.Injector
-			if strikes {
+			if tc.strikes {
 				inj = chaos.NewInjector(chaos.Config{Seed: 42, Period: 5}, impl.Core.BlockLatency)
 				sup.Strike = inj.Strike
 			}
@@ -215,7 +244,7 @@ func BenchmarkChaosRecovery(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			row := benchReport(b, eng, "chaos_recovery", name, 4, 8)
+			row := benchReport(b, eng, "chaos_recovery", tc.name, 4, 8)
 			if inj != nil {
 				row.Strikes = inj.Strikes()
 				b.ReportMetric(float64(row.Strikes)/float64(b.N), "strikes/op")

@@ -15,7 +15,11 @@ import (
 // Sim is the simulator surface the driver needs. Both the RTL-level
 // simulator (rtl.Simulator) and the post-synthesis netlist simulator
 // (netlist.Simulator) satisfy it, so the same bus-functional model signs
-// off the design before and after technology mapping.
+// off the design before and after technology mapping. In both
+// implementations the S-box ROM reads behind this surface go through
+// per-simulator EDAC stores (internal/edac): a single-bit ROM storage
+// error is corrected transparently, so the driver sees golden data until
+// damage exceeds what the code covers.
 type Sim interface {
 	Reset()
 	SetInput(name string, value uint64) error

@@ -4,9 +4,15 @@
 // random flip-flops of *live* shards mid-traffic — through the
 // supervisor's Strike hook and netlist.Simulator.ScheduleFlipLanes — and
 // holds the engine to the production bar throughout: every returned block
-// bit-exact against the software reference, no stalls, and the recovery
-// ladder (quarantine → hot-respawn → software fallback) visibly doing its
+// bit-exact against the software reference, no stalls, and the triage
+// state machine (in-place retry for transients, localization + quarantine
+// → hot-respawn → software fallback for persistents) visibly doing its
 // job in the stats.
+//
+// Beyond transient flips, the injector can weld stuck-at ROM bits into
+// live shards (Config.StuckAt). A single stuck bit is corrected by the
+// EDAC code on every read, so no output check can ever fire for it — the
+// run then gates on the background scrubber finding and localizing it.
 //
 // Everything is seeded: the traffic, the strike schedule and the struck
 // flip-flops all derive from Config.Seed, so a failing run reproduces.
@@ -22,6 +28,7 @@ import (
 
 	"rijndaelip"
 	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/edac"
 	"rijndaelip/internal/netlist"
 )
 
@@ -36,6 +43,22 @@ type Config struct {
 	// MultiBit is how many distinct flip-flops each upset strikes
 	// (default 1).
 	MultiBit int
+	// StuckAt welds one stuck-at ROM bit into each of the first StuckAt
+	// shards, once that shard has traffic flowing (its second submission).
+	// The welded bit is EDAC-masked — every read is corrected, outputs
+	// stay bit-exact — so only the background scrubber can find it; the
+	// triage gate asserts it does, word-accurately. Respawned shards are
+	// not re-struck.
+	StuckAt int
+}
+
+// Planted records one stuck-at ROM bit the injector welded into a live
+// shard, for matching against the engine's Diagnosis log.
+type Planted struct {
+	Shard int
+	ROM   string
+	Word  int
+	Bit   int
 }
 
 // Injector turns a Config into a SupervisorOptions.Strike hook. Strikes
@@ -52,6 +75,11 @@ type Injector struct {
 	// arming, i.e. inside the block latency of the transaction.
 	window  int
 	strikes uint64
+	// stuckAt / stuck / planted drive the stuck-at ROM planting: one weld
+	// per shard id below stuckAt, recorded for localization matching.
+	stuckAt int
+	stuck   map[int]bool
+	planted []Planted
 }
 
 // NewInjector builds an injector; window is the transaction's cycle count
@@ -73,14 +101,27 @@ func NewInjector(cfg Config, window int) *Injector {
 		period:   float64(period),
 		multiBit: multi,
 		window:   window,
+		stuckAt:  cfg.StuckAt,
+		stuck:    make(map[int]bool),
 	}
 }
 
 // Strike is the SupervisorOptions.Strike hook: with probability 1/Period
-// it arms one upset on the submitting shard.
+// it arms one transient upset on the submitting shard, and (once per
+// shard below Config.StuckAt) welds one stuck-at ROM bit.
 func (in *Injector) Strike(shard int, submission uint64, sim *netlist.Simulator) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if shard < in.stuckAt && !in.stuck[shard] && submission >= 2 && sim.NumROMs() > 0 {
+		in.stuck[shard] = true
+		ri := in.rng.Intn(sim.NumROMs())
+		word := in.rng.Intn(edac.Words)
+		bit := in.rng.Intn(edac.CodeBits)
+		sim.StickROMBit(ri, word, bit, !sim.ROMStore(ri).CodewordBit(word, bit))
+		in.planted = append(in.planted, Planted{
+			Shard: shard, ROM: sim.ROMName(ri), Word: word, Bit: bit,
+		})
+	}
 	if in.rng.Float64()*in.period >= 1 {
 		return
 	}
@@ -102,11 +143,18 @@ func (in *Injector) Strike(shard int, submission uint64, sim *netlist.Simulator)
 	in.strikes++
 }
 
-// Strikes returns how many upsets have been armed so far.
+// Strikes returns how many transient upsets have been armed so far.
 func (in *Injector) Strikes() uint64 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.strikes
+}
+
+// Planted returns the stuck-at ROM faults welded so far.
+func (in *Injector) Planted() []Planted {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Planted(nil), in.planted...)
 }
 
 // RunConfig describes one harness run.
@@ -131,6 +179,13 @@ type RunConfig struct {
 	RetryBudget        int
 	RespawnBackoff     int // milliseconds; 0 keeps the 1ms default
 	MaxRespawnFailures int
+	// Triage and scrubber knobs passed through (zero values take the
+	// supervisor's defaults; the triage gate shortens ScrubInterval so
+	// planted stuck-ats are found within the run).
+	TransientBudget int
+	TransientWindow int
+	ScrubInterval   time.Duration
+	ScrubWords      int
 	// Baseline also runs an identically configured, strike-free engine
 	// over the same traffic and records its cycles/block, so recovery
 	// overhead is measurable.
@@ -146,8 +201,15 @@ type Report struct {
 	// is a harness failure.
 	Blocks     int
 	Mismatches int
-	// Strikes is how many upsets the injector armed.
+	// Strikes is how many transient upsets the injector armed.
 	Strikes uint64
+	// Planted lists the stuck-at ROM bits the injector welded; Localized
+	// is how many of them the engine's triage/scrubber matched with a
+	// word-accurate ROM diagnosis (gate: Localized == len(Planted)).
+	Planted   []Planted
+	Localized int
+	// Diagnoses is the engine's persistent-fault localization log.
+	Diagnoses []rijndaelip.Diagnosis
 	// Stats is the chaos engine's final counter snapshot.
 	Stats rijndaelip.EngineStats
 	// CyclesPerBlock is the chaos engine's aggregate rate;
@@ -167,11 +229,15 @@ func (r *Report) Overhead() float64 {
 }
 
 func (r *Report) String() string {
-	s := fmt.Sprintf("chaos: %d blocks, %d strikes, %d mismatches; %d detections, %d retries, %d quarantines, %d respawns (%d failed), %d fallback blocks; %.2f cycles/block",
+	s := fmt.Sprintf("chaos: %d blocks, %d strikes, %d mismatches; %d detections (%d transient, %d escalated), %d retries, %d quarantines, %d respawns (%d failed), %d fallback blocks; %.2f cycles/block",
 		r.Blocks, r.Strikes, r.Mismatches,
-		r.Stats.Detections, r.Stats.Retries, r.Stats.Quarantines,
+		r.Stats.Detections, r.Stats.Transients, r.Stats.Escalations,
+		r.Stats.Retries, r.Stats.Quarantines,
 		r.Stats.Respawns, r.Stats.RespawnFailures, r.Stats.FallbackBlocks,
 		r.CyclesPerBlock)
+	if len(r.Planted) > 0 {
+		s += fmt.Sprintf("; %d/%d stuck-at ROM bits localized", r.Localized, len(r.Planted))
+	}
 	if r.BaselineCyclesPerBlock > 0 {
 		s += fmt.Sprintf(" (fault-free %.2f, overhead %.2fx)", r.BaselineCyclesPerBlock, r.Overhead())
 	}
@@ -183,6 +249,35 @@ func settle(eng *rijndaelip.Engine, shards int) {
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		if eng.Stats().HealthyShards == shards {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// localized counts planted stuck-ats matched by a word-accurate ROM
+// diagnosis (same shard, same store, same word).
+func localized(planted []Planted, diags []rijndaelip.Diagnosis) int {
+	n := 0
+	for _, p := range planted {
+		for _, d := range diags {
+			if d.Cause == rijndaelip.CauseROM && d.Shard == p.Shard && d.ROM == p.ROM && d.Word == p.Word {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// settleLocalized waits (bounded) for the background scrubber to localize
+// every planted stuck-at and for the pool to heal — welded bits are
+// EDAC-masked, so no amount of traffic forces the issue; only scrub time
+// does.
+func settleLocalized(eng *rijndaelip.Engine, shards int, planted []Planted) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if localized(planted, eng.Diagnoses()) == len(planted) && eng.Stats().HealthyShards == shards {
 			return
 		}
 		time.Sleep(time.Millisecond)
@@ -215,6 +310,10 @@ func Run(ctx context.Context, impl *rijndaelip.Implementation, key []byte, rc Ru
 		Check:              check,
 		RetryBudget:        rc.RetryBudget,
 		MaxRespawnFailures: rc.MaxRespawnFailures,
+		TransientBudget:    rc.TransientBudget,
+		TransientWindow:    rc.TransientWindow,
+		ScrubInterval:      rc.ScrubInterval,
+		ScrubWords:         rc.ScrubWords,
 		Strike:             inj.Strike,
 	}
 	if rc.RespawnBackoff > 0 {
@@ -260,8 +359,14 @@ func Run(ctx context.Context, impl *rijndaelip.Implementation, key []byte, rc Ru
 		// so a full pool is the steady state the counters should reflect.
 		settle(eng, rc.Shards)
 	}
+	rep.Planted = inj.Planted()
+	if len(rep.Planted) > 0 {
+		settleLocalized(eng, rc.Shards, rep.Planted)
+	}
 	rep.Strikes = inj.Strikes()
 	rep.Stats = eng.Stats()
+	rep.Diagnoses = eng.Diagnoses()
+	rep.Localized = localized(rep.Planted, rep.Diagnoses)
 	rep.CyclesPerBlock = rep.Stats.AggregateCyclesPerBlock
 
 	if rc.Baseline {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"rijndaelip"
 )
@@ -25,11 +26,15 @@ func chaosImpl(t *testing.T) *rijndaelip.Implementation {
 	return implVal
 }
 
-// TestChaosGate is the acceptance gate for the recovery layer: seeded
-// strikes at better than one flip per 50 submissions into a live 4-shard
-// engine, with every returned block bit-exact against the software
-// reference, at least one shard quarantined and respawned, and aggregate
-// throughput within 25% of an identically configured fault-free engine.
+// TestChaosGate is the acceptance gate for the recovery layer under pure
+// transient chaos: seeded strikes at better than one flip per 50
+// submissions into a live 4-shard engine, with every returned block
+// bit-exact against the software reference. Under triage, transient
+// upsets must be absorbed by the in-place retry — detections recover
+// without walking the quarantine ladder (quarantines happen only via
+// error-budget escalation, and every one must be healed by a respawn) —
+// and aggregate throughput stays within 25% of an identically configured
+// fault-free engine.
 func TestChaosGate(t *testing.T) {
 	impl := chaosImpl(t)
 	rc := RunConfig{
@@ -55,11 +60,23 @@ func TestChaosGate(t *testing.T) {
 	if rep.Mismatches != 0 {
 		t.Errorf("%d of %d blocks diverged from the software reference", rep.Mismatches, rep.Blocks)
 	}
-	if rep.Stats.Quarantines == 0 {
-		t.Error("no shard was quarantined despite live strikes")
+	if rep.Stats.Detections == 0 {
+		t.Error("no strike was detected despite live upsets")
 	}
-	if rep.Stats.Respawns == 0 {
-		t.Error("no quarantined shard was hot-respawned")
+	if rep.Stats.InPlaceRecoveries == 0 {
+		t.Error("triage never recovered a transient in place")
+	}
+	if rep.Stats.InPlaceRecoveries < rep.Stats.Transients {
+		t.Errorf("accounting: %d in-place recoveries < %d transients", rep.Stats.InPlaceRecoveries, rep.Stats.Transients)
+	}
+	// Quarantines under pure transient chaos come only from error-budget
+	// escalation, and every one must have healed (settle waits for a full
+	// pool).
+	if rep.Stats.Quarantines != rep.Stats.Escalations {
+		t.Errorf("%d quarantines vs %d escalations under pure transients", rep.Stats.Quarantines, rep.Stats.Escalations)
+	}
+	if rep.Stats.Respawns != rep.Stats.Quarantines {
+		t.Errorf("%d quarantines but %d respawns: a shard did not heal", rep.Stats.Quarantines, rep.Stats.Respawns)
 	}
 	if rep.Stats.RespawnFailures != 0 {
 		t.Errorf("respawns failed %d times with healthy hardware", rep.Stats.RespawnFailures)
@@ -67,6 +84,59 @@ func TestChaosGate(t *testing.T) {
 	if ov := rep.Overhead(); ov > 1.25 {
 		t.Errorf("recovery overhead %.2fx exceeds the 1.25x budget (chaos %.2f vs fault-free %.2f cycles/block)",
 			ov, rep.CyclesPerBlock, rep.BaselineCyclesPerBlock)
+	}
+}
+
+// TestTriageGate is the ISSUE's mixed-fault acceptance gate: transient
+// flips AND welded stuck-at ROM bits into the same live pool. Every
+// transient must recover in place; every stuck-at — invisible to output
+// checks, because the EDAC code corrects it on each read — must be found
+// by the background scrubber, localized to the exact ROM word, and healed
+// by quarantine + respawn; and not a single block may diverge from the
+// software reference.
+func TestTriageGate(t *testing.T) {
+	impl := chaosImpl(t)
+	rc := RunConfig{
+		Shards:        4,
+		MaxLanes:      4,
+		Blocks:        192,
+		Waves:         3,
+		ScrubInterval: 100 * time.Microsecond,
+		ScrubWords:    512,
+		Chaos:         Config{Seed: 9, Period: 25, StuckAt: 2},
+	}
+	if testing.Short() {
+		rc.Blocks, rc.Waves = 96, 2
+	}
+	rep, err := Run(context.Background(), impl, []byte("triage-gate-key0"), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Strikes == 0 {
+		t.Fatal("injector armed no transient strikes")
+	}
+	if len(rep.Planted) != rc.Chaos.StuckAt {
+		t.Fatalf("planted %d stuck-ats, want %d", len(rep.Planted), rc.Chaos.StuckAt)
+	}
+	if rep.Mismatches != 0 {
+		t.Errorf("%d of %d blocks diverged from the software reference", rep.Mismatches, rep.Blocks)
+	}
+	if rep.Stats.Transients == 0 || rep.Stats.InPlaceRecoveries < rep.Stats.Transients {
+		t.Errorf("transient triage accounting off: %+v", rep.Stats)
+	}
+	if rep.Localized != len(rep.Planted) {
+		t.Errorf("scrubber localized %d of %d welded ROM bits: planted %v, diagnosed %v",
+			rep.Localized, len(rep.Planted), rep.Planted, rep.Diagnoses)
+	}
+	if rep.Stats.ScrubUncorrectable < uint64(len(rep.Planted)) {
+		t.Errorf("scrub counters missed the welded bits: %+v", rep.Stats)
+	}
+	if rep.Stats.Quarantines > rep.Stats.Persistents {
+		t.Errorf("%d quarantines exceed %d persistent classifications", rep.Stats.Quarantines, rep.Stats.Persistents)
+	}
+	if rep.Stats.HealthyShards != rc.Shards {
+		t.Errorf("pool did not heal: %d/%d shards healthy", rep.Stats.HealthyShards, rc.Shards)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"rijndaelip/internal/aes"
 	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/edac"
 	"rijndaelip/internal/netlist"
 	"rijndaelip/internal/rijndael"
 )
@@ -66,6 +67,15 @@ type Fault struct {
 	FFs   []int
 }
 
+// ROMFault is one stuck-at ROM injection for RunStuckAt: bit Bit of the
+// EDAC codeword of word Word in ROM store ROM is welded to the inverse of
+// its stored value.
+type ROMFault struct {
+	ROM  int
+	Word int
+	Bit  int
+}
+
 // Config describes a campaign.
 type Config struct {
 	// Netlist is the mapped device under test; Core supplies its Table 1
@@ -95,6 +105,17 @@ type Config struct {
 	Lockstep      bool
 	AssertLatency bool
 	Watchdog      int
+
+	// ClassifyPersistence arms the transient-vs-persistent breakdown:
+	// after each trial group is classified, the same transaction is re-run
+	// once with no new faults and the ROM stores are swept by a scrub
+	// rewrite. A trial whose retry output is wrong or hung — or whose ROM
+	// damage survives the scrub — is Persistent (the device stays sick and
+	// needs repair); every other trial Recovered (the upset washed out, or
+	// never had an effect to begin with). This mirrors the engine
+	// supervisor's triage retry, so campaign numbers predict how often
+	// triage will save a shard from quarantine.
+	ClassifyPersistence bool
 }
 
 // Trial is one classified injection.
@@ -104,6 +125,14 @@ type Trial struct {
 	// Err holds the driver's error for Detected/Hung outcomes (wraps
 	// bfm.ErrTimeout or bfm.ErrLatency).
 	Err error
+	// ROM identifies the stuck-at injection for RunStuckAt trials (nil for
+	// flip-flop campaigns; Fault is then the zero value).
+	ROM *ROMFault
+	// Persistent is the triage verdict when Config.ClassifyPersistence is
+	// set: the strike-free retry came back wrong or hung, or the ROM
+	// damage survived a scrub rewrite. False otherwise (and always false
+	// when the breakdown is not armed).
+	Persistent bool
 }
 
 // Result aggregates a campaign.
@@ -113,6 +142,11 @@ type Result struct {
 	// FFs and Cycles bound the swept (flip-flop × cycle) space.
 	FFs    int
 	Cycles int
+	// Classified reports whether the transient-vs-persistent breakdown
+	// ran; Recovered + Persistent then partition the trials.
+	Classified bool
+	Recovered  int
+	Persistent int
 }
 
 // Count returns how many trials landed in the class.
@@ -141,10 +175,14 @@ func (r *Result) Coverage() float64 {
 }
 
 func (r *Result) String() string {
-	return fmt.Sprintf("%d trials over %d FFs x %d cycles: %d silent-correct, %d detected, %d corrupted, %d hung (coverage %.1f%%)",
+	s := fmt.Sprintf("%d trials over %d FFs x %d cycles: %d silent-correct, %d detected, %d corrupted, %d hung (coverage %.1f%%)",
 		len(r.Trials), r.FFs, r.Cycles,
 		r.Counts[SilentCorrect], r.Counts[Detected], r.Counts[Corrupted], r.Counts[Hung],
 		100*r.Coverage())
+	if r.Classified {
+		s += fmt.Sprintf("; %d recovered, %d persistent", r.Recovered, r.Persistent)
+	}
+	return s
 }
 
 // fips197Key / fips197Plaintext are the Appendix B example vector, the
@@ -218,6 +256,54 @@ func RunFaults(cfg Config, faults []Fault) (*Result, error) {
 		return nil, err
 	}
 	return c.run(faults)
+}
+
+// RunStuckAt runs a targeted stuck-at ROM campaign: one trial per fault,
+// each on a device cleared of the previous trial's damage. ROM contents
+// are shared physical memory, not lane-resolved, so ROM trials cannot
+// ride simulation lanes the way flip-flop upsets do — each fault gets its
+// own scalar transaction. The transient-vs-persistent breakdown is always
+// armed: a stuck bit the EDAC code masks end to end still classifies
+// Persistent, because the damage survives the scrub rewrite (this is
+// exactly the fault class only the engine's background scrubber can see).
+func RunStuckAt(cfg Config, faults []ROMFault) (*Result, error) {
+	cfg.ClassifyPersistence = true
+	c, err := newCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Trials:     make([]Trial, 0, len(faults)),
+		FFs:        c.nFFs,
+		Cycles:     c.cycles,
+		Classified: true,
+	}
+	for i := range faults {
+		f := faults[i]
+		if f.ROM < 0 || f.ROM >= c.main.NumROMs() {
+			return nil, fmt.Errorf("faultcampaign: ROM %d out of range [0,%d)", f.ROM, c.main.NumROMs())
+		}
+		if f.Word < 0 || f.Word >= edac.Words || f.Bit < 0 || f.Bit >= edac.CodeBits {
+			return nil, fmt.Errorf("faultcampaign: ROM word %d bit %d out of range (%dx%d)", f.Word, f.Bit, edac.Words, edac.CodeBits)
+		}
+		c.main.ClearFaults()
+		store := c.main.ROMStore(f.ROM)
+		c.main.StickROMBit(f.ROM, f.Word, f.Bit, !store.CodewordBit(f.Word, f.Bit))
+		trials, err := c.runGroup([]Fault{{}})
+		if err != nil {
+			return nil, err
+		}
+		t := trials[0]
+		t.ROM = &faults[i]
+		res.Trials = append(res.Trials, t)
+		res.Counts[t.Outcome]++
+		if t.Persistent {
+			res.Persistent++
+		} else {
+			res.Recovered++
+		}
+	}
+	return res, nil
 }
 
 // campaign is the prepared runtime state shared by all trials: one primary
@@ -302,9 +388,10 @@ func newCampaign(cfg Config) (*campaign, error) {
 // transaction would have produced.
 func (c *campaign) run(faults []Fault) (*Result, error) {
 	res := &Result{
-		Trials: make([]Trial, 0, len(faults)),
-		FFs:    c.nFFs,
-		Cycles: c.cycles,
+		Trials:     make([]Trial, 0, len(faults)),
+		FFs:        c.nFFs,
+		Cycles:     c.cycles,
+		Classified: c.cfg.ClassifyPersistence,
 	}
 	for _, f := range faults {
 		for _, ff := range f.FFs {
@@ -322,6 +409,13 @@ func (c *campaign) run(faults []Fault) (*Result, error) {
 		for _, t := range trials {
 			res.Trials = append(res.Trials, t)
 			res.Counts[t.Outcome]++
+			if res.Classified {
+				if t.Persistent {
+					res.Persistent++
+				} else {
+					res.Recovered++
+				}
+			}
 		}
 	}
 	return res, nil
@@ -338,6 +432,9 @@ func (c *campaign) runGroup(group []Fault) ([]Trial, error) {
 		return nil, fmt.Errorf("faultcampaign: load key: %w", err)
 	}
 	for lane, f := range group {
+		if len(f.FFs) == 0 {
+			continue // ROM-only trial: the stuck-at is already applied
+		}
 		// The driver's load edge is one Step away; processing cycle n of
 		// the transaction is Step 1+n from here.
 		c.main.ScheduleFlipLanes(1+f.Cycle, 1<<uint(lane), f.FFs...)
@@ -427,7 +524,88 @@ func (c *campaign) runGroup(group []Fault) ([]Trial, error) {
 		}
 		trials[lane] = t
 	}
+	if c.cfg.ClassifyPersistence {
+		if err := c.classifyPersistence(trials); err != nil {
+			return nil, err
+		}
+	}
 	return trials, nil
+}
+
+// classifyPersistence runs the triage retry over a just-classified group:
+// the same transaction once more, with no new faults, on the state the
+// upsets left behind (no reset — resetting would wash out exactly the
+// corruption whose persistence is in question). A lane whose retry fails
+// to reproduce the golden block — or any ROM damage that survives a full
+// scrub sweep — marks its trial Persistent.
+func (c *campaign) classifyPersistence(trials []Trial) error {
+	recovered, err := c.retryGroup(len(trials))
+	if err != nil {
+		return err
+	}
+	// ROM stores are shared by every lane, so residual memory damage makes
+	// the whole group persistent (in practice ROM campaigns run scalar
+	// groups, so the ambiguity never bites).
+	residual := false
+	for ri := 0; ri < c.main.NumROMs(); ri++ {
+		store := c.main.ROMStore(ri)
+		if store.FaultyWords() == 0 {
+			continue
+		}
+		for w := 0; w < edac.Words; w++ {
+			store.Scrub(w)
+		}
+		if store.FaultyWords() > 0 {
+			residual = true
+		}
+	}
+	for lane := range trials {
+		trials[lane].Persistent = residual || recovered>>uint(lane)&1 == 0
+	}
+	return nil
+}
+
+// retryGroup re-runs the group's transaction with no new faults and
+// returns the mask of lanes that completed with the golden output. Lanes
+// whose first transaction wedged the FSM typically stay wedged; lanes
+// whose corruption washed out (state reloaded from din, diverged bits
+// overwritten) come back golden.
+func (c *campaign) retryGroup(lanes int) (uint64, error) {
+	sim := c.drv.Sim
+	sim.SetInput("wr_data", 1)
+	if err := sim.SetInputBits("din", c.pt); err != nil {
+		return 0, err
+	}
+	sim.Step() // load edge
+	sim.SetInput("wr_data", 0)
+	pending := uint64(1)<<uint(lanes) - 1
+	var good uint64
+	for cycles := 0; ; cycles++ {
+		sim.Eval()
+		okw, err := c.main.OutputWords("data_ok")
+		if err != nil {
+			return 0, err
+		}
+		ready := okw[0] & pending
+		for lane := 0; lane < lanes; lane++ {
+			if ready>>uint(lane)&1 == 0 {
+				continue
+			}
+			out, err := c.main.OutputBitsLane("dout", lane)
+			if err != nil {
+				return 0, err
+			}
+			if bytes.Equal(out, c.golden) {
+				good |= 1 << uint(lane)
+			}
+		}
+		pending &^= ready
+		if pending == 0 || cycles >= c.drv.Timeout {
+			break
+		}
+		sim.Step()
+	}
+	return good, nil
 }
 
 // divergence compares the watched observable ports of the primary and

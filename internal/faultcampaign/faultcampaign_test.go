@@ -193,6 +193,86 @@ func TestMultiBitSampling(t *testing.T) {
 	}
 }
 
+// TestClassifyPersistenceBreakdown pins the triage retry semantics: a
+// state-register upset washes out when the retry reloads the state from
+// din (Recovered), while a cipher-key register upset skews the on-the-fly
+// key schedule of every subsequent block until re-key (Persistent). The
+// breakdown is what the engine supervisor's in-place retry acts on.
+func TestClassifyPersistenceBreakdown(t *testing.T) {
+	core, nl := buildEncryptCore(t)
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := sim.FindFF("s0[0]")
+	keyFF := sim.FindFF("key_reg[0]")
+	if state < 0 || keyFF < 0 {
+		t.Fatalf("fixture FFs not found: state=%d key=%d", state, keyFF)
+	}
+	res, err := RunFaults(Config{Netlist: nl, Core: core, ClassifyPersistence: true}, []Fault{
+		{Cycle: 7, FFs: []int{state}},
+		{Cycle: 7, FFs: []int{keyFF}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Classified || res.Recovered+res.Persistent != len(res.Trials) {
+		t.Fatalf("breakdown does not partition the trials: %+v", res)
+	}
+	if res.Trials[0].Persistent {
+		t.Error("state-register upset classified persistent; the retry reloads state from din")
+	}
+	if !res.Trials[1].Persistent {
+		t.Error("cipher-key upset classified recovered; the corrupted key outlives the retry")
+	}
+}
+
+// TestRunStuckAtROMCampaign pins the EDAC-masked fault class: a single
+// stuck codeword bit is corrected on every read (SilentCorrect — no
+// output check can ever fire) yet stays Persistent, because the scrub
+// rewrite cannot clear welded storage. This is exactly the class only the
+// engine's background scrubber detects.
+func TestRunStuckAtROMCampaign(t *testing.T) {
+	core, nl := buildEncryptCore(t)
+	faults := []ROMFault{
+		{ROM: 0, Word: 0x53, Bit: 3},
+		{ROM: 0, Word: 0x00, Bit: 12},
+	}
+	res, err := RunStuckAt(Config{Netlist: nl, Core: core}, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if len(res.Trials) != len(faults) || !res.Classified {
+		t.Fatalf("want %d classified trials: %+v", len(faults), res)
+	}
+	for i, tr := range res.Trials {
+		if tr.Outcome != SilentCorrect {
+			t.Errorf("trial %d: EDAC-masked stuck bit outcome = %v, want silent-correct", i, tr.Outcome)
+		}
+		if !tr.Persistent {
+			t.Errorf("trial %d: welded ROM bit classified recovered", i)
+		}
+		if tr.ROM == nil || *tr.ROM != faults[i] {
+			t.Errorf("trial %d: ROM fault record = %+v, want %+v", i, tr.ROM, faults[i])
+		}
+	}
+	if res.Persistent != len(faults) || res.Recovered != 0 {
+		t.Errorf("breakdown = %d recovered / %d persistent, want 0/%d", res.Recovered, res.Persistent, len(faults))
+	}
+}
+
+func TestRunStuckAtValidation(t *testing.T) {
+	core, nl := buildEncryptCore(t)
+	if _, err := RunStuckAt(Config{Netlist: nl, Core: core}, []ROMFault{{ROM: 99}}); err == nil {
+		t.Error("out-of-range ROM accepted")
+	}
+	if _, err := RunStuckAt(Config{Netlist: nl, Core: core}, []ROMFault{{Word: 300}}); err == nil {
+		t.Error("out-of-range word accepted")
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Error("empty config accepted")

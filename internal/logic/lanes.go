@@ -14,7 +14,14 @@ package logic
 // A bus-level value for lane L is therefore *word-transposed*: bit b of
 // the bus lives at bit L of word b, not packed contiguously. Word(v)
 // broadcasts a scalar across all lanes (the layout every scalar API uses),
-// and GatherROM resolves a 256x8 ROM read per lane.
+// and GatherROM is the raw per-lane gather primitive over a 256-byte
+// table. The simulators do not call it on ROM contents directly: each ROM
+// macro's words sit behind an EDAC (SECDED) code in internal/edac, whose
+// store decodes — correcting single-bit errors and counting the event —
+// into a post-correction byte table and hands *that* table to GatherROM.
+// ROM contents are not lane-resolved: the store is physical memory shared
+// by every lane, so a faulted word reads the same (corrected or, for
+// multi-bit damage, raw) value on all lanes that address it.
 
 // Lanes is the simulation lane count: the pattern width of one uint64
 // sweep word.
@@ -28,11 +35,15 @@ func Word(v bool) uint64 {
 	return 0
 }
 
-// GatherROM performs a per-lane 256x8 ROM read: addr holds the 8
+// GatherROM performs a per-lane 256x8 table read: addr holds the 8
 // word-transposed address bits, and the result holds the 8 word-transposed
-// data bits, where each lane L reads contents[addr_L] independently. When
-// every address word is lane-uniform (the scalar broadcast case) a single
-// table lookup is broadcast instead of the 64-lane gather/scatter.
+// data bits, where each lane L reads contents[addr_L] independently. The
+// contents array is the *decoded* view an edac.ROM store maintains — words
+// needing single-bit correction have already been corrected by the code
+// before they land here, so this fast path never sees a raw faulty bit
+// (stores with faulty words take the counting slow path in edac instead).
+// When every address word is lane-uniform (the scalar broadcast case) a
+// single table lookup is broadcast instead of the 64-lane gather/scatter.
 func GatherROM(contents *[256]byte, addr *[8]uint64) [8]uint64 {
 	var out [8]uint64
 	uniform := true

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"rijndaelip/internal/edac"
 	"rijndaelip/internal/logic"
 )
 
@@ -16,7 +17,11 @@ import (
 // flip-flop value is a uint64 lane word whose bit L belongs to independent
 // lane L. LUTs are evaluated bit-parallel by folding the truth-table mask
 // over the input lane words, flip-flops latch under a per-lane enable
-// mask, and ROM macros gather contents[addr] per lane. The scalar API
+// mask, and ROM macros gather contents[addr] per lane through a
+// per-simulator EDAC store (internal/edac): each read decodes the SECDED
+// codeword, correcting single-bit errors and counting the event, so an
+// injected ROM upset is invisible to the datapath until it grows beyond
+// what the code covers. The scalar API
 // (SetInput, Output, Net, RegValue, FlipFF) broadcasts across all lanes
 // and observes lane 0 — single-device semantics — while the *Lane/*Lanes
 // variants address individual lanes, so one gate-level sweep carries up to
@@ -30,11 +35,25 @@ type Simulator struct {
 
 	regIndex map[string][]int // lazy FF-name index for RegValue
 
-	// Fault-injection state (see ScheduleFlip / StickFF).
-	cycle    int                // Step count since construction or last Reset
-	flips    map[int][]laneFlip // pending transient upsets, keyed by target cycle
-	stuck    map[int]bool       // permanent stuck-at faults: FF index -> forced value
-	injected int                // bit-flips applied so far
+	// roms holds the per-simulator EDAC stores both ROM read paths go
+	// through. The stores are simulator state, not netlist data: ROM
+	// fault injection mutates a store, and two simulators of the same
+	// netlist (a shard and its lockstep shadow) must fault independently.
+	roms []*edac.ROM
+
+	// Fault-injection state (see ScheduleFlip / StickFF / StickROMBit).
+	cycle     int                // Step count since construction or last Reset
+	flips     map[int][]laneFlip // pending transient upsets, keyed by target cycle
+	stuck     map[int]bool       // permanent stuck-at faults: FF index -> forced value
+	romSticks map[int][]romStick // pending ROM stuck-ats, keyed by target cycle
+	injected  int                // FF bit-flips applied so far
+	romFaults int                // ROM bit faults applied so far
+}
+
+// romStick is one armed stuck-at ROM fault awaiting its strike cycle.
+type romStick struct {
+	rom, word, bit int
+	val            bool
 }
 
 // laneFlip is one armed transient upset: the flip-flop inverts on the
@@ -63,15 +82,20 @@ func NewSimulator(nl *Netlist) (*Simulator, error) {
 	for i := range nl.FFs {
 		s.ffQ[i] = logic.Word(nl.FFs[i].Init)
 	}
+	s.roms = make([]*edac.ROM, len(nl.ROMs))
+	for i := range nl.ROMs {
+		s.roms[i] = edac.New(nl.ROMs[i].Name, nl.ROMs[i].Contents)
+	}
 	s.values[Const1] = ^uint64(0)
 	return s, nil
 }
 
 // Reset returns all sequential state to initial values on every lane.
-// Scheduled transient upsets are dropped (they were relative to the
-// aborted run), but stuck-at faults persist: a permanent physical defect
-// survives a reset, which is exactly what retry-with-reset recovery
-// policies need to observe.
+// Scheduled transient upsets (FF flips and armed ROM stuck-ats alike) are
+// dropped (they were relative to the aborted run), but faults already
+// applied persist: a stuck flip-flop and a damaged or stuck ROM word are
+// physical defects a reset cannot clear, which is exactly what
+// retry-with-reset recovery policies need to observe.
 func (s *Simulator) Reset() {
 	for i := range s.values {
 		s.values[i] = 0
@@ -85,6 +109,7 @@ func (s *Simulator) Reset() {
 	}
 	s.cycle = 0
 	s.flips = nil
+	s.romSticks = nil
 	s.applyStuck()
 }
 
@@ -196,7 +221,7 @@ func (s *Simulator) Eval() {
 			for i, a := range r.Addr {
 				addr[i] = s.values[a]
 			}
-			data := logic.GatherROM(&r.Contents, &addr)
+			data := s.roms[cn.Index].Gather(&addr)
 			for b, o := range r.Out {
 				s.values[o] = data[b]
 			}
@@ -257,6 +282,12 @@ func (s *Simulator) Step() {
 		}
 		delete(s.flips, s.cycle)
 	}
+	if rss, ok := s.romSticks[s.cycle]; ok {
+		for _, rs := range rss {
+			s.StickROMBit(rs.rom, rs.word, rs.bit, rs.val)
+		}
+		delete(s.romSticks, s.cycle)
+	}
 	s.applyStuck()
 	s.cycle++
 	s.Eval()
@@ -278,7 +309,7 @@ func (s *Simulator) Step() {
 		for b, a := range r.Addr {
 			addr[b] = s.values[a]
 		}
-		s.romQ[i] = logic.GatherROM(&r.Contents, &addr)
+		s.romQ[i] = s.roms[i].Gather(&addr)
 	}
 	s.applyStuck()
 }
@@ -489,10 +520,101 @@ func (s *Simulator) StickFF(i int, val bool) {
 	}
 }
 
-// ClearFaults removes every scheduled transient upset and stuck-at fault.
+// NumROMs returns the number of ROM macros in the simulated netlist.
+func (s *Simulator) NumROMs() int { return len(s.roms) }
+
+// ROMName returns the name of ROM macro i.
+func (s *Simulator) ROMName(i int) string { return s.roms[i].Name() }
+
+// ROMStore returns the EDAC store ROM macro i reads through. The store is
+// safe for concurrent use, so a background scrubber may sweep it while
+// the simulator runs on its own goroutine.
+func (s *Simulator) ROMStore(i int) *edac.ROM { return s.roms[i] }
+
+// ROMStores returns all EDAC stores, ordered like the netlist's ROMs.
+func (s *Simulator) ROMStores() []*edac.ROM { return s.roms }
+
+// FlipROMBit injects a transient upset into ROM storage: codeword bit
+// `bit` of word `word` of ROM macro `rom` inverts. The error is corrected
+// on every read by the EDAC code and repaired by the next scrub of the
+// word — the memory-array analogue of FlipFF.
+func (s *Simulator) FlipROMBit(rom, word, bit int) {
+	s.roms[rom].FlipBit(word, bit)
+	s.romFaults++
+}
+
+// StickROMBit installs a hard stuck-at fault in ROM storage: the codeword
+// bit is forced to val and re-asserts itself after every scrub rewrite,
+// so the word stays faulty until ClearFaults. Like StickFF, the fault
+// survives Reset.
+func (s *Simulator) StickROMBit(rom, word, bit int, val bool) {
+	s.roms[rom].StickBit(word, bit, val)
+	s.romFaults++
+}
+
+// ScheduleStickROMBit arms a stuck-at ROM fault that lands at the start of
+// the Step delay cycles in the future (delay 0 = the very next Step), the
+// ROM-storage counterpart of ScheduleFlipLanes. ROM contents are shared
+// by all lanes, so the fault has no lane mask: every lane addressing the
+// word sees the same damage.
+func (s *Simulator) ScheduleStickROMBit(delay, rom, word, bit int, val bool) {
+	if delay < 0 {
+		return
+	}
+	if s.romSticks == nil {
+		s.romSticks = make(map[int][]romStick)
+	}
+	at := s.cycle + delay
+	s.romSticks[at] = append(s.romSticks[at], romStick{rom: rom, word: word, bit: bit, val: val})
+}
+
+// ROMFaultyWords returns the number of ROM words, across all macros, that
+// currently hold any storage error — the cheap health probe triage and
+// diagnosis use to tell memory damage from flip-flop corruption.
+func (s *Simulator) ROMFaultyWords() int {
+	n := 0
+	for _, r := range s.roms {
+		n += r.FaultyWords()
+	}
+	return n
+}
+
+// ROMInjections returns the number of ROM bit faults applied so far
+// (transient flips and stuck-ats both count once when installed).
+func (s *Simulator) ROMInjections() int { return s.romFaults }
+
+// CopyStateFrom adopts the sequential state (flip-flop values, sync-ROM
+// output registers, net values and cycle count) of another simulator of
+// the same netlist. This is the state-restoration primitive a lockstep
+// supervisor uses to repair a corrupted primary from its fault-free
+// shadow before retrying a transaction in place. Installed faults (stuck
+// FFs, ROM damage) are deliberately NOT copied or cleared: a hard defect
+// survives restoration and will re-assert, which is what lets the retry
+// distinguish transient from persistent.
+func (s *Simulator) CopyStateFrom(o *Simulator) error {
+	if len(s.ffQ) != len(o.ffQ) || len(s.romQ) != len(o.romQ) || len(s.values) != len(o.values) {
+		return fmt.Errorf("netlist: CopyStateFrom across different netlists (%d/%d FFs, %d/%d ROMs)",
+			len(s.ffQ), len(o.ffQ), len(s.romQ), len(o.romQ))
+	}
+	copy(s.ffQ, o.ffQ)
+	copy(s.romQ, o.romQ)
+	copy(s.values, o.values)
+	s.cycle = o.cycle
+	s.flips = nil
+	s.applyStuck()
+	return nil
+}
+
+// ClearFaults removes every fault: scheduled transient upsets, stuck-at
+// flip-flops, and all ROM storage damage (stores are re-encoded from the
+// golden contents).
 func (s *Simulator) ClearFaults() {
 	s.flips = nil
 	s.stuck = nil
+	s.romSticks = nil
+	for _, r := range s.roms {
+		r.ClearFaults()
+	}
 }
 
 // Injections returns the number of state bit-flips applied so far (each

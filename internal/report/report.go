@@ -136,6 +136,14 @@ type FaultRow struct {
 	Detected  int
 	Corrupted int
 	Hung      int
+
+	// Transient-vs-persistent breakdown from the triage retry: Recovered
+	// faults wash out when the transaction is re-run in place, Persistent
+	// ones survive it (corrupted key schedule, welded ROM bits). Only
+	// filled when the campaign ran with persistence classification on.
+	Classified bool
+	Recovered  int
+	Persistent int
 }
 
 // MaskedPct is the masked-fault coverage in percent.
@@ -153,16 +161,23 @@ func pct(n, total int) float64 {
 }
 
 // RenderFaultTable renders the campaign rows as a coverage-vs-area table.
+// Rows classified by the triage retry also get the transient-vs-persistent
+// breakdown; unclassified rows print a dash there.
 func RenderFaultTable(rows []FaultRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %-8s | %6s %6s | %6s | %7s %8s %9s %5s | %7s %9s\n",
-		"Config", "Device", "LCs", "FFs", "trials", "masked", "detected", "corrupted", "hung", "masked%", "coverage%")
-	b.WriteString(strings.Repeat("-", 112) + "\n")
+	fmt.Fprintf(&b, "%-10s %-8s | %6s %6s | %6s | %7s %8s %9s %5s | %5s %7s | %7s %9s\n",
+		"Config", "Device", "LCs", "FFs", "trials", "masked", "detected", "corrupted", "hung", "recov", "persist", "masked%", "coverage%")
+	b.WriteString(strings.Repeat("-", 128) + "\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %-8s | %6d %6d | %6d | %7d %8d %9d %5d | %6.1f%% %8.1f%%\n",
+		recov, persist := "-", "-"
+		if r.Classified {
+			recov = fmt.Sprintf("%d", r.Recovered)
+			persist = fmt.Sprintf("%d", r.Persistent)
+		}
+		fmt.Fprintf(&b, "%-10s %-8s | %6d %6d | %6d | %7d %8d %9d %5d | %5s %7s | %6.1f%% %8.1f%%\n",
 			r.Config, r.Device, r.LogicCells, r.FFs, r.Trials,
 			r.Masked, r.Detected, r.Corrupted, r.Hung,
-			r.MaskedPct(), r.CoveragePct())
+			recov, persist, r.MaskedPct(), r.CoveragePct())
 	}
 	return b.String()
 }

@@ -122,10 +122,22 @@ func faultRows() []FaultRow {
 
 func TestRenderFaultTable(t *testing.T) {
 	out := RenderFaultTable(faultRows())
-	for _, want := range []string{"plain", "tmr", "lockstep", "100.0%", "62.0%"} {
+	for _, want := range []string{"plain", "tmr", "lockstep", "100.0%", "62.0%", "recov", "persist"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fault table missing %q:\n%s", want, out)
 		}
+	}
+	// Unclassified rows print a dash in the breakdown columns.
+	if !strings.Contains(out, "    - ") {
+		t.Errorf("unclassified rows should show dashed breakdown:\n%s", out)
+	}
+	classified := []FaultRow{{
+		Config: "rom-stuck", Device: "Acex1K", LogicCells: 2114, FFs: 659,
+		Trials: 8, Masked: 8, Classified: true, Recovered: 0, Persistent: 8,
+	}}
+	out = RenderFaultTable(classified)
+	if !strings.Contains(out, "rom-stuck") || !strings.Contains(out, "    0       8") {
+		t.Errorf("classified breakdown not rendered:\n%s", out)
 	}
 }
 

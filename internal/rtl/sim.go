@@ -3,6 +3,7 @@ package rtl
 import (
 	"fmt"
 
+	"rijndaelip/internal/edac"
 	"rijndaelip/internal/logic"
 )
 
@@ -15,7 +16,9 @@ import (
 // value is a uint64 lane word whose bit L is the value seen by independent
 // lane L. Registers hold one lane word per register bit, register latching
 // applies the per-lane enable mask, and ROM reads gather contents[addr]
-// per lane — so one AIG sweep advances logic.Lanes (64) independent copies
+// per lane through a per-simulator EDAC store (internal/edac) that
+// corrects single-bit storage errors on read — so one AIG sweep advances
+// logic.Lanes (64) independent copies
 // of the device in lockstep. The scalar API (SetInput, Output, Lit,
 // RegValue) broadcasts stimulus across all lanes and reads lane 0, which
 // reproduces single-device semantics exactly; the *Lane variants drive and
@@ -26,6 +29,7 @@ type Simulator struct {
 	values []uint64   // per-AIG-node lane words from the last Eval
 	regQ   [][]uint64 // per register, per bit: one lane word
 	romQ   [][8]uint64
+	roms   []*edac.ROM // per-ROM EDAC stores both read paths go through
 	cycles uint64
 
 	piIndex map[string]int
@@ -47,6 +51,10 @@ func (d *Design) NewSimulator() *Simulator {
 	}
 	for i := range d.b.regs {
 		s.regQ[i] = initWords(d.b.regs[i].init)
+	}
+	s.roms = make([]*edac.ROM, len(d.b.roms))
+	for i := range d.b.roms {
+		s.roms[i] = edac.New(d.b.roms[i].name, d.b.roms[i].contents)
 	}
 	return s
 }
@@ -78,6 +86,12 @@ func (s *Simulator) Reset() {
 
 // Cycles returns the number of Step calls since construction or Reset.
 func (s *Simulator) Cycles() uint64 { return s.cycles }
+
+// ROMStores returns the per-ROM EDAC stores this simulator reads through,
+// ordered like the builder's ROM declarations. Injecting a bit fault into
+// a store faults this simulator only — the elaborated design's golden
+// contents are never modified.
+func (s *Simulator) ROMStores() []*edac.ROM { return s.roms }
 
 // SetInput drives an input port with the little-endian bits of value,
 // broadcast identically across all 64 lanes.
@@ -207,7 +221,7 @@ func (s *Simulator) Eval() {
 			for bit, l := range rom.addr {
 				addr[bit] = logic.LitValue(s.values, l)
 			}
-			data := logic.GatherROM(&rom.contents, &addr)
+			data := s.roms[ri].Gather(&addr)
 			for bit, l := range rom.out {
 				s.setInputWord(l, data[bit])
 			}
@@ -242,7 +256,7 @@ func (s *Simulator) Step() {
 		for bit, l := range rom.addr {
 			addr[bit] = logic.LitValue(s.values, l)
 		}
-		s.romQ[i] = logic.GatherROM(&rom.contents, &addr)
+		s.romQ[i] = s.roms[i].Gather(&addr)
 	}
 	s.cycles++
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rijndaelip/internal/bfm"
+	"rijndaelip/internal/edac"
 	"rijndaelip/internal/faultcampaign"
 	"rijndaelip/internal/netlist"
 	"rijndaelip/internal/rijndael"
@@ -70,6 +71,31 @@ type SupervisorOptions struct {
 	// Tests use it to model a permanently damaged replica slot and drive
 	// the circuit breaker.
 	RespawnHook func(shard, attempt int) error
+
+	// TransientBudget is the per-shard sliding-window error budget for
+	// triage: a detection whose in-place retry succeeds is classified
+	// transient and merely recorded, but once more than TransientBudget
+	// transients land within TransientWindow submissions the shard is
+	// treated as persistently sick (escalation) and quarantined anyway —
+	// a replica that "recovers" every few transactions is not healthy.
+	// Default 3.
+	TransientBudget int
+	// TransientWindow is the budget window, in per-shard submissions.
+	// Default 64.
+	TransientWindow int
+	// ScrubInterval is the tick period of the per-shard background ROM
+	// scrubber, which sweeps ScrubWords EDAC words per tick between
+	// transactions: correctable storage errors are rewritten in place,
+	// and a word that stays bad (stuck bit, multi-bit damage) quarantines
+	// the shard with a ROM-localized diagnosis. 0 selects the default
+	// (1ms); a negative value disables scrubbing. Scrubbing runs on wall
+	// time, off the simulated-cycle path, so it costs zero simulated
+	// cycles per block — the trade-off is purely detection latency vs
+	// host CPU (see DESIGN.md §7).
+	ScrubInterval time.Duration
+	// ScrubWords is how many ROM words one scrub tick visits. Default 64
+	// (a full 8-ROM sweep every 32 ticks).
+	ScrubWords int
 }
 
 // Shard supervision states. Unsupervised engines keep every shard healthy
@@ -110,6 +136,61 @@ var ErrInverseMismatch = errors.New("rijndaelip: inverse check mismatch")
 // software reference instead of stalling.
 var errNoHealthyShard = errors.New("rijndaelip: engine: no healthy shard")
 
+// Diagnosis causes: what the targeted diagnosis pass localized a
+// persistent fault to.
+const (
+	// CauseROM: a ROM word holds a stuck bit or multi-bit damage
+	// (Diagnosis.ROM / Diagnosis.Word name the word).
+	CauseROM = "rom"
+	// CauseFF: the memory sweep came back clean, implicating the
+	// flip-flop region (POST failure or unreproducible state corruption).
+	CauseFF = "ff"
+	// CauseErrorBudget: no single fault localized, but the shard burned
+	// through its transient error budget — persistently sick by policy.
+	CauseErrorBudget = "error-budget"
+)
+
+// Diagnosis is one persistent-fault localization record, appended every
+// time triage (or the background scrubber) classifies a shard fault as
+// persistent and quarantines it.
+type Diagnosis struct {
+	// Shard is the sick shard; Generation its driver generation at
+	// classification time (1 = the original build).
+	Shard      int
+	Generation uint64
+	// Cause is one of CauseROM, CauseFF, CauseErrorBudget.
+	Cause string
+	// ROM and Word localize CauseROM faults to a ROM macro word.
+	ROM  string
+	Word int
+	// Detail is a human-readable note from the diagnosing component.
+	Detail string
+}
+
+func (d Diagnosis) String() string {
+	switch d.Cause {
+	case CauseROM:
+		return fmt.Sprintf("shard %d gen %d: rom %s word 0x%02x (%s)", d.Shard, d.Generation, d.ROM, d.Word, d.Detail)
+	default:
+		return fmt.Sprintf("shard %d gen %d: %s (%s)", d.Shard, d.Generation, d.Cause, d.Detail)
+	}
+}
+
+// recordDiagnosis appends one localization record to the engine's log.
+func (e *Engine) recordDiagnosis(d Diagnosis) {
+	e.diagMu.Lock()
+	e.diagnoses = append(e.diagnoses, d)
+	e.diagMu.Unlock()
+}
+
+// Diagnoses returns a copy of the persistent-fault localization log, in
+// classification order. Safe to call while traffic is in flight.
+func (e *Engine) Diagnoses() []Diagnosis {
+	e.diagMu.Lock()
+	defer e.diagMu.Unlock()
+	return append([]Diagnosis(nil), e.diagnoses...)
+}
+
 // normalizedSupervisor validates and defaults a supervisor policy. A copy
 // is returned so defaulting never mutates the caller's struct.
 func normalizedSupervisor(im *Implementation, opts *SupervisorOptions) (*SupervisorOptions, error) {
@@ -131,6 +212,18 @@ func normalizedSupervisor(im *Implementation, opts *SupervisorOptions) (*Supervi
 	}
 	if s.MaxRespawnFailures <= 0 {
 		s.MaxRespawnFailures = 3
+	}
+	if s.TransientBudget <= 0 {
+		s.TransientBudget = 3
+	}
+	if s.TransientWindow <= 0 {
+		s.TransientWindow = 64
+	}
+	if s.ScrubInterval == 0 {
+		s.ScrubInterval = time.Millisecond
+	}
+	if s.ScrubWords <= 0 {
+		s.ScrubWords = 64
 	}
 	return &s, nil
 }
@@ -182,17 +275,100 @@ func (e *Engine) buildDriver() (*bfm.VectorDriver, *netlist.Simulator, *faultcam
 
 // runSupervised executes one job on a healthy supervised shard: arm the
 // chaos hook, run the transaction under the watchdog and latency
-// assertion, cross-check per the policy, and either deliver the results
-// or walk the recovery ladder (quarantine the shard, re-queue the job).
-// Detected faults are never surfaced to the caller — they are absorbed by
-// retry or the software fallback.
+// assertion, cross-check per the policy, and on a detection run the
+// triage state machine instead of unconditionally quarantining:
+//
+//	detection
+//	   ├─ uncorrectable/stuck ROM word known? ──────────────► PERSISTENT
+//	   └─ restore state from shadow, retry once in place
+//	         ├─ retry fails ─────────────────────────────────► PERSISTENT
+//	         └─ retry succeeds (in-place recovery)
+//	               ├─ error budget exhausted ── escalation ──► PERSISTENT
+//	               └─ within budget ──────────────────────────► TRANSIENT
+//
+// A transient costs one extra transaction and a budget strike — no
+// quarantine, no respawn. A persistent classification runs the targeted
+// diagnosis pass (ROM sweep, then power-on self-test) to localize the
+// fault, records a Diagnosis, and walks the PR-4 recovery ladder
+// (quarantine → hot-respawn → degrade). Detected faults are never
+// surfaced to the caller either way — correct data comes from the retry,
+// a sibling, or the software fallback.
 func (e *Engine) runSupervised(s *engineShard, j *engineJob) {
-	if j.batch.jitter != nil {
-		j.batch.jitter(s.id, j.index)
-	}
+	// runMu serializes this transaction against respawn installation: a
+	// scrubber-initiated quarantine may start the respawner while this
+	// worker is still mid-transaction on the old driver.
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	sub := s.submissions.Add(1)
-	if e.sup.Strike != nil {
-		e.sup.Strike(s.id, sub, s.sim)
+	outs, err := e.attempt(s, j, sub, true)
+	if err == nil {
+		e.deliver(s, j, outs)
+		return
+	}
+	s.detections.Add(1)
+	e.detections.Add(1)
+	// Triage. Known memory damage short-circuits the retry: a stuck or
+	// multi-bit ROM word cannot heal, so the failure is persistent by
+	// construction.
+	if rom, word, ok := shardROMDamage(s); ok {
+		e.classifyPersistent(s, Diagnosis{
+			Cause: CauseROM, ROM: rom, Word: word,
+			Detail: "uncorrectable ROM word at detection",
+		})
+		e.requeue(j)
+		return
+	}
+	// Retry once in place. Under lockstep the shadow replica holds the
+	// fault-free trajectory, so the primary's sequential state (including
+	// the persistent key-schedule registers) is restored from it first —
+	// without this, corruption that outlives one transaction would turn
+	// every deep upset into a respawn.
+	if s.lock != nil {
+		if shadow, ok := s.lock.Shadow.(*netlist.Simulator); ok && s.sim != nil {
+			// Same-netlist replicas cannot mismatch; an error would only
+			// mean no restoration, and the retry classifies either way.
+			_ = s.sim.CopyStateFrom(shadow)
+		}
+		s.lock.ClearMismatch()
+	}
+	outs, err = e.attempt(s, j, sub, false)
+	if err != nil {
+		e.classifyPersistent(s, e.diagnose(s))
+		e.requeue(j)
+		return
+	}
+	s.inPlace.Add(1)
+	e.inPlaceRecoveries.Add(1)
+	if e.recordTransient(s, sub) {
+		// Budget exhausted: the retry's data is good (deliver it), but a
+		// shard needing this many in-place saves is persistently sick.
+		e.deliver(s, j, outs)
+		e.escalations.Add(1)
+		e.classifyPersistent(s, Diagnosis{
+			Cause: CauseErrorBudget,
+			Detail: fmt.Sprintf("more than %d transients within %d submissions",
+				e.sup.TransientBudget, e.sup.TransientWindow),
+		})
+		return
+	}
+	s.transients.Add(1)
+	e.transients.Add(1)
+	e.deliver(s, j, outs)
+}
+
+// attempt runs one transaction of job j on shard s and applies the armed
+// checks. The first attempt applies jitter, fires the chaos Strike hook,
+// and thins the inverse spot-check per SampleEvery; the in-place retry
+// does neither — it must be strike-free to be diagnostic — and always
+// inverse-checks.
+func (e *Engine) attempt(s *engineShard, j *engineJob, sub uint64, first bool) ([][]byte, error) {
+	if first {
+		if j.batch.jitter != nil {
+			j.batch.jitter(s.id, j.index)
+		}
+		if e.sup.Strike != nil {
+			e.sup.Strike(s.id, sub, s.sim)
+		}
 	}
 	blocks := make([][]byte, j.n)
 	for i := range blocks {
@@ -208,7 +384,7 @@ func (e *Engine) runSupervised(s *engineShard, j *engineJob) {
 			err = fmt.Errorf("%w: shard %d lanes %#x", ErrShardDivergence, s.id, mask)
 		}
 	}
-	if err == nil && e.sup.Check == CheckInverse && sub%uint64(e.sup.SampleEvery) == 0 {
+	if err == nil && e.sup.Check == CheckInverse && (!first || sub%uint64(e.sup.SampleEvery) == 0) {
 		back, invCycles, invErr := s.drv.ProcessVector(outs, !j.encrypt)
 		s.cycles.Add(uint64(invCycles) + 1)
 		if invErr != nil {
@@ -222,26 +398,168 @@ func (e *Engine) runSupervised(s *engineShard, j *engineJob) {
 			}
 		}
 	}
-	if err == nil {
-		s.blocks.Add(uint64(j.n))
-		s.wasted.Add(uint64(e.opts.MaxLanes - j.n))
-		for i, out := range outs {
-			copy(j.dst[i*16:i*16+16], out)
-		}
-		j.batch.complete(nil)
-		return
-	}
-	s.detections.Add(1)
-	e.detections.Add(1)
-	// Quarantine first so the re-queue cannot land back on the sick shard.
-	e.quarantine(s)
-	e.requeue(j)
+	return outs, err
 }
 
-// quarantine takes a shard out of rotation after a detection: its queued
-// jobs are handed to healthy siblings, and a background respawner starts
-// rebuilding it. Only the shard's own worker moves a shard out of
-// healthy, so the CAS is belt-and-braces.
+// deliver writes a successful submission's results home and completes its
+// share of the batch.
+func (e *Engine) deliver(s *engineShard, j *engineJob, outs [][]byte) {
+	s.blocks.Add(uint64(j.n))
+	s.wasted.Add(uint64(e.opts.MaxLanes - j.n))
+	for i, out := range outs {
+		copy(j.dst[i*16:i*16+16], out)
+	}
+	j.batch.complete(nil)
+}
+
+// shardROMDamage reports the first currently-uncorrectable ROM word of
+// the shard's primary simulation, if any — the cheap health probe triage
+// uses before deciding whether an in-place retry can possibly help. Words
+// the code can still correct are deliberately excluded: a correctable SEU
+// is masked on every read (it cannot have caused the detection) and the
+// scrubber will rewrite it, so it must not veto the retry.
+func shardROMDamage(s *engineShard) (rom string, word int, ok bool) {
+	if s.sim == nil {
+		return "", 0, false
+	}
+	for _, store := range s.sim.ROMStores() {
+		for _, bad := range store.BadWords() {
+			if bad.Status == edac.Uncorrectable {
+				return store.Name(), bad.Word, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// recordTransient logs one transient classification against the shard's
+// sliding-window error budget and reports whether the budget is now
+// exhausted (the caller escalates). Called only by the shard's worker
+// under runMu; the log is reset on respawn — the budget belongs to one
+// hardware incarnation.
+func (e *Engine) recordTransient(s *engineShard, sub uint64) bool {
+	log := append(s.transientLog, sub)
+	lo := 0
+	for lo < len(log) && log[lo]+uint64(e.sup.TransientWindow) <= sub {
+		lo++
+	}
+	s.transientLog = log[lo:]
+	return len(s.transientLog) > e.sup.TransientBudget
+}
+
+// classifyPersistent records a persistent-fault classification: counters,
+// the localization record, and the quarantine that starts the PR-4
+// recovery ladder. The caller supplies the diagnosis (either known ROM
+// damage, an escalation verdict, or the result of diagnose).
+func (e *Engine) classifyPersistent(s *engineShard, d Diagnosis) {
+	s.persistents.Add(1)
+	e.persistents.Add(1)
+	d.Shard = s.id
+	d.Generation = s.gen.Load()
+	e.recordDiagnosis(d)
+	e.quarantine(s)
+}
+
+// diagnose localizes a persistent fault after a failed in-place retry:
+// first a full ROM sweep (scrubbing every word of every store — damage
+// the read path has not touched yet still shows up here), then the
+// power-on self-test on the live driver to implicate the flip-flop
+// region. Repairs the sweep happens to make are counted like background
+// scrub repairs.
+func (e *Engine) diagnose(s *engineShard) Diagnosis {
+	if s.sim != nil {
+		for _, store := range s.sim.ROMStores() {
+			if store.FaultyWords() == 0 {
+				continue
+			}
+			for w := 0; w < edac.Words; w++ {
+				switch store.Scrub(w) {
+				case edac.ScrubRepaired:
+					s.scrubCorrected.Add(1)
+					e.scrubCorrected.Add(1)
+				case edac.ScrubHard:
+					return Diagnosis{Cause: CauseROM, ROM: store.Name(), Word: w,
+						Detail: "diagnosis sweep: stuck bit re-asserted after rewrite"}
+				case edac.ScrubUncorrectable:
+					return Diagnosis{Cause: CauseROM, ROM: store.Name(), Word: w,
+						Detail: "diagnosis sweep: multi-bit damage beyond SECDED"}
+				}
+			}
+		}
+	}
+	if err := e.selfTest(s.drv); err != nil {
+		return Diagnosis{Cause: CauseFF, Detail: "POST failed: " + err.Error()}
+	}
+	return Diagnosis{Cause: CauseFF, Detail: "POST passed after failed retry; intermittent state corruption"}
+}
+
+// scrubber is shard s's background ROM patrol: every ScrubInterval it
+// sweeps ScrubWords words of the shard's EDAC stores (round-robin across
+// the ROM macros), rewriting correctable errors in place. A word that
+// stays bad after the rewrite — a stuck bit or multi-bit damage — is
+// persistent memory damage on a live shard: the scrubber localizes it and
+// quarantines the shard without waiting for traffic to trip over it. This
+// is what catches EDAC-masked faults: a single stuck ROM bit is corrected
+// on every read, so no output check will ever fire for it.
+func (e *Engine) scrubber(s *engineShard) {
+	defer e.wg.Done()
+	t := time.NewTicker(e.sup.ScrubInterval)
+	defer t.Stop()
+	rom, word := 0, 0
+	for {
+		select {
+		case <-e.closed:
+			return
+		case <-t.C:
+		}
+		if s.state.Load() != shardHealthy {
+			continue
+		}
+		cur, _ := s.stores.Load().([]*edac.ROM)
+		if len(cur) == 0 {
+			continue
+		}
+		if rom >= len(cur) {
+			rom, word = 0, 0
+		}
+		for k := 0; k < e.sup.ScrubWords; k++ {
+			res := cur[rom].Scrub(word)
+			name, w := cur[rom].Name(), word
+			word++
+			if word == edac.Words {
+				word = 0
+				if rom++; rom == len(cur) {
+					rom = 0
+					s.scrubSweeps.Add(1)
+					e.scrubSweeps.Add(1)
+				}
+			}
+			switch res {
+			case edac.ScrubRepaired:
+				s.scrubCorrected.Add(1)
+				e.scrubCorrected.Add(1)
+			case edac.ScrubHard, edac.ScrubUncorrectable:
+				s.scrubUncorrectable.Add(1)
+				e.scrubUncorrectable.Add(1)
+				detail := "scrubber: stuck bit re-asserted after rewrite"
+				if res == edac.ScrubUncorrectable {
+					detail = "scrubber: multi-bit damage beyond SECDED"
+				}
+				e.classifyPersistent(s, Diagnosis{Cause: CauseROM, ROM: name, Word: w, Detail: detail})
+			}
+			if s.state.Load() != shardHealthy {
+				break
+			}
+		}
+	}
+}
+
+// quarantine takes a shard out of rotation after a persistent
+// classification: its queued jobs are handed to healthy siblings, and a
+// background respawner starts rebuilding it. Both the shard's own worker
+// (triage) and its background scrubber (memory damage) can move a shard
+// out of healthy, so the CAS arbitrates: exactly one caller wins and
+// spawns the respawner.
 func (e *Engine) quarantine(s *engineShard) {
 	if !s.state.CompareAndSwap(shardHealthy, shardQuarantined) {
 		return
@@ -347,9 +665,14 @@ func (e *Engine) respawner(s *engineShard) {
 }
 
 // respawnShard builds and self-tests one replacement driver. The shard's
-// driver fields are written only here (while the shard is quarantined and
-// its worker refuses to touch them) and at construction; the atomic state
-// transition publishes them back to the worker.
+// driver fields are written only here and at construction; runMu
+// serializes the installation against a worker that may still be
+// finishing a transaction on the retiring driver (a scrubber-initiated
+// quarantine does not wait for the worker), and the atomic state
+// transition publishes the new fields. Respawning resets the transient
+// error budget — it belongs to the retired hardware incarnation — and
+// folds the retiring EDAC stores' read counters so Stats stays monotonic
+// across generations.
 func (e *Engine) respawnShard(s *engineShard, attempt int) error {
 	if e.sup.RespawnHook != nil {
 		if err := e.sup.RespawnHook(s.id, attempt); err != nil {
@@ -363,7 +686,12 @@ func (e *Engine) respawnShard(s *engineShard, attempt int) error {
 	if err := e.selfTest(drv); err != nil {
 		return err
 	}
+	s.runMu.Lock()
+	s.foldROMStats()
 	s.drv, s.sim, s.lock = drv, sim, lock
+	s.publishStores()
+	s.transientLog = nil
+	s.runMu.Unlock()
 	return nil
 }
 
