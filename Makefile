@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test short bench bench-smoke bench-json chaos-smoke triage-smoke vet race faults examples reports verify clean
+.PHONY: all test short bench bench-smoke bench-json chaos-smoke triage-smoke obs-smoke vet race faults examples reports verify clean
 
 all: vet test
 
@@ -18,19 +18,26 @@ bench:
 # One pass over the sharded-engine scaling curve (1/2/4/8 shards) and the
 # shards x lanes grid (1/16/64 blocks per lane-packed submission): a cheap
 # smoke that surfaces throughput-scaling regressions without the full
-# bench suite. Wired into `verify` alongside vet and the race sweep.
+# bench suite. The -run filter adds the observability overhead gate: an
+# instrumented engine must hold >= 95% of an uninstrumented twin's
+# throughput. Wired into `verify` alongside vet and the race sweep.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes|ChaosRecovery)$$' -benchtime=1x .
+	$(GO) test -run '^TestObsOverheadGate$$' -bench '^Benchmark(Engine|VectorLanes|ChaosRecovery)$$' -benchtime=1x .
 
-# Machine-readable perf trajectory: runs the engine benchmarks once and
-# writes cycles-per-block, Mbps and blocks/sec for every shards x lanes
-# point — plus the supervised engine's chaos-recovery and triage/scrub
-# counters (detections, transients, in-place recoveries, quarantines,
-# respawns, scrub sweeps/corrected/uncorrectable) — to BENCH_engine.json,
-# so regressions are diffable across PRs. The chaos_recovery
-# faultfree/scrub row pair is the scrub-overhead measurement.
+# Machine-readable perf trajectory: runs the engine benchmarks and writes
+# cycles-per-block, Mbps and blocks/sec for every shards x lanes point —
+# plus the supervised engine's chaos-recovery and triage/scrub counters
+# (detections, transients, in-place recoveries, quarantines, respawns,
+# scrub sweeps/corrected/uncorrectable) and the observability registry's
+# final snapshot — to BENCH_engine.json, so regressions are diffable
+# across PRs. The chaos_recovery faultfree/scrub row pair is the
+# scrub-overhead measurement. Each sub-benchmark runs one untimed warmup
+# iteration plus twenty timed ones, three times over (-count=3, best run
+# kept per grid point): rates come from the warm steady state, not shard
+# construction cold-start, and best-of-three damps the single-CPU
+# scheduling jitter a lone run can lose a few percent to.
 bench-json:
-	BENCH_JSON=BENCH_engine.json $(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes|ChaosRecovery)$$' -benchtime=1x .
+	BENCH_JSON=BENCH_engine.json $(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes|ChaosRecovery)$$' -benchtime=20x -count=3 .
 	@echo wrote BENCH_engine.json
 
 # A short seeded chaos run under the race detector: live strikes against a
@@ -47,6 +54,15 @@ chaos-smoke:
 # quarantine + respawn; zero mismatches. Wired into `verify`.
 triage-smoke:
 	$(GO) test -race -short -run '^TestTriageGate$$' -v ./internal/chaos/
+
+# The observability smoke under the race detector: a supervised engine
+# absorbs a welded fault while its registry and trace ring are scraped
+# over live HTTP; the detection → persistent → quarantine → respawn
+# ladder must be reconstructible from the trace ring alone, and the
+# torn-snapshot stress must hold the Stats() invariants. Wired into
+# `verify`.
+obs-smoke:
+	$(GO) test -race -short -run '^(TestObsSmoke|TestStatsSnapshotInvariants)$$' -v .
 
 vet:
 	$(GO) vet ./...
@@ -70,7 +86,7 @@ reports:
 	$(GO) run ./cmd/synthreport -sync -power -harden
 	$(GO) run ./cmd/ipcompare -ablation
 
-verify: vet race bench-smoke chaos-smoke triage-smoke
+verify: vet race bench-smoke obs-smoke chaos-smoke triage-smoke
 	$(GO) run ./cmd/verifyall -full
 
 clean:

@@ -21,6 +21,7 @@ import (
 
 	"rijndaelip"
 	"rijndaelip/internal/chaos"
+	"rijndaelip/internal/obs"
 	"rijndaelip/internal/rtl"
 )
 
@@ -43,6 +44,8 @@ func main() {
 	chaosWaves := flag.Int("chaos-waves", 4, "chaos waves (respawned shards rejoin between waves)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos traffic and strike schedule")
 	stuckAt := flag.Int("stuckat", 0, "weld one stuck-at ROM bit into each of M shards during the chaos run (EDAC-masked: only the background scrubber can find them)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /trace, /debug/vars and /debug/pprof on this address during engine and chaos runs (e.g. :9100)")
+	traceDump := flag.Bool("trace-dump", false, "print the supervision event trace after an engine or chaos run")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -104,12 +107,12 @@ func main() {
 	}
 
 	if *chaosRate > 0 {
-		runChaos(impl, key, *shards, *lanes, *chaosRate, *chaosBlocks, *chaosWaves, *stuckAt, *chaosSeed)
+		runChaos(impl, key, *shards, *lanes, *chaosRate, *chaosBlocks, *chaosWaves, *stuckAt, *chaosSeed, *metricsAddr, *traceDump)
 		return
 	}
 
 	if *shards > 0 {
-		runEngine(impl, key, blocks, ref, *shards, *lanes, *dec)
+		runEngine(impl, key, blocks, ref, *shards, *lanes, *dec, *metricsAddr, *traceDump)
 		return
 	}
 
@@ -147,11 +150,38 @@ func main() {
 	}
 }
 
+// serveMetrics binds the observability endpoints for the duration of the
+// run, announcing the scrape URL. Returns a closer (no-op when addr is
+// empty or the engine has observability disabled).
+func serveMetrics(addr string, eng *rijndaelip.Engine) func() {
+	if addr == "" {
+		return func() {}
+	}
+	obs.PublishExpvar("aesip_engine", eng.Metrics())
+	srv, bound, err := obs.Serve(addr, eng.Metrics(), eng.Trace())
+	if err != nil {
+		fail("metrics: %v", err)
+	}
+	fmt.Printf("metrics: serving http://%s/metrics (plus /trace, /debug/vars, /debug/pprof)\n", bound)
+	return func() { _ = srv.Close() }
+}
+
+// dumpTrace prints the supervision event trace, oldest first.
+func dumpTrace(events []obs.Event, overwritten uint64) {
+	if overwritten > 0 {
+		fmt.Printf("trace: %d older events lost to ring wraparound\n", overwritten)
+	}
+	for _, ev := range events {
+		fmt.Printf("trace: %s\n", ev)
+	}
+}
+
 // runChaos drives seeded traffic through a supervised engine while the
 // chaos injector strikes live shards (and optionally welds stuck-at ROM
 // bits), then prints the triage report, localization log and per-shard
 // health.
-func runChaos(impl *rijndaelip.Implementation, key []byte, shards, lanes, rate, blocks, waves, stuckAt int, seed int64) {
+func runChaos(impl *rijndaelip.Implementation, key []byte, shards, lanes, rate, blocks, waves, stuckAt int, seed int64, metricsAddr string, traceDump bool) {
+	closeMetrics := func() {}
 	rc := chaos.RunConfig{
 		Shards:   shards, // 0 takes the harness default of 4
 		MaxLanes: lanes,
@@ -159,7 +189,9 @@ func runChaos(impl *rijndaelip.Implementation, key []byte, shards, lanes, rate, 
 		Waves:    waves,
 		Baseline: true,
 		Chaos:    chaos.Config{Seed: seed, Period: rate, StuckAt: stuckAt},
+		OnEngine: func(eng *rijndaelip.Engine) { closeMetrics = serveMetrics(metricsAddr, eng) },
 	}
+	defer func() { closeMetrics() }()
 	fmt.Printf("chaos: supervised engine under live strikes (about 1 per %d submissions, seed %d", rate, seed)
 	if stuckAt > 0 {
 		fmt.Printf(", %d welded stuck-at ROM bits", stuckAt)
@@ -183,6 +215,9 @@ func runChaos(impl *rijndaelip.Implementation, key []byte, shards, lanes, rate, 
 		fmt.Printf("shard %d: %s (generation %d), %d blocks, %d detections (%d transient), %d quarantines, %d respawns\n",
 			ss.Shard, ss.Health, ss.Generation, ss.Blocks, ss.Detections, ss.Transients, ss.Quarantines, ss.Respawns)
 	}
+	if traceDump {
+		dumpTrace(rep.Trace, rep.TraceOverwritten)
+	}
 	if rep.Mismatches > 0 {
 		fail("chaos: %d of %d blocks diverged from the software reference", rep.Mismatches, rep.Blocks)
 	}
@@ -197,12 +232,13 @@ func runChaos(impl *rijndaelip.Implementation, key []byte, shards, lanes, rate, 
 func runEngine(impl *rijndaelip.Implementation, key []byte, blocks [][]byte, ref interface {
 	Encrypt(dst, src []byte)
 	Decrypt(dst, src []byte)
-}, shards, lanes int, dec bool) {
+}, shards, lanes int, dec bool, metricsAddr string, traceDump bool) {
 	eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards, MaxLanes: lanes})
 	if err != nil {
 		fail("engine: %v", err)
 	}
 	defer eng.Close()
+	defer serveMetrics(metricsAddr, eng)()
 	if lanes <= 0 || lanes > 64 {
 		lanes = 64
 	}
@@ -237,6 +273,11 @@ func runEngine(impl *rijndaelip.Implementation, key []byte, blocks [][]byte, ref
 	for _, ss := range st.Shards {
 		fmt.Printf("shard %d: %d blocks in %d submissions, %d cycles, %.2f cycles/block, %d stolen\n",
 			ss.Shard, ss.Blocks, ss.Submissions, ss.Cycles, ss.CyclesPerBlock, ss.Stolen)
+	}
+	if traceDump {
+		if ring := eng.Trace(); ring != nil {
+			dumpTrace(ring.Snapshot(), ring.Overwritten())
+		}
 	}
 	fmt.Printf("aggregate: %d blocks in %d submissions (lane occupancy %.1f%%, %d lanes idle), makespan %d cycles, %.2f cycles/block, %.1f Mbps at %.2f ns clk (single core: %.1f Mbps)\n",
 		st.Blocks, st.Submissions, 100*st.LaneOccupancy, st.WastedLanes,

@@ -26,8 +26,56 @@ import (
 	"rijndaelip/internal/edac"
 	"rijndaelip/internal/faultcampaign"
 	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/obs"
 	"rijndaelip/internal/report"
 )
+
+// progress is the campaign's live observability surface: per-row outcome
+// counters keyed by configuration and device, served over /metrics,
+// /debug/vars and /debug/pprof while the (potentially hours-long, with
+// -exhaustive) sweep runs.
+type progress struct {
+	reg  *obs.Registry
+	rows *obs.Counter
+}
+
+func newProgress() *progress {
+	p := &progress{reg: obs.NewRegistry()}
+	p.rows = p.reg.Counter("faultcampaign_rows_total")
+	return p
+}
+
+// record publishes one finished campaign row's outcome counts as
+// constant counters and bumps the completed-row counter.
+func (p *progress) record(config, device string, res *faultcampaign.Result) {
+	l := []string{"config", config, "device", device}
+	constant := func(family string, v uint64) {
+		p.reg.CounterFunc(family, func() uint64 { return v }, l...)
+	}
+	constant("faultcampaign_trials_total", uint64(len(res.Trials)))
+	constant("faultcampaign_masked_total", uint64(res.Count(faultcampaign.SilentCorrect)))
+	constant("faultcampaign_detected_total", uint64(res.Count(faultcampaign.Detected)))
+	constant("faultcampaign_corrupted_total", uint64(res.Count(faultcampaign.Corrupted)))
+	constant("faultcampaign_hung_total", uint64(res.Count(faultcampaign.Hung)))
+	constant("faultcampaign_recovered_total", uint64(res.Recovered))
+	constant("faultcampaign_persistent_total", uint64(res.Persistent))
+	p.rows.Add(1)
+}
+
+// serve exposes the progress registry on addr (plus pprof/expvar) for the
+// duration of the campaign; the returned func shuts the listener down.
+func (p *progress) serve(addr string) func() {
+	if addr == "" {
+		return func() {}
+	}
+	obs.PublishExpvar("faultcampaign", p.reg)
+	srv, bound, err := obs.Serve(addr, p.reg, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics: serving http://%s/metrics (plus /debug/vars, /debug/pprof)\n\n", bound)
+	return func() { _ = srv.Close() }
+}
 
 func main() {
 	trials := flag.Int("trials", 150, "sampled faults per configuration")
@@ -37,7 +85,11 @@ func main() {
 	exhaustive := flag.Bool("exhaustive", false, "sweep every (flip-flop x cycle) fault instead of sampling")
 	watchdog := flag.Int("watchdog", 0, "watchdog budget in cycles (0 = driver default)")
 	romStuck := flag.Int("romstuck", 4, "welded stuck-at ROM bits per device for the rom-stuck row (0 disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve campaign progress on /metrics, /debug/vars and /debug/pprof at this address while the sweep runs (e.g. :9100)")
 	flag.Parse()
+
+	prog := newProgress()
+	defer prog.serve(*metricsAddr)()
 
 	type target struct {
 		name string
@@ -95,6 +147,7 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("%-8s %-9s %v\n", tg.name, c.name+":", res)
+			prog.record(c.name, tg.name, res)
 			rows = append(rows, faultRow(c.name, tg.name, c.lcs, c.ffs, res))
 		}
 		if *romStuck > 0 {
@@ -112,6 +165,7 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("%-8s %-9s %v\n", tg.name, "rom-stuck:", res)
+			prog.record("rom-stuck", tg.name, res)
 			rows = append(rows, faultRow("rom-stuck", tg.name, impl.Fit.LogicCells, impl.Netlist.FFs, res))
 		}
 	}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rijndaelip/internal/aes"
 	"rijndaelip/internal/bfm"
@@ -13,6 +15,7 @@ import (
 	"rijndaelip/internal/faultcampaign"
 	"rijndaelip/internal/modes"
 	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/obs"
 )
 
 // Engine is a sharded hardware throughput pool: N independent
@@ -66,22 +69,21 @@ type Engine struct {
 	wg       sync.WaitGroup
 	rr       atomic.Uint64
 
-	// Supervision counters (see EngineStats).
-	detections      atomic.Uint64
+	// Engine-level supervision counters (see EngineStats). Only counters
+	// with no per-shard twin live here: everything that can be attributed
+	// to a shard is counted on the shard and summed by Stats in one pass,
+	// so a snapshot cannot tear between an aggregate and its parts.
 	retries         atomic.Uint64
-	quarantines     atomic.Uint64
-	respawns        atomic.Uint64
 	respawnFailures atomic.Uint64
 	fallbackBlocks  atomic.Uint64
+	escalations     atomic.Uint64
 
-	// Triage and memory-integrity counters (see EngineStats).
-	transients         atomic.Uint64
-	persistents        atomic.Uint64
-	inPlaceRecoveries  atomic.Uint64
-	escalations        atomic.Uint64
-	scrubSweeps        atomic.Uint64
-	scrubCorrected     atomic.Uint64
-	scrubUncorrectable atomic.Uint64
+	// reg and ring are the observability surface: a metrics registry
+	// (counters/gauges/latency histograms over the pool) and the bounded
+	// event-trace ring recording every supervision/triage transition.
+	// Both nil when EngineOptions.DisableObs.
+	reg  *obs.Registry
+	ring *obs.Ring
 
 	// diagnoses is the persistent-fault localization log (see Diagnoses).
 	diagMu    sync.Mutex
@@ -116,6 +118,14 @@ type EngineOptions struct {
 	// shard instead of the RTL, so fault campaigns and chaos harnesses can
 	// strike real flip-flops of live shards.
 	Supervise *SupervisorOptions
+	// DisableObs turns off the metrics registry and event-trace ring.
+	// The default (observability on) costs only atomic increments and two
+	// clock reads per submission; the overhead gate in bench-smoke holds
+	// it under 5%. Disable only for A/B overhead measurements.
+	DisableObs bool
+	// TraceDepth is the event-trace ring capacity (default 1024 events;
+	// the ring overwrites oldest-first when full).
+	TraceDepth int
 }
 
 // ErrEngineClosed is returned for blocks submitted after Close.
@@ -150,6 +160,10 @@ type engineShard struct {
 	// transient classifications (the sliding-window error budget). Touched
 	// only under runMu; reset by respawn.
 	transientLog []uint64
+
+	// lat is the submit→complete wall-clock latency histogram of jobs this
+	// shard delivered (nil when observability is disabled).
+	lat *obs.Histogram
 
 	q           chan *engineJob
 	blocks      atomic.Uint64
@@ -219,6 +233,17 @@ type engineJob struct {
 	encrypt bool
 	batch   *engineBatch
 	attempt int
+	// start is the submission instant (UnixNano) feeding the per-shard
+	// submit→complete latency histogram; 0 when observability is off.
+	start int64
+}
+
+// observe records the job's submit→complete latency on the delivering
+// shard's histogram. Called on the worker goroutine at completion.
+func (s *engineShard) observe(j *engineJob) {
+	if s.lat != nil && j.start != 0 {
+		s.lat.Observe(time.Duration(time.Now().UnixNano() - j.start))
+	}
 }
 
 // engineBatch tracks one Process call's fan-out: jobs decrement remaining
@@ -274,6 +299,10 @@ func (im *Implementation) NewEngine(key []byte, opts EngineOptions) (*Engine, er
 		wake:    make(chan struct{}, opts.Shards),
 		closed:  make(chan struct{}),
 	}
+	if !opts.DisableObs {
+		e.reg = obs.NewRegistry()
+		e.ring = obs.NewRing(opts.TraceDepth)
+	}
 	if sup != nil {
 		soft, err := aes.NewCipher(key)
 		if err != nil {
@@ -294,6 +323,7 @@ func (im *Implementation) NewEngine(key []byte, opts EngineOptions) (*Engine, er
 		s.publishStores()
 		e.shards = append(e.shards, s)
 	}
+	e.registerMetrics()
 	for _, s := range e.shards {
 		e.wg.Add(1)
 		go e.worker(s)
@@ -305,6 +335,67 @@ func (im *Implementation) NewEngine(key []byte, opts EngineOptions) (*Engine, er
 		}
 	}
 	return e, nil
+}
+
+// registerMetrics publishes the pool's counters, gauges and latency
+// histograms on the engine registry. Everything except the histograms is
+// func-backed over the atomics the engine already maintains, so scrapes
+// read live values and the hot path pays nothing beyond its existing
+// atomic increments.
+func (e *Engine) registerMetrics() {
+	if e.reg == nil {
+		return
+	}
+	for _, s := range e.shards {
+		s := s
+		l := []string{"shard", strconv.Itoa(s.id)}
+		s.lat = e.reg.Histogram("aesip_engine_submit_latency_ns", l...)
+		e.reg.CounterFunc("aesip_engine_blocks_total", s.blocks.Load, l...)
+		e.reg.CounterFunc("aesip_engine_cycles_total", s.cycles.Load, l...)
+		e.reg.CounterFunc("aesip_engine_submissions_total", s.submissions.Load, l...)
+		e.reg.CounterFunc("aesip_engine_steals_total", s.stolen.Load, l...)
+		e.reg.CounterFunc("aesip_engine_detections_total", s.detections.Load, l...)
+		e.reg.CounterFunc("aesip_engine_quarantines_total", s.quarantines.Load, l...)
+		e.reg.CounterFunc("aesip_engine_respawns_total", s.respawns.Load, l...)
+		e.reg.CounterFunc("aesip_engine_transients_total", s.transients.Load, l...)
+		e.reg.CounterFunc("aesip_engine_persistents_total", s.persistents.Load, l...)
+		e.reg.CounterFunc("aesip_engine_scrub_corrected_total", s.scrubCorrected.Load, l...)
+		e.reg.CounterFunc("aesip_engine_scrub_uncorrectable_total", s.scrubUncorrectable.Load, l...)
+		e.reg.GaugeFunc("aesip_engine_queue_depth", func() float64 { return float64(len(s.q)) }, l...)
+		e.reg.GaugeFunc("aesip_engine_shard_health", func() float64 { return float64(s.state.Load()) }, l...)
+		e.reg.GaugeFunc("aesip_engine_shard_generation", func() float64 { return float64(s.gen.Load()) }, l...)
+	}
+	e.reg.CounterFunc("aesip_engine_retries_total", e.retries.Load)
+	e.reg.CounterFunc("aesip_engine_escalations_total", e.escalations.Load)
+	e.reg.CounterFunc("aesip_engine_respawn_failures_total", e.respawnFailures.Load)
+	e.reg.CounterFunc("aesip_engine_fallback_blocks_total", e.fallbackBlocks.Load)
+	e.reg.GaugeFunc("aesip_engine_healthy_shards", func() float64 {
+		n := 0
+		for _, s := range e.shards {
+			if s.state.Load() == shardHealthy {
+				n++
+			}
+		}
+		return float64(n)
+	})
+}
+
+// Metrics returns the engine's metrics registry, for exposition via
+// obs.Handler/obs.Serve or direct snapshots. Nil when
+// EngineOptions.DisableObs was set.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
+// Trace returns the engine's bounded event-trace ring: every
+// supervision/triage transition (detection, retry, classification,
+// quarantine, respawn, scrub correction, fallback) in emission order.
+// Nil when EngineOptions.DisableObs was set.
+func (e *Engine) Trace() *obs.Ring { return e.ring }
+
+// emit records one trace event if the ring is armed.
+func (e *Engine) emit(ev obs.Event) {
+	if e.ring != nil {
+		e.ring.Emit(ev)
+	}
 }
 
 // Close stops the shard workers and waits for them to exit. Outstanding
@@ -460,6 +551,7 @@ func (e *Engine) run(s *engineShard, j *engineJob) {
 		for i, out := range outs {
 			copy(j.dst[i*16:i*16+16], out)
 		}
+		s.observe(j)
 	} else {
 		// Identify the failing shard, preserving driver sentinels
 		// (bfm.ErrTimeout, bfm.ErrLatency) for errors.Is through
@@ -499,6 +591,9 @@ func (e *Engine) process(ctx context.Context, dst, src []byte, encrypt bool) err
 			dst:     dst[lo*16 : hi*16],
 			encrypt: encrypt,
 			batch:   batch,
+		}
+		if e.reg != nil {
+			j.start = time.Now().UnixNano()
 		}
 		if err := e.submit(ctx, j); err != nil {
 			if e.sup != nil && errors.Is(err, errNoHealthyShard) {
@@ -734,9 +829,11 @@ type ShardStats struct {
 	Transients        uint64
 	Persistents       uint64
 	InPlaceRecoveries uint64
-	// Scrub and EDAC shares: words repaired / found hard by this shard's
-	// scrubber and diagnosis sweeps, and EDAC read-path correction events
-	// across all of the shard's driver generations.
+	// Scrub and EDAC shares: completed full scrub passes, words repaired /
+	// found hard by this shard's scrubber and diagnosis sweeps, and EDAC
+	// read-path correction events across all of the shard's driver
+	// generations.
+	ScrubSweeps           uint64
 	ScrubCorrected        uint64
 	ScrubUncorrectable    uint64
 	ROMCorrectedReads     uint64
@@ -793,7 +890,10 @@ type EngineStats struct {
 	// all count here. InPlaceRecoveries counts successful strike-free
 	// retries (a budget escalation still recovered its data in place, so
 	// InPlaceRecoveries >= Transients). Detections may exceed
-	// Transients+Persistents only transiently (classification in flight).
+	// Transients+Persistents (classification in flight), and Persistents
+	// may exceed what detections explain: the background scrubber
+	// classifies EDAC-masked ROM damage persistent without any
+	// transaction-level detection ever firing.
 	Transients        uint64
 	Persistents       uint64
 	InPlaceRecoveries uint64
@@ -821,25 +921,45 @@ type EngineStats struct {
 
 // Stats snapshots per-shard and aggregate counters. Safe to call while
 // blocks are in flight.
+//
+// Snapshot consistency: aggregates are derived from a single pass over
+// the per-shard counters (never from separately maintained engine totals,
+// which could be loaded at a different instant), so Blocks, Detections,
+// Quarantines, Respawns, the triage counters and HealthyShards are always
+// exactly the sum/count of the Shards slice in the same snapshot. Within
+// each shard the counters are loaded in the reverse of their increment
+// order, which preserves the monotonic invariants even mid-flight:
+//
+//	Retries            <= Detections
+//	Transients         <= InPlaceRecoveries <= Detections
+//	Escalations        <= Persistents
+//	Respawns           <= Quarantines       <= Persistents
+//
+// (TestStatsSnapshotInvariants holds these under -race chaos load.)
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
-		Shards:             make([]ShardStats, len(e.shards)),
-		Detections:         e.detections.Load(),
-		Retries:            e.retries.Load(),
-		Quarantines:        e.quarantines.Load(),
-		Respawns:           e.respawns.Load(),
-		RespawnFailures:    e.respawnFailures.Load(),
-		FallbackBlocks:     e.fallbackBlocks.Load(),
-		Transients:         e.transients.Load(),
-		Persistents:        e.persistents.Load(),
-		InPlaceRecoveries:  e.inPlaceRecoveries.Load(),
-		Escalations:        e.escalations.Load(),
-		ScrubSweeps:        e.scrubSweeps.Load(),
-		ScrubCorrected:     e.scrubCorrected.Load(),
-		ScrubUncorrectable: e.scrubUncorrectable.Load(),
+		Shards: make([]ShardStats, len(e.shards)),
+		// Engine-level counters without per-shard twins are loaded before
+		// the shard pass: each is incremented after the per-shard counter
+		// that bounds it (a retry after its detection, an escalation after
+		// its persistent classification), so loading the bound first and
+		// the bounding sum second keeps the inequality intact.
+		Retries:         e.retries.Load(),
+		Escalations:     e.escalations.Load(),
+		RespawnFailures: e.respawnFailures.Load(),
+		FallbackBlocks:  e.fallbackBlocks.Load(),
 	}
 	for i, s := range e.shards {
+		// Load order (reverse of increment order): a counter that is
+		// incremented later in the recovery ladder is loaded earlier, so
+		// its snapshot can never exceed the counter that precedes it.
 		state := s.state.Load()
+		respawns := s.respawns.Load()
+		quarantines := s.quarantines.Load()
+		persistents := s.persistents.Load()
+		transients := s.transients.Load()
+		inPlace := s.inPlace.Load()
+		detections := s.detections.Load()
 		ss := ShardStats{
 			Shard:       i,
 			Blocks:      s.blocks.Load(),
@@ -850,13 +970,14 @@ func (e *Engine) Stats() EngineStats {
 			WastedLanes: s.wasted.Load(),
 			Health:      healthName(state),
 			Generation:  s.gen.Load(),
-			Detections:  s.detections.Load(),
-			Quarantines: s.quarantines.Load(),
-			Respawns:    s.respawns.Load(),
+			Detections:  detections,
+			Quarantines: quarantines,
+			Respawns:    respawns,
 
-			Transients:         s.transients.Load(),
-			Persistents:        s.persistents.Load(),
-			InPlaceRecoveries:  s.inPlace.Load(),
+			Transients:         transients,
+			Persistents:        persistents,
+			InPlaceRecoveries:  inPlace,
+			ScrubSweeps:        s.scrubSweeps.Load(),
 			ScrubCorrected:     s.scrubCorrected.Load(),
 			ScrubUncorrectable: s.scrubUncorrectable.Load(),
 		}
@@ -872,6 +993,15 @@ func (e *Engine) Stats() EngineStats {
 		st.Blocks += ss.Blocks
 		st.Submissions += ss.Submissions
 		st.WastedLanes += ss.WastedLanes
+		st.Detections += ss.Detections
+		st.Quarantines += ss.Quarantines
+		st.Respawns += ss.Respawns
+		st.Transients += ss.Transients
+		st.Persistents += ss.Persistents
+		st.InPlaceRecoveries += ss.InPlaceRecoveries
+		st.ScrubSweeps += ss.ScrubSweeps
+		st.ScrubCorrected += ss.ScrubCorrected
+		st.ScrubUncorrectable += ss.ScrubUncorrectable
 		if ss.Cycles > st.MaxShardCycles {
 			st.MaxShardCycles = ss.Cycles
 		}

@@ -30,6 +30,7 @@ import (
 	"rijndaelip/internal/bfm"
 	"rijndaelip/internal/edac"
 	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/obs"
 )
 
 // Config tunes the strike generator.
@@ -192,6 +193,10 @@ type RunConfig struct {
 	Baseline bool
 	// Chaos tunes the strike generator.
 	Chaos Config
+	// OnEngine, when set, is invoked with the chaos engine right after it
+	// is built and before traffic starts — the hook CLIs use to expose the
+	// engine's metrics registry and trace ring for the duration of the run.
+	OnEngine func(*rijndaelip.Engine)
 }
 
 // Report is the harness verdict.
@@ -217,6 +222,68 @@ type Report struct {
 	// RunConfig.Baseline).
 	CyclesPerBlock         float64
 	BaselineCyclesPerBlock float64
+	// Trace is the chaos engine's final event-trace snapshot (oldest
+	// first) and TraceOverwritten how many events the bounded ring lost to
+	// wraparound — 0 means the whole run's supervision history is here.
+	Trace            []obs.Event
+	TraceOverwritten uint64
+}
+
+// VerifyLadder replays the recovery ladder from the event trace alone:
+// every quarantine must be resolved by a later respawn (or the
+// circuit-breaker dead verdict) of the same shard, no respawn may appear
+// without a preceding quarantine, and every quarantine must be preceded
+// by a persistent classification. A nil error means the whole
+// detect → classify → quarantine → respawn story is reconstructible from
+// the ring, independent of the counters.
+func (r *Report) VerifyLadder() error {
+	if r.TraceOverwritten > 0 {
+		return fmt.Errorf("chaos: trace ring lost %d events to wraparound; ladder not reconstructible", r.TraceOverwritten)
+	}
+	open := make(map[int]int)       // quarantines awaiting resolution
+	persistent := make(map[int]int) // classifications not yet consumed by a quarantine
+	for _, ev := range r.Trace {
+		switch ev.Kind {
+		case obs.KindPersistent:
+			persistent[ev.Shard]++
+		case obs.KindQuarantine:
+			// Several near-simultaneous persistents can fold into one
+			// quarantine (the CAS arbitrates), but at least one must come
+			// first.
+			if persistent[ev.Shard] == 0 {
+				return fmt.Errorf("chaos: trace %s without a preceding persistent classification", ev)
+			}
+			persistent[ev.Shard] = 0
+			open[ev.Shard]++
+		case obs.KindRespawn, obs.KindShardDead:
+			if open[ev.Shard] == 0 {
+				return fmt.Errorf("chaos: trace %s without a preceding quarantine", ev)
+			}
+			open[ev.Shard]--
+		}
+	}
+	for shard, n := range open {
+		if n > 0 {
+			return fmt.Errorf("chaos: shard %d has %d unresolved quarantine(s) in the trace", shard, n)
+		}
+	}
+	return nil
+}
+
+// ladderOpen counts quarantine events not yet resolved by a respawn or
+// dead verdict — the trace-derived "pool is healing" signal settle waits
+// on.
+func ladderOpen(events []obs.Event) int {
+	open := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindQuarantine:
+			open++
+		case obs.KindRespawn, obs.KindShardDead:
+			open--
+		}
+	}
+	return open
 }
 
 // Overhead is the recovery tax: CyclesPerBlock relative to the fault-free
@@ -244,15 +311,59 @@ func (r *Report) String() string {
 	return s
 }
 
-// settle waits (bounded) for every quarantined shard to hot-respawn.
-func settle(eng *rijndaelip.Engine, shards int) {
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if eng.Stats().HealthyShards == shards {
-			return
-		}
-		time.Sleep(time.Millisecond)
+// settleTimeout and settleLocalizedTimeout bound how long Run waits for
+// the pool to heal between waves / for the scrubber to find every planted
+// stuck-at. They are variables so tests can shrink them to exercise the
+// timeout paths without multi-second stalls.
+var (
+	settleTimeout          = 5 * time.Second
+	settleLocalizedTimeout = 10 * time.Second
+)
+
+// await polls cond on a millisecond ticker until it holds, the bound
+// expires, or the caller's context is cancelled. No wall-clock
+// comparisons: cancellation (Ctrl-C, test deadline) is honored
+// immediately instead of spinning out the full bound, and the timeout
+// error names the condition that was being waited on via describe().
+func await(ctx context.Context, bound time.Duration, cond func() bool, describe func() string) error {
+	if cond() {
+		return nil
 	}
+	ctx, cancel := context.WithTimeout(ctx, bound)
+	defer cancel()
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if err := context.Cause(ctx); err != nil && err != context.DeadlineExceeded {
+				return fmt.Errorf("chaos: cancelled while waiting for %s: %w", describe(), err)
+			}
+			return fmt.Errorf("chaos: timed out after %v waiting for %s", bound, describe())
+		case <-t.C:
+			if cond() {
+				return nil
+			}
+		}
+	}
+}
+
+// settle waits (bounded, cancellable) for every quarantine opened so far
+// to be resolved by a hot-respawn — the condition is read off the event
+// trace, not polled counters, so it is exactly the ladder the trace
+// records. Engines without a trace ring fall back to the healthy-shard
+// count.
+func settle(ctx context.Context, eng *rijndaelip.Engine, shards int) error {
+	ring := eng.Trace()
+	cond := func() bool { return eng.Stats().HealthyShards == shards }
+	if ring != nil {
+		cond = func() bool { return ladderOpen(ring.Snapshot()) == 0 }
+	}
+	return await(ctx, settleTimeout, cond, func() string {
+		st := eng.Stats()
+		return fmt.Sprintf("pool to heal (%d/%d shards healthy, %d quarantines vs %d respawns)",
+			st.HealthyShards, shards, st.Quarantines, st.Respawns)
+	})
 }
 
 // localized counts planted stuck-ats matched by a word-accurate ROM
@@ -270,18 +381,17 @@ func localized(planted []Planted, diags []rijndaelip.Diagnosis) int {
 	return n
 }
 
-// settleLocalized waits (bounded) for the background scrubber to localize
-// every planted stuck-at and for the pool to heal — welded bits are
-// EDAC-masked, so no amount of traffic forces the issue; only scrub time
-// does.
-func settleLocalized(eng *rijndaelip.Engine, shards int, planted []Planted) {
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if localized(planted, eng.Diagnoses()) == len(planted) && eng.Stats().HealthyShards == shards {
-			return
-		}
-		time.Sleep(time.Millisecond)
-	}
+// settleLocalized waits (bounded, cancellable) for the background
+// scrubber to localize every planted stuck-at and for the pool to heal —
+// welded bits are EDAC-masked, so no amount of traffic forces the issue;
+// only scrub time does.
+func settleLocalized(ctx context.Context, eng *rijndaelip.Engine, shards int, planted []Planted) error {
+	return await(ctx, settleLocalizedTimeout, func() bool {
+		return localized(planted, eng.Diagnoses()) == len(planted) && eng.Stats().HealthyShards == shards
+	}, func() string {
+		return fmt.Sprintf("scrubber localization (%d/%d planted stuck-ats diagnosed, %d/%d shards healthy)",
+			localized(planted, eng.Diagnoses()), len(planted), eng.Stats().HealthyShards, shards)
+	})
 }
 
 // Run drives seeded traffic through a supervised engine under live
@@ -330,6 +440,9 @@ func Run(ctx context.Context, impl *rijndaelip.Implementation, key []byte, rc Ru
 		return nil, fmt.Errorf("chaos: engine: %w", err)
 	}
 	defer eng.Close()
+	if rc.OnEngine != nil {
+		rc.OnEngine(eng)
+	}
 
 	ref, err := rijndaelip.NewCipher(key)
 	if err != nil {
@@ -357,14 +470,22 @@ func Run(ctx context.Context, impl *rijndaelip.Implementation, key []byte, rc Ru
 		// Let background respawns land before the next wave (and before the
 		// final stats snapshot): strikes never kill shards permanently here,
 		// so a full pool is the steady state the counters should reflect.
-		settle(eng, rc.Shards)
+		if err := settle(ctx, eng, rc.Shards); err != nil {
+			return nil, fmt.Errorf("wave %d: %w", w, err)
+		}
 	}
 	rep.Planted = inj.Planted()
 	if len(rep.Planted) > 0 {
-		settleLocalized(eng, rc.Shards, rep.Planted)
+		if err := settleLocalized(ctx, eng, rc.Shards, rep.Planted); err != nil {
+			return nil, err
+		}
 	}
 	rep.Strikes = inj.Strikes()
 	rep.Stats = eng.Stats()
+	if ring := eng.Trace(); ring != nil {
+		rep.Trace = ring.Snapshot()
+		rep.TraceOverwritten = ring.Overwritten()
+	}
 	rep.Diagnoses = eng.Diagnoses()
 	rep.Localized = localized(rep.Planted, rep.Diagnoses)
 	rep.CyclesPerBlock = rep.Stats.AggregateCyclesPerBlock

@@ -2,11 +2,13 @@ package chaos
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"rijndaelip"
+	"rijndaelip/internal/obs"
 )
 
 var (
@@ -85,6 +87,33 @@ func TestChaosGate(t *testing.T) {
 		t.Errorf("recovery overhead %.2fx exceeds the 1.25x budget (chaos %.2f vs fault-free %.2f cycles/block)",
 			ov, rep.CyclesPerBlock, rep.BaselineCyclesPerBlock)
 	}
+	// The same ladder must be reconstructible from the event trace alone,
+	// and the trace-derived counts must agree with the counter snapshot.
+	if err := rep.VerifyLadder(); err != nil {
+		t.Error(err)
+	}
+	kinds := traceKinds(rep.Trace)
+	if got := kinds[obs.KindDetection]; got != rep.Stats.Detections {
+		t.Errorf("trace has %d detection events, counters say %d", got, rep.Stats.Detections)
+	}
+	if got := kinds[obs.KindQuarantine]; got != rep.Stats.Quarantines {
+		t.Errorf("trace has %d quarantine events, counters say %d", got, rep.Stats.Quarantines)
+	}
+	if got := kinds[obs.KindRespawn]; got != rep.Stats.Respawns {
+		t.Errorf("trace has %d respawn events, counters say %d", got, rep.Stats.Respawns)
+	}
+	if got := kinds[obs.KindInPlaceRecovery]; got != rep.Stats.InPlaceRecoveries {
+		t.Errorf("trace has %d in-place-recovery events, counters say %d", got, rep.Stats.InPlaceRecoveries)
+	}
+}
+
+// traceKinds tallies a trace snapshot by event kind.
+func traceKinds(events []obs.Event) map[obs.Kind]uint64 {
+	m := make(map[obs.Kind]uint64)
+	for _, ev := range events {
+		m[ev.Kind]++
+	}
+	return m
 }
 
 // TestTriageGate is the ISSUE's mixed-fault acceptance gate: transient
@@ -137,6 +166,21 @@ func TestTriageGate(t *testing.T) {
 	}
 	if rep.Stats.HealthyShards != rc.Shards {
 		t.Errorf("pool did not heal: %d/%d shards healthy", rep.Stats.HealthyShards, rc.Shards)
+	}
+	// The mixed-fault ladder — scrubber-found persistents included — must
+	// replay cleanly from the trace, and every planted weld must show up
+	// as a rom-caused persistent classification event.
+	if err := rep.VerifyLadder(); err != nil {
+		t.Error(err)
+	}
+	romPersistents := uint64(0)
+	for _, ev := range rep.Trace {
+		if ev.Kind == obs.KindPersistent && ev.Cause == rijndaelip.CauseROM {
+			romPersistents++
+		}
+	}
+	if romPersistents < uint64(len(rep.Planted)) {
+		t.Errorf("trace records %d rom-caused persistents, want >= %d planted welds", romPersistents, len(rep.Planted))
 	}
 }
 
@@ -210,5 +254,63 @@ func TestInjectorDefaults(t *testing.T) {
 	r.BaselineCyclesPerBlock = 1
 	if r.Overhead() != 2 {
 		t.Errorf("Overhead = %v, want 2", r.Overhead())
+	}
+}
+
+// TestAwaitTimeout pins the settle helpers' timeout contract: the error
+// names the condition that was being waited on, and cancellation of the
+// caller's context is honored immediately instead of spinning out the
+// full wall-clock bound.
+func TestAwaitTimeout(t *testing.T) {
+	start := time.Now()
+	err := await(context.Background(), 5*time.Millisecond,
+		func() bool { return false },
+		func() string { return "the pool to heal (0/4 shards healthy)" })
+	if err == nil {
+		t.Fatal("await returned nil with a never-true condition")
+	}
+	if !strings.Contains(err.Error(), "timed out") || !strings.Contains(err.Error(), "0/4 shards healthy") {
+		t.Errorf("timeout error does not name the waited condition: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = await(ctx, time.Hour, func() bool { return false }, func() string { return "anything" })
+	if err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("cancelled await = %v, want a cancellation error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("await helpers burned %v of wall clock on bounded waits", elapsed)
+	}
+}
+
+// TestVerifyLadder pins the trace replay on synthetic traces: balanced
+// ladders pass, orphaned respawns and unresolved quarantines fail, and a
+// wrapped ring refuses to vouch for anything.
+func TestVerifyLadder(t *testing.T) {
+	ev := func(k obs.Kind, shard int) obs.Event { return obs.Event{Kind: k, Shard: shard} }
+	good := &Report{Trace: []obs.Event{
+		ev(obs.KindDetection, 0),
+		ev(obs.KindPersistent, 0), ev(obs.KindQuarantine, 0), ev(obs.KindRespawn, 0),
+		ev(obs.KindPersistent, 1), ev(obs.KindQuarantine, 1), ev(obs.KindShardDead, 1),
+	}}
+	if err := good.VerifyLadder(); err != nil {
+		t.Errorf("balanced ladder rejected: %v", err)
+	}
+	orphan := &Report{Trace: []obs.Event{ev(obs.KindRespawn, 0)}}
+	if err := orphan.VerifyLadder(); err == nil {
+		t.Error("respawn without quarantine accepted")
+	}
+	unclassified := &Report{Trace: []obs.Event{ev(obs.KindQuarantine, 0), ev(obs.KindRespawn, 0)}}
+	if err := unclassified.VerifyLadder(); err == nil {
+		t.Error("quarantine without persistent classification accepted")
+	}
+	hung := &Report{Trace: []obs.Event{ev(obs.KindPersistent, 2), ev(obs.KindQuarantine, 2)}}
+	if err := hung.VerifyLadder(); err == nil {
+		t.Error("unresolved quarantine accepted")
+	}
+	wrapped := &Report{TraceOverwritten: 3}
+	if err := wrapped.VerifyLadder(); err == nil {
+		t.Error("wrapped ring accepted")
 	}
 }

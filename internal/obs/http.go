@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler mounts the exposition surface on one mux:
+//
+//	/metrics      Prometheus text format (registry)
+//	/trace        JSON dump of the event-trace ring, oldest first
+//	/debug/vars   expvar JSON (globally published vars, PublishExpvar included)
+//	/debug/pprof  the standard net/http/pprof profiles
+//
+// reg and ring may each be nil; their routes then serve empty documents.
+func Handler(reg *Registry, ring *Ring) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := []Event{}
+		if ring != nil {
+			events = ring.Snapshot()
+		}
+		_ = json.NewEncoder(w).Encode(events)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves Handler(reg, ring) in a background
+// goroutine, returning the server and the bound address (useful with
+// ":0"). The caller owns srv.Close.
+func Serve(addr string, reg *Registry, ring *Ring) (*http.Server, string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(reg, ring)}
+	go func() { _ = srv.Serve(l) }()
+	return srv, l.Addr().String(), nil
+}
+
+var expvarMu sync.Mutex
+
+// PublishExpvar publishes the registry's Snapshot under name in the
+// process-wide expvar namespace (served at /debug/vars). Publishing the
+// same name twice is a no-op rather than the expvar panic, so CLIs can
+// call it unconditionally; the first registry wins.
+func PublishExpvar(name string, reg *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}

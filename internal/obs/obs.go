@@ -1,0 +1,297 @@
+// Package obs is the observability substrate for the rijndaelip engine:
+// a lightweight metrics registry (counters, func-backed gauges and
+// log-bucketed latency histograms), a bounded event-trace ring recording
+// every supervision/triage transition, and an exposition layer
+// (Prometheus text, expvar JSON, net/http/pprof).
+//
+// The hot-path contract: once a metric is registered, Counter.Add,
+// Counter.Inc and Histogram.Observe perform only atomic operations — no
+// allocation, no locks, no map lookups — so the engine can instrument
+// every block without measurable throughput cost. Registration and
+// exposition take a registry lock and may allocate; both happen at
+// construction or scrape time, off the per-block path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64 metric. The zero value is
+// usable; registry-created counters are shared with the exposition layer.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. Allocation-free.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one. Allocation-free.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram is a log2-bucketed latency histogram: observation i lands in
+// the bucket whose upper bound is the smallest power of two (in
+// nanoseconds) not below it. Bucket 0 holds everything up to minBound ns;
+// the last bucket is the +Inf overflow. Fixed bucket count, atomic
+// counters — Observe is allocation-free and lock-free.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64 // total observed nanoseconds
+	count  atomic.Uint64
+}
+
+const (
+	// histBuckets log2 buckets starting at 2^histMinShift ns (256 ns)
+	// cover 256 ns .. ~34 s before overflowing into +Inf — wider than any
+	// simulated-transaction latency this engine produces.
+	histBuckets  = 28
+	histMinShift = 8
+)
+
+// bucketOf maps an observation in nanoseconds to its bucket index.
+func bucketOf(ns uint64) int {
+	b := bits.Len64(ns) // smallest p with ns < 2^p
+	if b <= histMinShift {
+		return 0
+	}
+	if b >= histMinShift+histBuckets {
+		return histBuckets - 1
+	}
+	return b - histMinShift
+}
+
+// Observe records one duration. Allocation-free.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// Count returns how many observations have been recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed nanoseconds.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Buckets returns the cumulative bucket counts and their upper bounds in
+// nanoseconds (the last bound is +Inf, reported as 0).
+func (h *Histogram) Buckets() (bounds []uint64, cumulative []uint64) {
+	bounds = make([]uint64, histBuckets)
+	cumulative = make([]uint64, histBuckets)
+	var c uint64
+	for i := 0; i < histBuckets; i++ {
+		c += h.counts[i].Load()
+		cumulative[i] = c
+		if i < histBuckets-1 {
+			bounds[i] = 1 << uint(histMinShift+i)
+		}
+	}
+	return bounds, cumulative
+}
+
+// metricKind discriminates exposition formats.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered series: a family name, an optional
+// preformatted label set, and exactly one backing store.
+type metric struct {
+	family string
+	labels string // rendered `{k="v",...}` or ""
+	kind   metricKind
+	ctr    *Counter
+	fn     func() float64
+	hist   *Histogram
+}
+
+// Registry holds named series in registration order and renders them for
+// the exposition layer. Safe for concurrent registration and scraping;
+// the metrics themselves are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// renderLabels formats variadic key,value pairs as a Prometheus label
+// set. Odd trailing keys are dropped.
+func renderLabels(labels []string) string {
+	if len(labels) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) add(m metric) {
+	r.mu.Lock()
+	r.metrics = append(r.metrics, m)
+	r.mu.Unlock()
+}
+
+// Counter registers and returns a counter series. labels are optional
+// key,value pairs (e.g. "shard", "0").
+func (r *Registry) Counter(family string, labels ...string) *Counter {
+	c := &Counter{}
+	r.add(metric{family: family, labels: renderLabels(labels), kind: kindCounter, ctr: c})
+	return c
+}
+
+// CounterFunc registers a counter series backed by fn — the bridge for
+// counters that already live as engine atomics.
+func (r *Registry) CounterFunc(family string, fn func() uint64, labels ...string) {
+	r.add(metric{family: family, labels: renderLabels(labels), kind: kindCounter,
+		fn: func() float64 { return float64(fn()) }})
+}
+
+// GaugeFunc registers a gauge series computed at scrape time (queue
+// depths, health states).
+func (r *Registry) GaugeFunc(family string, fn func() float64, labels ...string) {
+	r.add(metric{family: family, labels: renderLabels(labels), kind: kindGauge, fn: fn})
+}
+
+// Histogram registers and returns a log-bucketed histogram series.
+func (r *Registry) Histogram(family string, labels ...string) *Histogram {
+	h := &Histogram{}
+	r.add(metric{family: family, labels: renderLabels(labels), kind: kindHistogram, hist: h})
+	return h
+}
+
+// snapshotMetrics copies the series list so rendering can run without the
+// registry lock.
+func (r *Registry) snapshotMetrics() []metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]metric(nil), r.metrics...)
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (counters and gauges as single samples, histograms as
+// cumulative le buckets plus _sum and _count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	typed := map[string]bool{}
+	for _, m := range r.snapshotMetrics() {
+		if !typed[m.family] {
+			typed[m.family] = true
+			kind := "counter"
+			switch m.kind {
+			case kindGauge:
+				kind = "gauge"
+			case kindHistogram:
+				kind = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.family, kind); err != nil {
+				return err
+			}
+		}
+		switch m.kind {
+		case kindHistogram:
+			if err := writePromHistogram(w, m); err != nil {
+				return err
+			}
+		default:
+			v := m.fn
+			if v == nil {
+				c := m.ctr
+				v = func() float64 { return float64(c.Value()) }
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %v\n", m.family, m.labels, v()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram family instance. The le label
+// is appended to any instance labels.
+func writePromHistogram(w io.Writer, m metric) error {
+	bounds, cum := m.hist.Buckets()
+	prefix := "{"
+	if m.labels != "" {
+		prefix = strings.TrimSuffix(m.labels, "}") + ","
+	}
+	for i, c := range cum {
+		le := "+Inf"
+		if i < len(bounds)-1 {
+			le = fmt.Sprintf("%d", bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n", m.family, prefix, le, c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.family, m.labels, m.hist.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.family, m.labels, m.hist.Count())
+	return err
+}
+
+// Snapshot flattens the registry into name→value pairs: counters and
+// gauges verbatim (labels folded into the key), histograms as _count,
+// _sum_ns and _mean_ns. The map is sorted-key stable for JSON diffing.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	for _, m := range r.snapshotMetrics() {
+		key := m.family + m.labels
+		switch m.kind {
+		case kindHistogram:
+			n, sum := m.hist.Count(), m.hist.Sum()
+			out[key+"_count"] = float64(n)
+			out[key+"_sum_ns"] = float64(sum)
+			if n > 0 {
+				out[key+"_mean_ns"] = float64(sum) / float64(n)
+			}
+		default:
+			if m.fn != nil {
+				out[key] = m.fn()
+			} else {
+				out[key] = float64(m.ctr.Value())
+			}
+		}
+	}
+	return out
+}
+
+// Families returns the distinct registered family names, sorted — the
+// scrape-assertion helper the obs smoke gate uses.
+func (r *Registry) Families() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range r.snapshotMetrics() {
+		if !seen[m.family] {
+			seen[m.family] = true
+			out = append(out, m.family)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

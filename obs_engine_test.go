@@ -1,0 +1,387 @@
+// Observability-layer tests over the live engine: the exposition smoke
+// (scrape a real HTTP endpoint mid-recovery and reconstruct the ladder
+// from the trace ring alone), the instrumentation-overhead gate, and the
+// Stats snapshot-consistency invariants under concurrent chaos load.
+package rijndaelip_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rijndaelip"
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/obs"
+)
+
+// ladderSeq reports whether the shard's events contain kinds as a
+// subsequence, in order — the trace-only ladder reconstruction check.
+func ladderSeq(events []obs.Event, shard int, kinds ...obs.Kind) bool {
+	i := 0
+	for _, ev := range events {
+		if ev.Shard == shard && ev.Kind == kinds[i] {
+			if i++; i == len(kinds) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestObsSmoke drives a strike through a supervised engine while its
+// metrics and trace are served over HTTP: the scrape must show the
+// registry's series, and the whole detection → persistent → quarantine →
+// respawn ladder must be reconstructible from the trace ring alone (and
+// from the /trace endpoint). This is the `make obs-smoke` gate.
+func TestObsSmoke(t *testing.T) {
+	impl := supImpl(t)
+	key := []byte("obs-smoke-key-00")
+	var strikeOnce sync.Once
+	eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{
+		Shards:   2,
+		MaxLanes: 2,
+		Supervise: &rijndaelip.SupervisorOptions{
+			Check: rijndaelip.CheckLockstep,
+			Strike: func(shard int, submission uint64, sim *netlist.Simulator) {
+				if shard != 0 {
+					return
+				}
+				strikeOnce.Do(func() {
+					sim.StickFF(sim.FindFF("s0[0]"), false)
+				})
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	srv, addr, err := obs.Serve("127.0.0.1:0", eng.Metrics(), eng.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	src := make([]byte, 24*16)
+	for i := range src {
+		src[i] = byte(i ^ 0x5A)
+	}
+	got, err := eng.EncryptECB(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkECB(t, got, src, key)
+	waitEngine(t, eng, "respawn after strike", func(st rijndaelip.EngineStats) bool {
+		return st.Respawns >= 1 && st.HealthyShards == 2
+	})
+
+	scrape := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	metrics := scrape("/metrics")
+	for _, want := range []string{
+		`aesip_engine_blocks_total{shard="0"}`,
+		`aesip_engine_detections_total{shard="0"}`,
+		`aesip_engine_submit_latency_ns_bucket{shard="1",le="+Inf"}`,
+		"aesip_engine_healthy_shards 2",
+		"# TYPE aesip_engine_submit_latency_ns histogram",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if out := scrape("/trace"); !strings.Contains(out, `"kind":"respawn"`) {
+		t.Errorf("/trace missing the respawn event:\n%s", out)
+	}
+
+	// The recovery story must replay from the ring alone: the struck shard
+	// walks detection → persistent classification → quarantine → respawn,
+	// in that order, with generations and a cause attached.
+	events := eng.Trace().Snapshot()
+	if !ladderSeq(events, 0, obs.KindDetection, obs.KindPersistent, obs.KindQuarantine, obs.KindRespawn) {
+		t.Errorf("trace does not replay the recovery ladder for shard 0: %v", events)
+	}
+	for _, ev := range events {
+		if ev.Kind == obs.KindDetection && ev.Shard == 0 && ev.Cause == "" {
+			t.Errorf("detection event carries no cause: %v", ev)
+		}
+		if ev.Kind == obs.KindRespawn && ev.Generation < 2 {
+			t.Errorf("respawn event generation = %d, want >= 2: %v", ev.Generation, ev)
+		}
+	}
+
+	// The histogram must have timed every successful submission.
+	snap := eng.Metrics().Snapshot()
+	latCount := snap[`aesip_engine_submit_latency_ns{shard="0"}_count`] +
+		snap[`aesip_engine_submit_latency_ns{shard="1"}_count`]
+	if latCount == 0 {
+		t.Error("submit-latency histograms observed nothing")
+	}
+}
+
+// TestObsOverheadGate holds the instrumentation to its budget: a default
+// (instrumented) engine must sustain at least 95% of the throughput of an
+// identical engine built with DisableObs. Best-of-N timing on both sides
+// damps single-CPU scheduling noise.
+func TestObsOverheadGate(t *testing.T) {
+	impl := supImpl(t)
+	key := []byte("obs-overhead-key")
+	src := make([]byte, 128*16)
+	for i := range src {
+		src[i] = byte(i * 13)
+	}
+	rounds := 5
+	if testing.Short() {
+		rounds = 3
+	}
+	best := func(disable bool) float64 {
+		eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{
+			Shards: 2, MaxLanes: 16, DisableObs: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		if (eng.Metrics() == nil) != disable || (eng.Trace() == nil) != disable {
+			t.Fatalf("DisableObs=%v but Metrics/Trace nil-ness disagrees", disable)
+		}
+		if _, err := eng.EncryptECB(context.Background(), src); err != nil { // warmup
+			t.Fatal(err)
+		}
+		bestRate := 0.0
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			if _, err := eng.EncryptECB(context.Background(), src); err != nil {
+				t.Fatal(err)
+			}
+			if rate := 128 / time.Since(start).Seconds(); rate > bestRate {
+				bestRate = rate
+			}
+		}
+		return bestRate
+	}
+	plain := best(true)
+	instrumented := best(false)
+	t.Logf("blocks/sec: uninstrumented %.1f, instrumented %.1f (ratio %.3f)",
+		plain, instrumented, instrumented/plain)
+	if instrumented < 0.95*plain {
+		t.Errorf("instrumentation overhead exceeds 5%%: %.1f vs %.1f blocks/sec (ratio %.3f)",
+			instrumented, plain, instrumented/plain)
+	}
+}
+
+// TestEngineThroughputZeroBlocks pins the division-by-zero guards: a
+// freshly built engine that has processed nothing reports zero
+// throughput and zero aggregate rates instead of NaN/Inf.
+func TestEngineThroughputZeroBlocks(t *testing.T) {
+	impl := supImpl(t)
+	eng, err := impl.NewEngine([]byte("zero-blocks-key0"), rijndaelip.EngineOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if tp := eng.Throughput(); tp != 0 {
+		t.Errorf("Throughput with zero blocks = %v, want 0", tp)
+	}
+	st := eng.Stats()
+	if st.Blocks != 0 || st.AggregateCyclesPerBlock != 0 || st.LaneOccupancy != 0 {
+		t.Errorf("zero-traffic stats not zero: %+v", st)
+	}
+	for _, ss := range st.Shards {
+		if ss.CyclesPerBlock != 0 {
+			t.Errorf("shard %d CyclesPerBlock = %v with no blocks", ss.Shard, ss.CyclesPerBlock)
+		}
+	}
+}
+
+// TestStatsQuarantinedShardSnapshot snapshots a pool with one shard
+// parked dead by the respawn circuit breaker: the per-shard health, the
+// healthy-shard count and the aggregate counters must describe the same
+// instant, and the trace must record the shard-dead verdict.
+func TestStatsQuarantinedShardSnapshot(t *testing.T) {
+	impl := supImpl(t)
+	key := []byte("quarantine-snap0")
+	var strikeOnce sync.Once
+	eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{
+		Shards:   2,
+		MaxLanes: 2,
+		Supervise: &rijndaelip.SupervisorOptions{
+			Check:              rijndaelip.CheckLockstep,
+			MaxRespawnFailures: 2,
+			RespawnHook: func(shard, attempt int) error {
+				if shard == 0 {
+					return errTestRespawnVeto
+				}
+				return nil
+			},
+			Strike: func(shard int, submission uint64, sim *netlist.Simulator) {
+				if shard != 0 {
+					return
+				}
+				strikeOnce.Do(func() {
+					sim.StickFF(sim.FindFF("s0[0]"), false)
+				})
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	src := make([]byte, 24*16)
+	for i := range src {
+		src[i] = byte(i * 17)
+	}
+	got, err := eng.EncryptECB(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkECB(t, got, src, key)
+	st := waitEngine(t, eng, "circuit breaker on shard 0", func(st rijndaelip.EngineStats) bool {
+		return st.Shards[0].Health == "dead"
+	})
+	if st.HealthyShards != 1 || st.Degraded {
+		t.Errorf("one-dead-shard pool: healthy=%d degraded=%v, want 1/false", st.HealthyShards, st.Degraded)
+	}
+	if ss := st.Shards[0]; ss.Quarantines != 1 || ss.Respawns != 0 || ss.Generation != 1 {
+		t.Errorf("dead shard counters: %+v, want 1 quarantine, 0 respawns, gen 1", ss)
+	}
+	if st.Quarantines != st.Shards[0].Quarantines+st.Shards[1].Quarantines {
+		t.Errorf("aggregate quarantines %d != sum of shard counters", st.Quarantines)
+	}
+	if st.RespawnFailures < 2 {
+		t.Errorf("respawn failures = %d, want >= 2 (vetoed attempts)", st.RespawnFailures)
+	}
+	events := eng.Trace().Snapshot()
+	if !ladderSeq(events, 0, obs.KindQuarantine, obs.KindRespawnFailure, obs.KindShardDead) {
+		t.Errorf("trace missing quarantine → respawn-failure → shard-dead for shard 0: %v", events)
+	}
+}
+
+var errTestRespawnVeto = respawnVetoError{}
+
+type respawnVetoError struct{}
+
+func (respawnVetoError) Error() string { return "test: replica slot vetoed" }
+
+// TestStatsSnapshotInvariants is the -race stress for the snapshot fix:
+// while a supervised pool absorbs periodic strikes, a reader hammers
+// Stats() and asserts the monotonic invariants the load ordering
+// guarantees — no torn snapshot may show a retry without its detection,
+// an escalation without its persistent classification, or a respawn
+// without its quarantine.
+func TestStatsSnapshotInvariants(t *testing.T) {
+	impl := supImpl(t)
+	key := []byte("snapshot-inv-key")
+	var n atomic.Uint64
+	eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{
+		Shards:   2,
+		MaxLanes: 2,
+		Supervise: &rijndaelip.SupervisorOptions{
+			Check:           rijndaelip.CheckLockstep,
+			TransientBudget: 1,
+			TransientWindow: 16,
+			Strike: func(shard int, submission uint64, sim *netlist.Simulator) {
+				// One transient flip roughly every 6th submission across the
+				// pool keeps detections, transients, escalations, quarantines
+				// and respawns all moving while the reader snapshots.
+				if n.Add(1)%6 == 0 {
+					sim.ScheduleFlipLanes(9, 1, sim.FindFF("s0[0]"))
+				}
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	src := make([]byte, 16*16)
+	for i := range src {
+		src[i] = byte(i * 23)
+	}
+	waves := 4
+	if testing.Short() {
+		waves = 2
+	}
+	done := make(chan error, 1)
+	go func() {
+		for w := 0; w < waves; w++ {
+			if _, err := eng.EncryptECB(context.Background(), src); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	var lastBlocks uint64
+	snapshots := 0
+	check := func() {
+		st := eng.Stats()
+		snapshots++
+		if st.Retries > st.Detections {
+			t.Fatalf("torn snapshot: %d retries > %d detections", st.Retries, st.Detections)
+		}
+		if st.Transients > st.InPlaceRecoveries || st.InPlaceRecoveries > st.Detections {
+			t.Fatalf("torn snapshot: transients %d / in-place %d / detections %d out of order",
+				st.Transients, st.InPlaceRecoveries, st.Detections)
+		}
+		if st.Escalations > st.Persistents {
+			t.Fatalf("torn snapshot: %d escalations > %d persistents", st.Escalations, st.Persistents)
+		}
+		if st.Respawns > st.Quarantines || st.Quarantines > st.Persistents {
+			t.Fatalf("torn snapshot: respawns %d / quarantines %d / persistents %d out of order",
+				st.Respawns, st.Quarantines, st.Persistents)
+		}
+		if st.Blocks < lastBlocks {
+			t.Fatalf("blocks went backwards: %d -> %d", lastBlocks, st.Blocks)
+		}
+		lastBlocks = st.Blocks
+		// Aggregates must be exactly the sum of the same snapshot's shards.
+		var det, qua, resp uint64
+		for _, ss := range st.Shards {
+			det += ss.Detections
+			qua += ss.Quarantines
+			resp += ss.Respawns
+		}
+		if det != st.Detections || qua != st.Quarantines || resp != st.Respawns {
+			t.Fatalf("aggregates diverge from shard sums: %+v", st)
+		}
+	}
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			check()
+			if st := eng.Stats(); st.Detections == 0 {
+				t.Error("stress produced no detections; invariants were not exercised")
+			}
+			t.Logf("validated %d snapshots", snapshots)
+			return
+		default:
+			check()
+		}
+	}
+}

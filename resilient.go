@@ -9,6 +9,7 @@ import (
 	"rijndaelip/internal/bfm"
 	"rijndaelip/internal/faultcampaign"
 	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/obs"
 	"rijndaelip/internal/rijndael"
 )
 
@@ -108,6 +109,10 @@ type ResilientBlock struct {
 	mu    sync.Mutex
 	stats ResilientStats
 	err   error
+
+	// ring traces the adapter's detect → retry → degrade transitions.
+	// Shard is always -1: there is one device behind the adapter.
+	ring *obs.Ring
 }
 
 // NewResilientBlock builds the resilient adapter over a post-synthesis
@@ -133,6 +138,7 @@ func (im *Implementation) NewResilientBlock(key []byte, opts ResilientOptions) (
 		opts: opts,
 		key:  append([]byte(nil), key...),
 		soft: soft,
+		ring: obs.NewRing(256),
 	}
 	main, err := netlist.NewSimulator(im.Netlist.nl)
 	if err != nil {
@@ -196,6 +202,11 @@ func (r *ResilientBlock) Degraded() bool {
 	return r.stats.Degraded
 }
 
+// Trace returns the adapter's event-trace ring: every watchdog expiry,
+// checker detection, fresh-state retry, and the degradation transition,
+// timestamped and in order. The ring holds the last 256 events.
+func (r *ResilientBlock) Trace() *obs.Ring { return r.ring }
+
 // Encrypt processes one block, recovering from (or degrading around) any
 // injected hardware fault.
 func (r *ResilientBlock) Encrypt(dst, src []byte) { r.process(dst, src, true) }
@@ -229,6 +240,8 @@ func (r *ResilientBlock) process(dst, src []byte, encrypt bool) {
 		r.stats.ConsecutiveFailures++
 		if r.stats.ConsecutiveFailures >= r.opts.MaxFailures {
 			r.stats.Degraded = true
+			r.ring.Emit(obs.Event{Kind: obs.KindDegraded, Shard: -1,
+				Detail: fmt.Sprintf("%d consecutive failed blocks", r.stats.ConsecutiveFailures)})
 		}
 	}
 	// Graceful degradation: the software reference keeps the data flowing
@@ -268,8 +281,16 @@ func (r *ResilientBlock) hardware(src []byte, encrypt bool) ([]byte, bool) {
 		}
 		if errors.Is(err, bfm.ErrTimeout) {
 			r.stats.Timeouts++
+			r.ring.Emit(obs.Event{Kind: obs.KindTimeout, Shard: -1,
+				Attempt: attempt, Detail: err.Error()})
 		} else {
 			r.stats.Detections++
+			detail := "lockstep divergence"
+			if err != nil {
+				detail = err.Error()
+			}
+			r.ring.Emit(obs.Event{Kind: obs.KindDetection, Shard: -1,
+				Attempt: attempt, Detail: detail})
 		}
 		// Fresh hardware state for the next try (or the next block): a
 		// transient upset is flushed by the reset; a hard defect will
@@ -279,6 +300,7 @@ func (r *ResilientBlock) hardware(src []byte, encrypt bool) ([]byte, bool) {
 			return nil, false
 		}
 		r.stats.Retries++
+		r.ring.Emit(obs.Event{Kind: obs.KindRetry, Shard: -1, Attempt: attempt + 1})
 	}
 }
 

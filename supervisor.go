@@ -9,6 +9,7 @@ import (
 	"rijndaelip/internal/edac"
 	"rijndaelip/internal/faultcampaign"
 	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/obs"
 	"rijndaelip/internal/rijndael"
 )
 
@@ -306,7 +307,8 @@ func (e *Engine) runSupervised(s *engineShard, j *engineJob) {
 		return
 	}
 	s.detections.Add(1)
-	e.detections.Add(1)
+	e.emit(obs.Event{Kind: obs.KindDetection, Shard: s.id, Generation: s.gen.Load(),
+		Submission: sub, Cause: detectCause(err), Detail: err.Error()})
 	// Triage. Known memory damage short-circuits the retry: a stuck or
 	// multi-bit ROM word cannot heal, so the failure is persistent by
 	// construction.
@@ -315,7 +317,7 @@ func (e *Engine) runSupervised(s *engineShard, j *engineJob) {
 			Cause: CauseROM, ROM: rom, Word: word,
 			Detail: "uncorrectable ROM word at detection",
 		})
-		e.requeue(j)
+		e.requeue(s, j)
 		return
 	}
 	// Retry once in place. Under lockstep the shadow replica holds the
@@ -334,26 +336,49 @@ func (e *Engine) runSupervised(s *engineShard, j *engineJob) {
 	outs, err = e.attempt(s, j, sub, false)
 	if err != nil {
 		e.classifyPersistent(s, e.diagnose(s))
-		e.requeue(j)
+		e.requeue(s, j)
 		return
 	}
 	s.inPlace.Add(1)
-	e.inPlaceRecoveries.Add(1)
+	e.emit(obs.Event{Kind: obs.KindInPlaceRecovery, Shard: s.id,
+		Generation: s.gen.Load(), Submission: sub})
 	if e.recordTransient(s, sub) {
 		// Budget exhausted: the retry's data is good (deliver it), but a
 		// shard needing this many in-place saves is persistently sick.
 		e.deliver(s, j, outs)
-		e.escalations.Add(1)
+		e.emit(obs.Event{Kind: obs.KindEscalation, Shard: s.id,
+			Generation: s.gen.Load(), Submission: sub, Cause: CauseErrorBudget})
 		e.classifyPersistent(s, Diagnosis{
 			Cause: CauseErrorBudget,
 			Detail: fmt.Sprintf("more than %d transients within %d submissions",
 				e.sup.TransientBudget, e.sup.TransientWindow),
 		})
+		// After classifyPersistent so a Stats snapshot can never show
+		// Escalations > Persistents (see the load-order contract there).
+		e.escalations.Add(1)
 		return
 	}
 	s.transients.Add(1)
-	e.transients.Add(1)
+	e.emit(obs.Event{Kind: obs.KindTransient, Shard: s.id,
+		Generation: s.gen.Load(), Submission: sub})
 	e.deliver(s, j, outs)
+}
+
+// detectCause maps a detection error to its machine-matchable trace
+// cause: the four armed checkers each have a sentinel, anything else is a
+// generic simulation error.
+func detectCause(err error) string {
+	switch {
+	case errors.Is(err, bfm.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, bfm.ErrLatency):
+		return "latency"
+	case errors.Is(err, ErrShardDivergence):
+		return "divergence"
+	case errors.Is(err, ErrInverseMismatch):
+		return "inverse"
+	}
+	return "error"
 }
 
 // attempt runs one transaction of job j on shard s and applies the armed
@@ -404,6 +429,7 @@ func (e *Engine) attempt(s *engineShard, j *engineJob, sub uint64, first bool) (
 // deliver writes a successful submission's results home and completes its
 // share of the batch.
 func (e *Engine) deliver(s *engineShard, j *engineJob, outs [][]byte) {
+	s.observe(j)
 	s.blocks.Add(uint64(j.n))
 	s.wasted.Add(uint64(e.opts.MaxLanes - j.n))
 	for i, out := range outs {
@@ -453,10 +479,11 @@ func (e *Engine) recordTransient(s *engineShard, sub uint64) bool {
 // damage, an escalation verdict, or the result of diagnose).
 func (e *Engine) classifyPersistent(s *engineShard, d Diagnosis) {
 	s.persistents.Add(1)
-	e.persistents.Add(1)
 	d.Shard = s.id
 	d.Generation = s.gen.Load()
 	e.recordDiagnosis(d)
+	e.emit(obs.Event{Kind: obs.KindPersistent, Shard: s.id,
+		Generation: d.Generation, Cause: d.Cause, Detail: d.Detail})
 	e.quarantine(s)
 }
 
@@ -476,7 +503,6 @@ func (e *Engine) diagnose(s *engineShard) Diagnosis {
 				switch store.Scrub(w) {
 				case edac.ScrubRepaired:
 					s.scrubCorrected.Add(1)
-					e.scrubCorrected.Add(1)
 				case edac.ScrubHard:
 					return Diagnosis{Cause: CauseROM, ROM: store.Name(), Word: w,
 						Detail: "diagnosis sweep: stuck bit re-asserted after rewrite"}
@@ -531,16 +557,15 @@ func (e *Engine) scrubber(s *engineShard) {
 				if rom++; rom == len(cur) {
 					rom = 0
 					s.scrubSweeps.Add(1)
-					e.scrubSweeps.Add(1)
 				}
 			}
 			switch res {
 			case edac.ScrubRepaired:
 				s.scrubCorrected.Add(1)
-				e.scrubCorrected.Add(1)
+				e.emit(obs.Event{Kind: obs.KindScrubCorrect, Shard: s.id, Generation: s.gen.Load(),
+					Cause: CauseROM, Detail: fmt.Sprintf("rom %s word 0x%02x rewritten", name, w)})
 			case edac.ScrubHard, edac.ScrubUncorrectable:
 				s.scrubUncorrectable.Add(1)
-				e.scrubUncorrectable.Add(1)
 				detail := "scrubber: stuck bit re-asserted after rewrite"
 				if res == edac.ScrubUncorrectable {
 					detail = "scrubber: multi-bit damage beyond SECDED"
@@ -565,7 +590,7 @@ func (e *Engine) quarantine(s *engineShard) {
 		return
 	}
 	s.quarantines.Add(1)
-	e.quarantines.Add(1)
+	e.emit(obs.Event{Kind: obs.KindQuarantine, Shard: s.id, Generation: s.gen.Load()})
 	for {
 		select {
 		case j := <-s.q:
@@ -580,14 +605,18 @@ func (e *Engine) quarantine(s *engineShard) {
 
 // requeue sends a detected-bad job back through the pool within its retry
 // budget; past the budget its blocks are served by the software reference
-// (correct data beats hardware pride).
-func (e *Engine) requeue(j *engineJob) {
+// (correct data beats hardware pride). s is the shard that detected the
+// failure (it only names the trace event's origin — the job goes to a
+// sibling).
+func (e *Engine) requeue(s *engineShard, j *engineJob) {
 	if j.attempt >= e.sup.RetryBudget {
 		e.fallback(j)
 		return
 	}
 	j.attempt++
 	e.retries.Add(1)
+	e.emit(obs.Event{Kind: obs.KindRetry, Shard: s.id, Generation: s.gen.Load(),
+		Attempt: j.attempt})
 	e.redistribute(j)
 }
 
@@ -629,6 +658,8 @@ func (e *Engine) fallback(j *engineJob) {
 		}
 	}
 	e.fallbackBlocks.Add(uint64(j.n))
+	e.emit(obs.Event{Kind: obs.KindFallback, Shard: -1, Attempt: j.attempt,
+		Detail: fmt.Sprintf("%d blocks served by software reference", j.n)})
 	j.batch.complete(nil)
 }
 
@@ -647,17 +678,23 @@ func (e *Engine) respawner(s *engineShard) {
 			return
 		case <-t.C:
 		}
-		if err := e.respawnShard(s, attempt); err == nil {
-			s.gen.Add(1)
+		err := e.respawnShard(s, attempt)
+		if err == nil {
+			gen := s.gen.Add(1)
 			s.respawns.Add(1)
-			e.respawns.Add(1)
 			s.state.Store(shardHealthy)
+			e.emit(obs.Event{Kind: obs.KindRespawn, Shard: s.id, Generation: gen,
+				Attempt: attempt})
 			e.poke()
 			return
 		}
 		e.respawnFailures.Add(1)
+		e.emit(obs.Event{Kind: obs.KindRespawnFailure, Shard: s.id,
+			Generation: s.gen.Load(), Attempt: attempt, Detail: err.Error()})
 		if attempt >= e.sup.MaxRespawnFailures {
 			s.state.Store(shardDead)
+			e.emit(obs.Event{Kind: obs.KindShardDead, Shard: s.id, Generation: s.gen.Load(),
+				Attempt: attempt, Detail: "respawn circuit breaker tripped"})
 			return
 		}
 		backoff *= 2
