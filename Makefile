@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test short bench bench-smoke bench-json chaos-smoke triage-smoke obs-smoke vet race faults examples reports verify clean
+.PHONY: all test short bench bench-smoke bench-json profile chaos-smoke triage-smoke obs-smoke vet race faults examples reports verify clean
 
 all: vet test
 
@@ -16,13 +16,16 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # One pass over the sharded-engine scaling curve (1/2/4/8 shards) and the
-# shards x lanes grid (1/16/64 blocks per lane-packed submission): a cheap
-# smoke that surfaces throughput-scaling regressions without the full
-# bench suite. The -run filter adds the observability overhead gate: an
-# instrumented engine must hold >= 95% of an uninstrumented twin's
-# throughput. Wired into `verify` alongside vet and the race sweep.
+# shards x lanes grid (1/16/64 blocks per lane-packed submission), on both
+# the compiled-tape and interpreted simulation backends, plus the
+# per-simulator Eval micro-benchmarks: a cheap smoke that surfaces
+# throughput-scaling regressions without the full bench suite. The -run
+# filter adds the observability overhead gate: an instrumented engine must
+# hold >= 95% of an uninstrumented twin's throughput. Wired into `verify`
+# alongside vet and the race sweep.
 bench-smoke:
 	$(GO) test -run '^TestObsOverheadGate$$' -bench '^Benchmark(Engine|VectorLanes|ChaosRecovery)$$' -benchtime=1x .
+	$(GO) test -run '^$$' -bench '^Benchmark(NetlistEval|RTLEval)$$' -benchtime=1x ./internal/netlist/ ./internal/rtl/
 
 # Machine-readable perf trajectory: runs the engine benchmarks and writes
 # cycles-per-block, Mbps and blocks/sec for every shards x lanes point —
@@ -37,8 +40,18 @@ bench-smoke:
 # construction cold-start, and best-of-three damps the single-CPU
 # scheduling jitter a lone run can lose a few percent to.
 bench-json:
-	BENCH_JSON=BENCH_engine.json $(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes|ChaosRecovery)$$' -benchtime=20x -count=3 .
+	BENCH_JSON=BENCH_engine.json $(GO) test -run '^$$' -timeout 40m -bench '^Benchmark(Engine|VectorLanes|ChaosRecovery)$$' -benchtime=20x -count=3 .
 	@echo wrote BENCH_engine.json
+
+# CPU and allocation profiles of the engine benchmark grid, captured over
+# the same /debug/pprof exposition mount production engines serve via
+# -metrics-addr (see internal/obs): the bench harness binds a loopback
+# observability server, streams a PPROF_SECONDS CPU profile while the
+# benchmarks run, and snapshots the allocation profile afterwards.
+# Inspect with `go tool pprof profiles/cpu.pprof`.
+profile:
+	mkdir -p profiles
+	PPROF_DIR=profiles PPROF_SECONDS=$${PPROF_SECONDS:-30} $(GO) test -run '^$$' -bench '^Benchmark(Engine|VectorLanes)$$' -benchtime=10x .
 
 # A short seeded chaos run under the race detector: live strikes against a
 # supervised 4-shard engine, every block checked against the software
@@ -92,3 +105,4 @@ verify: vet race bench-smoke obs-smoke chaos-smoke triage-smoke
 clean:
 	$(GO) clean ./...
 	rm -f aes128.vcd aes128.v aes128.blif test_output.txt bench_output.txt BENCH_engine.json
+	rm -rf profiles

@@ -17,14 +17,19 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"rijndaelip"
 	"rijndaelip/internal/chaos"
+	"rijndaelip/internal/obs"
 )
 
 // benchRow is one machine-readable benchmark sample for BENCH_engine.json.
@@ -33,6 +38,7 @@ import (
 type benchRow struct {
 	Bench          string  `json:"bench"`
 	Mode           string  `json:"mode"`
+	Sim            string  `json:"sim"`
 	Shards         int     `json:"shards"`
 	Lanes          int     `json:"lanes"`
 	Blocks         uint64  `json:"blocks"`
@@ -81,10 +87,13 @@ type benchRow struct {
 var benchRows []benchRow
 
 // TestMain writes the collected benchmark grid as JSON when BENCH_JSON
-// names an output file (the `make bench-json` flow). Plain test runs are
-// untouched.
+// names an output file (the `make bench-json` flow) and captures pprof
+// profiles of the run when PPROF_DIR names a directory (the `make
+// profile` flow). Plain test runs are untouched.
 func TestMain(m *testing.M) {
+	stopProfiles := startPprofCapture()
 	code := m.Run()
+	stopProfiles()
 	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRows) > 0 {
 		data, err := json.MarshalIndent(benchRows, "", "  ")
 		if err == nil {
@@ -98,6 +107,68 @@ func TestMain(m *testing.M) {
 		}
 	}
 	os.Exit(code)
+}
+
+// startPprofCapture arms the profile capture behind `make profile`: when
+// PPROF_DIR names a directory, the observability exposition server is
+// bound on a loopback port and a CPU profile covering PPROF_SECONDS
+// (default 30) of the benchmark run streams through /debug/pprof/profile
+// — the same mount production engines serve via -metrics-addr — while an
+// allocation profile is snapshotted once the run ends. The returned stop
+// function waits out the CPU window, writes both files and prints their
+// paths.
+func startPprofCapture() func() {
+	dir := os.Getenv("PPROF_DIR")
+	if dir == "" {
+		return func() {}
+	}
+	secs := 30
+	if s := os.Getenv("PPROF_SECONDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			secs = n
+		}
+	}
+	srv, bound, err := obs.Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+		return func() {}
+	}
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	allocPath := filepath.Join(dir, "allocs.pprof")
+	done := make(chan error, 1)
+	go func() {
+		done <- fetchProfile(fmt.Sprintf("http://%s/debug/pprof/profile?seconds=%d", bound, secs), cpuPath)
+	}()
+	return func() {
+		if err := <-done; err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: cpu profile: %v\n", err)
+		} else {
+			fmt.Printf("pprof: %ds CPU profile written to %s\n", secs, cpuPath)
+		}
+		if err := fetchProfile("http://"+bound+"/debug/pprof/allocs", allocPath); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: alloc profile: %v\n", err)
+		} else {
+			fmt.Printf("pprof: allocation profile written to %s\n", allocPath)
+		}
+		_ = srv.Close()
+	}
+}
+
+// fetchProfile downloads one pprof document over the exposition mount.
+func fetchProfile(url, path string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // benchLoop is the shared sub-benchmark body: one untimed warmup
@@ -134,7 +205,7 @@ func benchLoop(b *testing.B, eng *rijndaelip.Engine, iter func() error) rijndael
 // measured rate (the interleaved harness's per-point best); <= 0 derives
 // the rate from the timed-window block delta over b.Elapsed, which is
 // only correct when the whole window belongs to this one point.
-func benchReport(b *testing.B, eng *rijndaelip.Engine, st0 rijndaelip.EngineStats, blocksPerSec float64, bench, mode string, shards, lanes int) *benchRow {
+func benchReport(b *testing.B, eng *rijndaelip.Engine, st0 rijndaelip.EngineStats, blocksPerSec float64, bench, mode, sim string, shards, lanes int) *benchRow {
 	st := eng.Stats()
 	external := blocksPerSec > 0
 	if !external {
@@ -144,8 +215,8 @@ func benchReport(b *testing.B, eng *rijndaelip.Engine, st0 rijndaelip.EngineStat
 		// Interleaved families share one parent benchmark; per-point
 		// numbers go to the log instead of ReportMetric (which would
 		// overwrite across points).
-		b.Logf("%s/%s shards=%d lanes=%d: %.1f blocks/s (peak over %d rounds), %.3f cycles/block, %.0f Mbps",
-			bench, mode, shards, lanes, blocksPerSec, b.N, st.AggregateCyclesPerBlock, eng.Throughput())
+		b.Logf("%s/%s sim=%s shards=%d lanes=%d: %.1f blocks/s (peak over %d rounds), %.3f cycles/block, %.0f Mbps",
+			bench, mode, sim, shards, lanes, blocksPerSec, b.N, st.AggregateCyclesPerBlock, eng.Throughput())
 	} else {
 		b.ReportMetric(st.AggregateCyclesPerBlock, "cycles/block")
 		b.ReportMetric(eng.Throughput(), "Mbps")
@@ -158,6 +229,7 @@ func benchReport(b *testing.B, eng *rijndaelip.Engine, st0 rijndaelip.EngineStat
 	row := benchRow{
 		Bench:           bench,
 		Mode:            mode,
+		Sim:             sim,
 		Shards:          shards,
 		Lanes:           lanes,
 		Blocks:          st.Blocks - st0.Blocks,
@@ -185,7 +257,7 @@ func benchReport(b *testing.B, eng *rijndaelip.Engine, st0 rijndaelip.EngineStat
 	}
 	for i := range benchRows {
 		prev := &benchRows[i]
-		if prev.Bench != bench || prev.Mode != mode || prev.Shards != shards || prev.Lanes != lanes {
+		if prev.Bench != bench || prev.Mode != mode || prev.Sim != sim || prev.Shards != shards || prev.Lanes != lanes {
 			continue
 		}
 		if external {
@@ -216,6 +288,7 @@ func benchReport(b *testing.B, eng *rijndaelip.Engine, st0 rijndaelip.EngineStat
 // engine, its iteration body, and the best single-iteration rate seen.
 type benchPoint struct {
 	bench, mode   string
+	sim           string
 	shards, lanes int
 	eng           *rijndaelip.Engine
 	iter          func() error
@@ -291,7 +364,7 @@ func runInterleaved(b *testing.B, points []*benchPoint) {
 		sample(p)
 	}
 	for _, p := range points {
-		benchReport(b, p.eng, p.st0, p.rate(), p.bench, p.mode, p.shards, p.lanes)
+		benchReport(b, p.eng, p.st0, p.rate(), p.bench, p.mode, p.sim, p.shards, p.lanes)
 	}
 }
 
@@ -301,7 +374,7 @@ func runInterleaved(b *testing.B, points []*benchPoint) {
 func laggingPoint(points []*benchPoint) *benchPoint {
 	for _, a := range points {
 		for _, p := range points {
-			if p.bench == a.bench && p.mode == a.mode && p.lanes == a.lanes &&
+			if p.bench == a.bench && p.mode == a.mode && p.sim == a.sim && p.lanes == a.lanes &&
 				p.shards > a.shards && p.rate() < a.rate() {
 				return p
 			}
@@ -322,29 +395,34 @@ func BenchmarkEngine(b *testing.B) {
 		msg[i] = byte(i * 3)
 	}
 	var points []*benchPoint
-	for _, shards := range []int{1, 2, 4, 8} {
-		eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards, MaxLanes: 1})
-		if err != nil {
-			b.Fatal(err)
+	for _, backend := range []rijndaelip.SimBackend{rijndaelip.SimCompiled, rijndaelip.SimInterpreted} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards, MaxLanes: 1, Backend: backend})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			points = append(points, &benchPoint{
+				bench: "engine", mode: "ctr", sim: backend.String(), shards: shards, lanes: 1,
+				eng: eng, blocksPerIter: 64,
+				iter: func() error {
+					_, err := eng.CTR(context.Background(), iv, msg)
+					return err
+				},
+			})
 		}
-		defer eng.Close()
-		points = append(points, &benchPoint{
-			bench: "engine", mode: "ctr", shards: shards, lanes: 1,
-			eng: eng, blocksPerIter: 64,
-			iter: func() error {
-				_, err := eng.CTR(context.Background(), iv, msg)
-				return err
-			},
-		})
 	}
 	runInterleaved(b, points)
 }
 
-// BenchmarkVectorLanes sweeps the shards × lanes grid: the same 64-block
-// ECB message through 1/2/4/8 shards at 1/16/64 blocks packed per
-// lane-parallel submission. The lanes=1 rows are the scalar baseline; the
-// lanes=64 single-shard row is the acceptance gate (>= 10x blocks/sec over
-// scalar), and the corners show that lanes and shards compound.
+// BenchmarkVectorLanes sweeps the sim × shards × lanes grid: the same
+// 64-block ECB message through 1/2/4/8 shards at 1/16/64 blocks packed
+// per lane-parallel submission, on both the compiled-tape and the
+// interpreted backend. The lanes=1 rows are the scalar baseline; the
+// lanes=64 single-shard row is the lane acceptance gate (>= 10x
+// blocks/sec over scalar), the compiled-vs-interpreted pair at 8
+// shards × 64 lanes is the compiled-backend gate (>= 2x blocks/sec),
+// and the corners show that lanes and shards compound.
 func BenchmarkVectorLanes(b *testing.B) {
 	impl, err := rijndaelip.Build(rijndaelip.Encrypt, rijndaelip.Acex1K())
 	if err != nil {
@@ -356,21 +434,23 @@ func BenchmarkVectorLanes(b *testing.B) {
 		msg[i] = byte(i * 5)
 	}
 	var points []*benchPoint
-	for _, shards := range []int{1, 2, 4, 8} {
-		for _, lanes := range []int{1, 16, 64} {
-			eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards, MaxLanes: lanes})
-			if err != nil {
-				b.Fatal(err)
+	for _, backend := range []rijndaelip.SimBackend{rijndaelip.SimCompiled, rijndaelip.SimInterpreted} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, lanes := range []int{1, 16, 64} {
+				eng, err := impl.NewEngine(key, rijndaelip.EngineOptions{Shards: shards, MaxLanes: lanes, Backend: backend})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				points = append(points, &benchPoint{
+					bench: "vector_lanes", mode: "ecb", sim: backend.String(), shards: shards, lanes: lanes,
+					eng: eng, blocksPerIter: 64,
+					iter: func() error {
+						_, err := eng.EncryptECB(context.Background(), msg)
+						return err
+					},
+				})
 			}
-			defer eng.Close()
-			points = append(points, &benchPoint{
-				bench: "vector_lanes", mode: "ecb", shards: shards, lanes: lanes,
-				eng: eng, blocksPerIter: 64,
-				iter: func() error {
-					_, err := eng.EncryptECB(context.Background(), msg)
-					return err
-				},
-			})
 		}
 	}
 	runInterleaved(b, points)
@@ -429,7 +509,10 @@ func BenchmarkChaosRecovery(b *testing.B) {
 				_, err := eng.EncryptECB(context.Background(), msg)
 				return err
 			})
-			row := benchReport(b, eng, st0, 0, "chaos_recovery", tc.name, 4, 8)
+			// Supervised recovery rows run on the default compiled backend
+			// only: the recovery tax is dominated by retries and respawns,
+			// not evaluation speed, so one backend tracks it.
+			row := benchReport(b, eng, st0, 0, "chaos_recovery", tc.name, rijndaelip.SimCompiled.String(), 4, 8)
 			if inj != nil {
 				row.Strikes = inj.Strikes()
 				b.ReportMetric(float64(row.Strikes)/float64(b.N), "strikes/op")

@@ -64,10 +64,22 @@ type Driver struct {
 }
 
 // New builds a fresh simulator for a Rijndael IP core and returns a
-// driver.
+// driver. The simulation uses the interpreted RTL backend; NewCompiled
+// returns the tape-compiled, activity-gated equivalent.
 func New(core *rijndael.Core) *Driver {
+	return newCore(core, core.Design.NewSimulator())
+}
+
+// NewCompiled is New over the compiled evaluation backend: the same core,
+// protocol and observable behaviour, simulated through the design's fused
+// instruction tape with activity-gated cycle skipping.
+func NewCompiled(core *rijndael.Core) *Driver {
+	return newCore(core, core.Design.NewCompiledSimulator())
+}
+
+func newCore(core *rijndael.Core, sim Sim) *Driver {
 	return NewDUT(DUT{
-		Sim:            core.Design.NewSimulator(),
+		Sim:            sim,
 		BlockLatency:   core.BlockLatency,
 		KeySetupCycles: core.KeySetupCycles,
 		HasEncrypt:     core.Config.Variant != rijndael.Decrypt,
@@ -308,6 +320,12 @@ func (d *Driver) pendingSet() bool {
 type KeyedFactory struct {
 	core *rijndael.Core
 	key  []byte
+
+	// Compiled selects the tape-compiled, activity-gated RTL backend for
+	// the simulators Clone and CloneVector build. Set it before the first
+	// clone; caller-built simulators (CloneSim/CloneVectorSim) choose their
+	// own backend.
+	Compiled bool
 }
 
 // NewKeyedFactory validates the key against the bus protocol (16 bytes, or
@@ -324,7 +342,12 @@ func NewKeyedFactory(core *rijndael.Core, key []byte) (*KeyedFactory, error) {
 // load and setup walk over the bus, and returns the ready-to-process
 // driver together with the key-setup cycles it spent.
 func (f *KeyedFactory) Clone() (*Driver, int, error) {
-	d := New(f.core)
+	var d *Driver
+	if f.Compiled {
+		d = NewCompiled(f.core)
+	} else {
+		d = New(f.core)
+	}
 	cycles, err := d.LoadKey(f.key)
 	if err != nil {
 		return nil, 0, err

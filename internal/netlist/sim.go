@@ -48,6 +48,22 @@ type Simulator struct {
 	romSticks map[int][]romStick // pending ROM stuck-ats, keyed by target cycle
 	injected  int                // FF bit-flips applied so far
 	romFaults int                // ROM bit faults applied so far
+
+	// lutTbl memoizes, per LUT, the truth-table mask expanded into 2^k lane
+	// words, so the interpreted mixed-lane path stops rebuilding the
+	// expansion on every call (interpreted backend only).
+	lutTbl [][]uint64
+
+	// Compiled backend (NewCompiledSimulator): tape is the fused word-op
+	// instruction stream, changed the per-net activity flags, srcPrev the
+	// input-net snapshot change detection compares against, forceFull a
+	// request to bypass activity gating on the next Eval (set whenever
+	// cached values or flags are not trustworthy: construction, Reset,
+	// CopyStateFrom).
+	tape      *tape
+	changed   []bool
+	srcPrev   []uint64
+	forceFull bool
 }
 
 // romStick is one armed stuck-at ROM fault awaiting its strike cycle.
@@ -64,8 +80,25 @@ type laneFlip struct {
 }
 
 // NewSimulator builds the netlist and returns a simulator with all state at
-// the flip-flops' init values (broadcast across all lanes).
+// the flip-flops' init values (broadcast across all lanes). It evaluates
+// through the interpreted order walk; NewCompiledSimulator returns the
+// tape-compiled, activity-gated equivalent.
 func NewSimulator(nl *Netlist) (*Simulator, error) {
+	return newSimulator(nl, false)
+}
+
+// NewCompiledSimulator builds the netlist and returns a simulator backed by
+// the compiled instruction tape with activity-gated evaluation. It is
+// observationally identical to NewSimulator — same net values, sequential
+// state, cycle counts, fault semantics and EDAC read statistics — but
+// evaluates combinational logic as a linear sweep over fused word ops and
+// skips instructions whose input lane words did not change since the
+// previous evaluation.
+func NewCompiledSimulator(nl *Netlist) (*Simulator, error) {
+	return newSimulator(nl, true)
+}
+
+func newSimulator(nl *Netlist, compiled bool) (*Simulator, error) {
 	if err := nl.Build(); err != nil {
 		return nil, err
 	}
@@ -87,6 +120,28 @@ func NewSimulator(nl *Netlist) (*Simulator, error) {
 		s.roms[i] = edac.New(nl.ROMs[i].Name, nl.ROMs[i].Contents)
 	}
 	s.values[Const1] = ^uint64(0)
+	if compiled {
+		s.tape = compileTape(nl)
+		s.changed = make([]bool, nl.NumNets())
+		s.srcPrev = make([]uint64, len(s.tape.srcNets))
+		s.forceFull = true
+	} else {
+		// Memoize each LUT's expanded truth table for the mixed-lane path.
+		backing := make([]uint64, 0, len(nl.LUTs)*4)
+		s.lutTbl = make([][]uint64, len(nl.LUTs))
+		for i := range nl.LUTs {
+			l := &nl.LUTs[i]
+			start := len(backing)
+			for idx := 0; idx < 1<<uint(len(l.Inputs)); idx++ {
+				var w uint64
+				if l.Mask>>uint(idx)&1 != 0 {
+					w = ^uint64(0)
+				}
+				backing = append(backing, w)
+			}
+			s.lutTbl[i] = backing[start:len(backing):len(backing)]
+		}
+	}
 	return s, nil
 }
 
@@ -110,6 +165,7 @@ func (s *Simulator) Reset() {
 	s.cycle = 0
 	s.flips = nil
 	s.romSticks = nil
+	s.forceFull = true
 	s.applyStuck()
 }
 
@@ -138,8 +194,8 @@ func (s *Simulator) SetInputBits(name string, bits []byte) error {
 	if !ok {
 		return fmt.Errorf("netlist: no input port %q", name)
 	}
-	if len(bits)*8 < len(nets) {
-		return fmt.Errorf("netlist: input %q needs %d bits, got %d", name, len(nets), len(bits)*8)
+	if want := (len(nets) + 7) / 8; len(bits) != want {
+		return fmt.Errorf("netlist: input %q needs %d bytes for %d bits, got %d bytes", name, want, len(nets), len(bits))
 	}
 	for i, n := range nets {
 		s.values[n] = logic.Word(bits[i/8]>>(uint(i)%8)&1 != 0)
@@ -181,8 +237,8 @@ func (s *Simulator) SetInputBitsLane(name string, lane int, bits []byte) error {
 	if !ok {
 		return fmt.Errorf("netlist: no input port %q", name)
 	}
-	if len(bits)*8 < len(nets) {
-		return fmt.Errorf("netlist: input %q needs %d bits, got %d", name, len(nets), len(bits)*8)
+	if want := (len(nets) + 7) / 8; len(bits) != want {
+		return fmt.Errorf("netlist: input %q needs %d bytes for %d bits, got %d bytes", name, want, len(nets), len(bits))
 	}
 	mask := uint64(1) << uint(lane)
 	for i, n := range nets {
@@ -198,6 +254,10 @@ func (s *Simulator) SetInputBitsLane(name string, lane int, bits []byte) error {
 // Eval propagates the current input and state values through the
 // combinational logic on all lanes without advancing the clock.
 func (s *Simulator) Eval() {
+	if s.tape != nil {
+		s.evalCompiled()
+		return
+	}
 	nl := s.nl
 	// Present sequential state on the driven nets first.
 	for i := range nl.FFs {
@@ -214,7 +274,7 @@ func (s *Simulator) Eval() {
 		switch cn.Kind {
 		case CombLUT:
 			l := &nl.LUTs[cn.Index]
-			s.values[l.Out] = s.evalLUT(l)
+			s.values[l.Out] = s.evalLUT(l, cn.Index)
 		case CombROM:
 			r := &nl.ROMs[cn.Index]
 			var addr [8]uint64
@@ -232,7 +292,7 @@ func (s *Simulator) Eval() {
 // evalLUT computes a LUT's output lane word. The fast path handles
 // lane-uniform inputs (the scalar broadcast case) with a single mask
 // index; mixed lanes fall back to the bit-parallel mux fold.
-func (s *Simulator) evalLUT(l *LUT) uint64 {
+func (s *Simulator) evalLUT(l *LUT, li int) uint64 {
 	idx := 0
 	for i, in := range l.Inputs {
 		switch v := s.values[in]; v {
@@ -240,25 +300,22 @@ func (s *Simulator) evalLUT(l *LUT) uint64 {
 		case ^uint64(0):
 			idx |= 1 << uint(i)
 		default:
-			return s.evalLUTMixed(l)
+			return s.evalLUTMixed(l, li)
 		}
 	}
 	return logic.Word(l.Mask>>uint(idx)&1 != 0)
 }
 
 // evalLUTMixed evaluates a LUT bit-parallel across lanes: the truth-table
-// mask is expanded into 2^k lane words and folded down one selector input
-// at a time (Shannon expansion, LSB selector first) — 2^k-1 lane-wide
-// muxes replace 64 per-lane table lookups.
-func (s *Simulator) evalLUTMixed(l *LUT) uint64 {
+// mask, pre-expanded into 2^k lane words at construction (lutTbl), is
+// folded down one selector input at a time (Shannon expansion, LSB
+// selector first) — 2^k-1 lane-wide muxes replace 64 per-lane table
+// lookups.
+func (s *Simulator) evalLUTMixed(l *LUT, li int) uint64 {
 	var t [16]uint64
-	n := len(l.Inputs)
-	for idx := 0; idx < 1<<uint(n); idx++ {
-		if l.Mask>>uint(idx)&1 != 0 {
-			t[idx] = ^uint64(0)
-		}
-	}
-	w := 1 << uint(n)
+	tbl := s.lutTbl[li]
+	copy(t[:], tbl)
+	w := len(tbl)
 	for _, in := range l.Inputs {
 		v := s.values[in]
 		w >>= 1
@@ -601,6 +658,7 @@ func (s *Simulator) CopyStateFrom(o *Simulator) error {
 	copy(s.values, o.values)
 	s.cycle = o.cycle
 	s.flips = nil
+	s.forceFull = true
 	s.applyStuck()
 	return nil
 }

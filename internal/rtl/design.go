@@ -2,6 +2,7 @@ package rtl
 
 import (
 	"fmt"
+	"sync"
 
 	"rijndaelip/internal/logic"
 	"rijndaelip/internal/netlist"
@@ -18,6 +19,72 @@ type Design struct {
 	// dependency levels otherwise, -1 for synchronous ROMs.
 	romLevels   []int
 	maxROMLevel int
+
+	// Compiled evaluation schedule shared by every compiled simulator of
+	// this design; built lazily on the first NewCompiledSimulator and
+	// rebuilt if the underlying AIG has grown since (e.g. extra logic added
+	// by a later synthesis pass).
+	compMu   sync.Mutex
+	compiled *compSched
+}
+
+// compSched is the compiled evaluation schedule: the instruction tape plus
+// everything a compiled simulator needs to run one Eval as a single
+// segmented sweep instead of the interpreter's maxROMLevel+2 whole-AIG
+// passes. Node ids are topological and a ROM's output pseudo-inputs are
+// created after its address cone exists, so evaluating up to each
+// asynchronous ROM's first output node guarantees its address is resolved;
+// the gathered data is presented and the sweep continues — every node is
+// visited exactly once per Eval, and each async ROM is gathered exactly
+// once (the interpreter's EDAC-counter contract).
+type compSched struct {
+	tape *logic.Compiled
+	segs []romSeg
+	// Precomputed input ordinals (per register bit, per ROM output bit) so
+	// state presentation avoids the aig.InputOrdinal map lookup per bit.
+	regOrd [][]int32
+	romOrd [][8]int32
+}
+
+// romSeg schedules one asynchronous ROM: evaluate the tape up to boundary
+// (the node id of its first output pseudo-input), then gather.
+type romSeg struct {
+	rom      int
+	boundary int
+}
+
+// compiledSched returns the design's shared evaluation schedule, compiling
+// it on first use. Safe for concurrent simulator construction.
+func (d *Design) compiledSched() *compSched {
+	d.compMu.Lock()
+	defer d.compMu.Unlock()
+	if d.compiled != nil && d.compiled.tape.NumNodes() == d.b.aig.NumNodes() {
+		return d.compiled
+	}
+	b := d.b
+	sc := &compSched{
+		tape:   b.aig.Compile(),
+		regOrd: make([][]int32, len(b.regs)),
+		romOrd: make([][8]int32, len(b.roms)),
+	}
+	for i := range b.regs {
+		sc.regOrd[i] = make([]int32, len(b.regs[i].q))
+		for bit, l := range b.regs[i].q {
+			sc.regOrd[i][bit] = int32(b.aig.InputOrdinal(l))
+		}
+	}
+	for i := range b.roms {
+		for bit, l := range b.roms[i].out {
+			sc.romOrd[i][bit] = int32(b.aig.InputOrdinal(l))
+		}
+		if b.roms[i].style == ROMAsync {
+			// Declaration order is dependency order: an address literal must
+			// exist when ROM() is called, so boundaries are increasing.
+			sc.segs = append(sc.segs, romSeg{rom: i, boundary: int(b.roms[i].out[0].Node())})
+		}
+	}
+	d.compiled = sc
+	return sc
 }
 
 // Build validates the builder's contents and elaborates the design:

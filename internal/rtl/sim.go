@@ -33,6 +33,18 @@ type Simulator struct {
 	cycles uint64
 
 	piIndex map[string]int
+
+	// Compiled backend (NewCompiledSimulator): comp is the design's shared
+	// evaluation schedule, changed the per-node activity flags, full a
+	// request to bypass activity gating on the next Eval pass (set after
+	// construction and Reset, when cached values are not trustworthy).
+	// stimDirty records that a stimulus write actually moved an input lane
+	// word since the last Eval; with it clear and no state movement, Eval
+	// skips the tape entirely and only performs the per-ROM EDAC gathers.
+	comp      *compSched
+	changed   []bool
+	full      bool
+	stimDirty bool
 }
 
 // NewSimulator returns a simulator with registers at their initial values
@@ -59,6 +71,22 @@ func (d *Design) NewSimulator() *Simulator {
 	return s
 }
 
+// NewCompiledSimulator returns a simulator backed by the design's compiled
+// instruction tape with activity-gated evaluation. It is observationally
+// identical to NewSimulator — same outputs, register/ROM state, cycle
+// counts and EDAC read statistics — but evaluates combinational logic as
+// one segmented linear sweep over a flat tape (asynchronous ROMs resolved
+// in place rather than by whole-AIG re-passes), skips nodes whose fanin
+// lane words did not change since the previous pass, and skips the sweep
+// altogether when no stimulus or sequential state moved at all.
+func (d *Design) NewCompiledSimulator() *Simulator {
+	s := d.NewSimulator()
+	s.comp = d.compiledSched()
+	s.changed = make([]bool, len(s.values))
+	s.full = true
+	return s
+}
+
 func initWords(init []bool) []uint64 {
 	q := make([]uint64, len(init))
 	for bit, v := range init {
@@ -82,6 +110,7 @@ func (s *Simulator) Reset() {
 		s.romQ[i] = [8]uint64{}
 	}
 	s.cycles = 0
+	s.full = true
 }
 
 // Cycles returns the number of Step calls since construction or Reset.
@@ -168,16 +197,23 @@ func (s *Simulator) SetInputBitsLane(name string, lane int, bits []byte) error {
 }
 
 func (s *Simulator) setInputLit(l logic.Lit, v bool) {
-	s.inputs[s.d.b.aig.InputOrdinal(l)] = logic.Word(v)
+	ord := s.d.b.aig.InputOrdinal(l)
+	if w := logic.Word(v); s.inputs[ord] != w {
+		s.inputs[ord] = w
+		s.stimDirty = true
+	}
 }
 
 func (s *Simulator) setInputLitLane(l logic.Lit, lane int, v bool) {
 	ord := s.d.b.aig.InputOrdinal(l)
 	mask := uint64(1) << uint(lane)
+	w := s.inputs[ord] &^ mask
 	if v {
-		s.inputs[ord] |= mask
-	} else {
-		s.inputs[ord] &^= mask
+		w |= mask
+	}
+	if s.inputs[ord] != w {
+		s.inputs[ord] = w
+		s.stimDirty = true
 	}
 }
 
@@ -191,6 +227,10 @@ func (s *Simulator) setInputWord(l logic.Lit, w uint64) {
 // on all lanes, resolving asynchronous ROM reads per lane. It does not
 // advance the clock.
 func (s *Simulator) Eval() {
+	if s.comp != nil {
+		s.evalCompiled()
+		return
+	}
 	b := s.d.b
 	// Present register state.
 	for i := range b.regs {
@@ -228,6 +268,78 @@ func (s *Simulator) Eval() {
 		}
 	}
 	b.aig.EvalInto(s.inputs, s.values)
+}
+
+// evalCompiled is Eval on the instruction tape: one segmented sweep in
+// node-id order, gathering each asynchronous ROM exactly when the sweep
+// reaches its first output pseudo-input (its address cone is then already
+// resolved, because a ROM's outputs are created after its address
+// literals). That keeps one EDAC Gather per async ROM per call — the
+// interpreter's correction-counter contract — while evaluating every node
+// at most once instead of the interpreter's maxROMLevel+2 whole-AIG
+// passes. Two further cuts ride on value-exact activity gating: nodes
+// whose fanin lane words held still are skipped, and when nothing moved at
+// all since the previous Eval (the driver's Eval-then-Step pattern
+// re-evaluates an unchanged circuit every cycle) the tape is skipped
+// entirely and only the gathers run. Fault injections need no special
+// casing because gating compares values: a struck register or ROM word
+// changes a presented lane word, which floods the affected cone.
+func (s *Simulator) evalCompiled() {
+	b := s.d.b
+	sc := s.comp
+	full := s.full
+	s.full = false
+	dirty := full || s.stimDirty
+	s.stimDirty = false
+	// Present register state.
+	for i := range b.regs {
+		q := s.regQ[i]
+		for bit, ord := range sc.regOrd[i] {
+			if w := q[bit]; s.inputs[ord] != w {
+				s.inputs[ord] = w
+				dirty = true
+			}
+		}
+	}
+	// Present synchronous ROM state; async ROMs are resolved in the sweep.
+	for i := range b.roms {
+		if b.roms[i].style == ROMSync {
+			for bit, ord := range sc.romOrd[i] {
+				if w := s.romQ[i][bit]; s.inputs[ord] != w {
+					s.inputs[ord] = w
+					dirty = true
+				}
+			}
+		}
+	}
+	pos := 0
+	for _, seg := range sc.segs {
+		if dirty {
+			s.comp.tape.EvalGatedRange(pos, seg.boundary, s.inputs, s.values, s.changed, full)
+			pos = seg.boundary
+		}
+		rom := &b.roms[seg.rom]
+		var addr [8]uint64
+		for bit, l := range rom.addr {
+			addr[bit] = logic.LitValue(s.values, l)
+		}
+		data := s.roms[seg.rom].Gather(&addr)
+		for bit, ord := range sc.romOrd[seg.rom] {
+			if s.inputs[ord] != data[bit] {
+				// Quiescent inputs but moved read data: the store was damaged
+				// (or scrubbed) since the last Eval. Evaluation resumes at
+				// this ROM's outputs; the skipped prefix provably held still.
+				if !dirty {
+					dirty = true
+					pos = seg.boundary
+				}
+				s.inputs[ord] = data[bit]
+			}
+		}
+	}
+	if dirty {
+		s.comp.tape.EvalGatedRange(pos, s.comp.tape.NumNodes(), s.inputs, s.values, s.changed, full)
+	}
 }
 
 // Step runs one clock cycle: Eval, then latch registers and synchronous
