@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test short bench bench-smoke bench-json profile chaos-smoke triage-smoke obs-smoke vet race faults examples reports verify clean
+.PHONY: all test short bench bench-smoke bench-json profile chaos-smoke triage-smoke obs-smoke vet lint race faults examples reports verify clean
 
 all: vet test
 
@@ -79,7 +79,18 @@ obs-smoke:
 
 vet:
 	$(GO) vet ./...
-	gofmt -l . && test -z "$$(gofmt -l .)"
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+
+# The full static verification suite: design-rule lint + structure reports
+# over the three paper cores, the static compiled-tape audit for both
+# simulators, and the stdlib-only source analyzers over every package.
+# Exits nonzero on any finding. Wired into `verify`.
+lint:
+	$(GO) run ./cmd/lint
 
 # The race detector roughly 10x-es the cycle-accurate simulations, so the
 # racy-path sweep runs the -short suite; the full suite is covered by `test`.
@@ -99,7 +110,7 @@ reports:
 	$(GO) run ./cmd/synthreport -sync -power -harden
 	$(GO) run ./cmd/ipcompare -ablation
 
-verify: vet race bench-smoke obs-smoke chaos-smoke triage-smoke
+verify: vet lint race bench-smoke obs-smoke chaos-smoke triage-smoke
 	$(GO) run ./cmd/verifyall -full
 
 clean:

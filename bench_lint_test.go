@@ -1,0 +1,63 @@
+// The static-verification row of the bench-json grid: alongside the
+// throughput samples, BENCH_engine.json records how many static rules the
+// lint suite currently enforces and whether the tree is clean — so a PR
+// that regresses a design rule or mutes an analyzer shows up in the same
+// diffable artifact as a perf regression.
+package rijndaelip_test
+
+import (
+	"rijndaelip/internal/designlint"
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+	"rijndaelip/internal/srclint"
+	"rijndaelip/internal/techmap"
+)
+
+// lintRow runs the full static suite — design-rule lint and tape audits
+// over the three paper cores, source analyzers over the module — and
+// reports it as one benchRow: Mode is "clean" or "dirty", Metrics carries
+// the rule counts and the fatal-finding total.
+func lintRow() benchRow {
+	findings := 0
+	for _, v := range []rijndael.Variant{rijndael.Encrypt, rijndael.Decrypt, rijndael.Both} {
+		core, err := rijndael.New(rijndael.Config{Variant: v, ROMStyle: rtl.ROMAsync})
+		if err != nil {
+			findings++
+			continue
+		}
+		findings += designlint.Errors(designlint.CheckDesign(core.Design))
+		findings += len(core.Design.AuditCompiled())
+		nl, err := core.Design.Synthesize(techmap.Options{})
+		if err != nil {
+			findings++
+			continue
+		}
+		findings += len(designlint.CheckNetlist(nl))
+		msgs, err := netlist.AuditCompiled(nl)
+		if err != nil {
+			findings++
+		}
+		findings += len(msgs)
+	}
+	srcRules := len(srclint.Rules())
+	if fs, err := srclint.Run("."); err != nil {
+		findings++
+	} else {
+		findings += len(fs)
+	}
+
+	mode := "clean"
+	if findings > 0 {
+		mode = "dirty"
+	}
+	return benchRow{
+		Bench: "static_lint",
+		Mode:  mode,
+		Metrics: map[string]float64{
+			"lint_design_rules":     float64(len(designlint.Rules())),
+			"lint_source_analyzers": float64(srcRules),
+			"lint_findings":         float64(findings),
+		},
+	}
+}

@@ -8,7 +8,9 @@
 //  3. the latency theorem: data_ok timing proved for every key and
 //     plaintext by bounded model checking with COI reduction;
 //  4. the unbounded 5-cycle-round invariant by 1-induction;
-//  5. an SEU campaign on the TMR-hardened netlist.
+//  5. an SEU campaign on the TMR-hardened netlist;
+//  6. the static verification suite: design-rule lint and the compiled-tape
+//     audit per core, plus the source-level analyzers over the module.
 package main
 
 import (
@@ -18,13 +20,16 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"time"
 
 	"rijndaelip/internal/bfm"
 	"rijndaelip/internal/bmc"
+	"rijndaelip/internal/designlint"
 	"rijndaelip/internal/netlist"
 	"rijndaelip/internal/rijndael"
 	"rijndaelip/internal/rtl"
+	"rijndaelip/internal/srclint"
 	"rijndaelip/internal/techmap"
 	"rijndaelip/internal/tmr"
 )
@@ -65,6 +70,27 @@ func main() {
 			os.Exit(1)
 		}
 		nl := res.Netlist
+
+		step("design-rule lint + static tape audit", func() (string, error) {
+			dfs := designlint.CheckDesign(core.Design)
+			if n := designlint.Errors(dfs); n != 0 {
+				return "", fmt.Errorf("%d design finding(s), first: %s", n, dfs[0])
+			}
+			if nfs := designlint.CheckNetlist(nl); len(nfs) != 0 {
+				return "", fmt.Errorf("%d netlist finding(s), first: %s", len(nfs), nfs[0])
+			}
+			if msgs := core.Design.AuditCompiled(); len(msgs) != 0 {
+				return "", fmt.Errorf("rtl schedule audit: %s", msgs[0])
+			}
+			msgs, err := netlist.AuditCompiled(nl)
+			if err != nil {
+				return "", err
+			}
+			if len(msgs) != 0 {
+				return "", fmt.Errorf("netlist tape audit: %s", msgs[0])
+			}
+			return fmt.Sprintf("%d rules clean, both tapes faithful", len(designlint.Rules())), nil
+		})
 
 		step("RTL simulation vs FIPS-197", func() (string, error) {
 			drv := bfm.New(core)
@@ -233,5 +259,41 @@ func main() {
 		})
 		fmt.Println()
 	}
+
+	fmt.Println("static source analysis")
+	step("source analyzers over the module", func() (string, error) {
+		root, err := findModuleRoot()
+		if err != nil {
+			return "", err
+		}
+		fs, err := srclint.Run(root)
+		if err != nil {
+			return "", err
+		}
+		if len(fs) != 0 {
+			return "", fmt.Errorf("%d finding(s), first: %s", len(fs), fs[0])
+		}
+		return fmt.Sprintf("%d analyzers clean", len(srclint.Rules())), nil
+	})
+	fmt.Println()
 	fmt.Println("all checks passed")
+}
+
+// findModuleRoot walks up from the working directory to the go.mod, so the
+// source analyzers work when verifyall is launched from a subdirectory.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
 }

@@ -95,6 +95,7 @@ func TestMain(m *testing.M) {
 	code := m.Run()
 	stopProfiles()
 	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRows) > 0 {
+		benchRows = append(benchRows, lintRow())
 		data, err := json.MarshalIndent(benchRows, "", "  ")
 		if err == nil {
 			err = os.WriteFile(path, append(data, '\n'), 0o644)

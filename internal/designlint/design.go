@@ -1,0 +1,194 @@
+package designlint
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/rtl"
+)
+
+// CheckDesign runs the RTL-level design rules over an elaborated design's
+// structural view: port and register bus widths, ROM macro address ranges,
+// enable sanity, asynchronous ROM dependency levels, and dead AIG cones.
+// Dead-cone findings are Info severity — constant folding and structural
+// hashing routinely strand a few hundred AND nodes in a real core, and the
+// technology mapper never emits them — but every stranded cone apex is
+// still localized by node id so a refactor that suddenly kills live logic
+// is visible.
+func CheckDesign(d *rtl.Design) []Finding {
+	v := d.LintView()
+	c := &rtlChecker{v: &v}
+	c.checkWidths()
+	c.checkEnables()
+	c.checkRoots()
+	c.checkROMLevels()
+	c.checkDeadCones()
+	return c.out
+}
+
+type rtlChecker struct {
+	v   *rtl.LintView
+	out []Finding
+}
+
+func (c *rtlChecker) add(rule string, sev Severity, object, detail string) {
+	c.out = append(c.out, Finding{
+		Rule: rule, Severity: sev, Design: c.v.Name, Object: object, Detail: detail,
+	})
+}
+
+// checkWidths verifies bus-width invariants: register next/Q/init widths
+// must agree, ports must not be empty, and every ROM macro must address
+// exactly 256 words of 8 bits.
+func (c *rtlChecker) checkWidths() {
+	for i := range c.v.Regs {
+		r := &c.v.Regs[i]
+		if len(r.Next) != len(r.Q) {
+			c.add("rtl-width-mismatch", Error, "register "+r.Name,
+				fmt.Sprintf("next-value bus is %d bits but Q is %d", len(r.Next), len(r.Q)))
+		}
+		if len(r.Init) != len(r.Q) {
+			c.add("rtl-width-mismatch", Error, "register "+r.Name,
+				fmt.Sprintf("init vector is %d bits but Q is %d", len(r.Init), len(r.Q)))
+		}
+	}
+	for _, p := range c.v.Inputs {
+		if len(p.Bus) == 0 {
+			c.add("rtl-width-mismatch", Error, "input "+p.Name, "empty port bus")
+		}
+	}
+	for _, p := range c.v.Outputs {
+		if len(p.Bus) == 0 {
+			c.add("rtl-width-mismatch", Error, "output "+p.Name, "empty port bus")
+		}
+	}
+	for i := range c.v.ROMs {
+		r := &c.v.ROMs[i]
+		if len(r.Addr) != 8 {
+			c.add("rtl-rom-range", Error, "ROM "+r.Name,
+				fmt.Sprintf("address bus is %d bits; a 256-word macro needs exactly 8", len(r.Addr)))
+		}
+		if len(r.Out) != 8 {
+			c.add("rtl-rom-range", Error, "ROM "+r.Name,
+				fmt.Sprintf("data bus is %d bits; the 256x8 macro provides exactly 8", len(r.Out)))
+		}
+	}
+}
+
+// checkEnables flags registers whose load enable is tied to constant false:
+// the register can never leave its init value, which is always a wiring
+// bug in this flow.
+func (c *rtlChecker) checkEnables() {
+	for i := range c.v.Regs {
+		if c.v.Regs[i].En == logic.False {
+			c.add("rtl-ff-enable-dead", Error, "register "+c.v.Regs[i].Name,
+				"load enable tied to constant false: the register can never load")
+		}
+	}
+}
+
+// checkRoots verifies that every observed literal points inside the AIG.
+func (c *rtlChecker) checkRoots() {
+	n := uint32(c.v.AIG.NumNodes())
+	check := func(object string, ls ...logic.Lit) {
+		for i, l := range ls {
+			if l.Node() >= n {
+				c.add("rtl-invalid-lit", Error, fmt.Sprintf("%s[%d]", object, i),
+					fmt.Sprintf("literal %v references node %d outside the %d-node AIG", l, l.Node(), n))
+			}
+		}
+	}
+	for i := range c.v.Regs {
+		r := &c.v.Regs[i]
+		check("register "+r.Name+".next", r.Next...)
+		check("register "+r.Name+".en", r.En)
+	}
+	for i := range c.v.ROMs {
+		check("ROM "+c.v.ROMs[i].Name+".addr", c.v.ROMs[i].Addr...)
+	}
+	for _, p := range c.v.Outputs {
+		check("output "+p.Name, p.Bus...)
+	}
+}
+
+// checkROMLevels recomputes every asynchronous ROM's address-dependency
+// level from its address cone and compares it against the level the design
+// recorded at Build time: a mismatch means the evaluation schedule would
+// gather a ROM before its address settled.
+func (c *rtlChecker) checkROMLevels() {
+	aig := c.v.AIG
+	// Which ROM drives each AIG input ordinal.
+	romOfInput := map[int]int{}
+	for ri := range c.v.ROMs {
+		for _, o := range c.v.ROMs[ri].Out {
+			if aig.IsInput(o) {
+				romOfInput[aig.InputOrdinal(o)] = ri
+			}
+		}
+	}
+	want := make([]int, len(c.v.ROMs))
+	for ri := range c.v.ROMs {
+		if c.v.ROMs[ri].Style != rtl.ROMAsync {
+			want[ri] = -1
+			continue
+		}
+		lv := 0
+		for _, id := range aig.Cone(c.v.ROMs[ri].Addr) {
+			l := logic.Lit(id << 1)
+			if !aig.IsInput(l) {
+				continue
+			}
+			src, ok := romOfInput[aig.InputOrdinal(l)]
+			if !ok || c.v.ROMs[src].Style != rtl.ROMAsync {
+				continue
+			}
+			// Levels were assigned in declaration order, and an address cone
+			// can only reference ROMs declared earlier, so src's recomputed
+			// level is already final here.
+			if want[src]+1 > lv {
+				lv = want[src] + 1
+			}
+		}
+		want[ri] = lv
+	}
+	for ri := range c.v.ROMs {
+		if got := c.v.ROMs[ri].Level; got != want[ri] {
+			c.add("rtl-rom-level", Error, "ROM "+c.v.ROMs[ri].Name,
+				fmt.Sprintf("recorded dependency level %d, address cone implies %d", got, want[ri]))
+		}
+	}
+}
+
+// checkDeadCones reports AND nodes unreachable from any register next/
+// enable cone, ROM address cone or primary output. One Info finding is
+// emitted per dead-cone apex (a dead node no other dead node consumes),
+// with the size of the cone hanging off it.
+func (c *rtlChecker) checkDeadCones() {
+	aig := c.v.AIG
+	live := make([]bool, aig.NumNodes())
+	for _, id := range aig.Cone(c.v.Roots()) {
+		live[id] = true
+	}
+	// A dead apex is a dead AND node none of whose (dead) fanout consumers
+	// exist: compute "consumed by a dead node" in one sweep.
+	usedByDead := make([]bool, aig.NumNodes())
+	isDeadAnd := func(id uint32) bool {
+		return !live[id] && id != 0 && !aig.IsInput(logic.Lit(id<<1))
+	}
+	for id := uint32(1); id < uint32(aig.NumNodes()); id++ {
+		if !isDeadAnd(id) {
+			continue
+		}
+		f0, f1 := aig.Fanins(id)
+		usedByDead[f0.Node()] = true
+		usedByDead[f1.Node()] = true
+	}
+	for id := uint32(1); id < uint32(aig.NumNodes()); id++ {
+		if !isDeadAnd(id) || usedByDead[id] {
+			continue
+		}
+		size := len(aig.Cone([]logic.Lit{logic.Lit(id << 1)}))
+		c.add("rtl-dead-cone", Info, fmt.Sprintf("n%d", id),
+			fmt.Sprintf("AND node unreachable from any register, ROM or output root (cone of %d node(s))", size))
+	}
+}

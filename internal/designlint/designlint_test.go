@@ -1,0 +1,242 @@
+package designlint_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"rijndaelip/internal/designlint"
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/rijndael"
+	"rijndaelip/internal/rtl"
+	"rijndaelip/internal/techmap"
+)
+
+// byRule filters findings to one rule.
+func byRule(fs []designlint.Finding, rule string) []designlint.Finding {
+	var out []designlint.Finding
+	for _, f := range fs {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// one asserts exactly one finding for a rule and returns it.
+func one(t *testing.T, fs []designlint.Finding, rule string) designlint.Finding {
+	t.Helper()
+	got := byRule(fs, rule)
+	if len(got) != 1 {
+		t.Fatalf("want exactly one %s finding, got %d in %v", rule, len(got), fs)
+	}
+	return got[0]
+}
+
+// cleanNetlist builds a minimal well-formed netlist: a 2-input XOR into a
+// registered output.
+func cleanNetlist() *netlist.Netlist {
+	nl := netlist.New("clean")
+	in := nl.AddInput("a", 2)
+	x := nl.NewNet()
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{in[0], in[1]}, Mask: 0b0110, Out: x, Name: "xor"})
+	q := nl.NewNet()
+	nl.AddFF(netlist.FF{D: x, En: netlist.Invalid, Q: q, Name: "r[0]"})
+	nl.AddOutput("y", []netlist.NetID{q})
+	return nl
+}
+
+func TestCleanNetlistPasses(t *testing.T) {
+	if fs := designlint.CheckNetlist(cleanNetlist()); len(fs) != 0 {
+		t.Fatalf("clean netlist reported findings: %v", fs)
+	}
+}
+
+func TestSeededCombLoop(t *testing.T) {
+	nl := netlist.New("loop")
+	in := nl.AddInput("a", 1)
+	u, v := nl.NewNet(), nl.NewNet()
+	// u = a & v, v = !u: a two-cell combinational cycle.
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{in[0], v}, Mask: 0b1000, Out: u, Name: "and"})
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{u}, Mask: 0b01, Out: v, Name: "inv"})
+	nl.AddOutput("y", []netlist.NetID{u})
+
+	f := one(t, designlint.CheckNetlist(nl), "nl-comb-loop")
+	if !strings.Contains(f.Detail, "LUT 0 (and)") || !strings.Contains(f.Detail, "LUT 1 (inv)") {
+		t.Fatalf("cycle path does not name both cells: %q", f.Detail)
+	}
+	if !strings.Contains(f.Detail, " -> ") {
+		t.Fatalf("cycle path not rendered as a walk: %q", f.Detail)
+	}
+}
+
+func TestSeededUndrivenNet(t *testing.T) {
+	nl := netlist.New("undriven")
+	in := nl.AddInput("a", 1)
+	ghost := nl.NewNet() // allocated, never driven
+	y := nl.NewNet()
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{in[0], ghost}, Mask: 0b1000, Out: y, Name: "and"})
+	nl.AddOutput("y", []netlist.NetID{y})
+
+	f := one(t, designlint.CheckNetlist(nl), "nl-undriven")
+	if want := "net " + itoa(int(ghost)); f.Object != want {
+		t.Fatalf("finding localizes %q, want %q", f.Object, want)
+	}
+	if !strings.Contains(f.Detail, "LUT 0 (and) input 1") {
+		t.Fatalf("finding does not name the reader: %q", f.Detail)
+	}
+}
+
+func TestSeededDoubleDriver(t *testing.T) {
+	nl := netlist.New("double")
+	in := nl.AddInput("a", 2)
+	y := nl.NewNet()
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{in[0]}, Mask: 0b10, Out: y, Name: "buf0"})
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{in[1]}, Mask: 0b10, Out: y, Name: "buf1"})
+	nl.AddOutput("y", []netlist.NetID{y})
+
+	f := one(t, designlint.CheckNetlist(nl), "nl-multi-driven")
+	if want := "net " + itoa(int(y)); f.Object != want {
+		t.Fatalf("finding localizes %q, want %q", f.Object, want)
+	}
+	if !strings.Contains(f.Detail, "LUT 0 (buf0)") || !strings.Contains(f.Detail, "LUT 1 (buf1)") {
+		t.Fatalf("finding does not list both drivers: %q", f.Detail)
+	}
+}
+
+func TestSeededDeadCone(t *testing.T) {
+	nl := cleanNetlist()
+	in := nl.Inputs[0].Nets
+	dead := nl.NewNet()
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{in[0]}, Mask: 0b01, Out: dead, Name: "orphan"})
+
+	f := one(t, designlint.CheckNetlist(nl), "nl-dead-cone")
+	if !strings.Contains(f.Object, "LUT 1 (orphan)") || !strings.Contains(f.Object, "net "+itoa(int(dead))) {
+		t.Fatalf("finding does not localize the dead cell and net: %q", f.Object)
+	}
+}
+
+func TestSeededEnableViolations(t *testing.T) {
+	nl := netlist.New("enables")
+	in := nl.AddInput("a", 2)
+	q0, q1 := nl.NewNet(), nl.NewNet()
+	nl.AddFF(netlist.FF{D: in[0], En: netlist.Const0, Q: q0, Name: "r[0]"})
+	nl.AddFF(netlist.FF{D: in[1], En: in[0], Q: q1, Name: "r[1]"})
+	nl.AddOutput("y", []netlist.NetID{q0, q1})
+
+	fs := designlint.CheckNetlist(nl)
+	if f := one(t, fs, "nl-ff-enable-dead"); !strings.Contains(f.Object, "FF 0 (r[0])") {
+		t.Fatalf("dead-enable finding localizes %q", f.Object)
+	}
+	if f := one(t, fs, "nl-reg-enable-mix"); !strings.Contains(f.Object, "register r") {
+		t.Fatalf("enable-mix finding localizes %q", f.Object)
+	}
+}
+
+func TestSeededStructuralErrors(t *testing.T) {
+	nl := netlist.New("broken")
+	in := nl.AddInput("a", 5)
+	y := nl.NewNet()
+	// 5-input LUT and an out-of-range net reference.
+	nl.AddLUT(netlist.LUT{Inputs: in, Mask: 0xffff, Out: y, Name: "wide"})
+	nl.AddLUT(netlist.LUT{Inputs: []netlist.NetID{9999}, Mask: 0b10, Out: netlist.NetID(int32(nl.NumNets()) + 5), Name: "wild"})
+	nl.AddOutput("y", []netlist.NetID{y})
+	nl.AddOutput("y", []netlist.NetID{y})
+
+	fs := designlint.CheckNetlist(nl)
+	one(t, fs, "nl-lut-width")
+	if got := byRule(fs, "nl-invalid-net"); len(got) != 2 {
+		t.Fatalf("want 2 nl-invalid-net findings (read and drive), got %v", got)
+	}
+	one(t, fs, "nl-port-dup")
+}
+
+// TestPaperCoresClean is the acceptance gate: all three paper cores pass the
+// full rule set with zero Error-severity findings at both levels.
+func TestPaperCoresClean(t *testing.T) {
+	for _, vt := range []struct {
+		name string
+		v    rijndael.Variant
+	}{{"enc", rijndael.Encrypt}, {"dec", rijndael.Decrypt}, {"encdec", rijndael.Both}} {
+		t.Run(vt.name, func(t *testing.T) {
+			core, err := rijndael.New(rijndael.Config{Variant: vt.v, ROMStyle: rtl.ROMAsync})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dfs := designlint.CheckDesign(core.Design)
+			if n := designlint.Errors(dfs); n != 0 {
+				t.Errorf("CheckDesign: %d error finding(s): %v", n, dfs)
+			}
+			nl, err := core.Design.Synthesize(techmap.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nfs := designlint.CheckNetlist(nl); len(nfs) != 0 {
+				t.Errorf("CheckNetlist: %d finding(s): %v", len(nfs), nfs)
+			}
+
+			drep := designlint.ReportDesign(core.Design)
+			if drep.Ands == 0 || drep.Depth == 0 || drep.MaxFanout == 0 {
+				t.Errorf("degenerate design report: %+v", drep)
+			}
+			nrep := designlint.ReportNetlist(nl)
+			if nrep.LUTs == 0 || nrep.Depth == 0 || nrep.MaxFanout == 0 {
+				t.Errorf("degenerate netlist report: %+v", nrep)
+			}
+		})
+	}
+}
+
+// TestPaperCoreTapeAudits is the second acceptance gate: the static
+// compiled-tape audit passes for both simulators — the RTL/AIG schedule and
+// the mapped-netlist tape — on all three paper cores.
+func TestPaperCoreTapeAudits(t *testing.T) {
+	for _, vt := range []struct {
+		name string
+		v    rijndael.Variant
+	}{{"enc", rijndael.Encrypt}, {"dec", rijndael.Decrypt}, {"encdec", rijndael.Both}} {
+		t.Run(vt.name, func(t *testing.T) {
+			core, err := rijndael.New(rijndael.Config{Variant: vt.v, ROMStyle: rtl.ROMAsync})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msgs := core.Design.AuditCompiled(); len(msgs) != 0 {
+				t.Errorf("rtl schedule audit: %v", msgs)
+			}
+			nl, err := core.Design.Synthesize(techmap.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			msgs, err := netlist.AuditCompiled(nl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(msgs) != 0 {
+				t.Errorf("netlist tape audit: %v", msgs)
+			}
+		})
+	}
+}
+
+// TestDesignDeadConeAdvisory checks the RTL-level dead-cone rule fires as
+// Info on a planted dead AND node and localizes its apex.
+func TestDesignDeadConeAdvisory(t *testing.T) {
+	b := rtl.NewBuilder("deadcone")
+	in := b.Input("a", 2)
+	b.Output("y", rtl.Bus{b.Logic().And(in[0], in[1])})
+	dead := b.Logic().And(in[0], logic.Not(in[1])) // never consumed
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := one(t, designlint.CheckDesign(d), "rtl-dead-cone")
+	if f.Severity != designlint.Info {
+		t.Fatalf("dead-cone severity = %v, want Info", f.Severity)
+	}
+	if want := "n" + itoa(int(dead.Node())); f.Object != want {
+		t.Fatalf("finding localizes %q, want apex %q", f.Object, want)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

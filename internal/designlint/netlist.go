@@ -1,0 +1,392 @@
+package designlint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rijndaelip/internal/netlist"
+)
+
+// netSink records one consumer of a net, for undriven-net localization.
+type netSink struct {
+	what string
+}
+
+// CheckNetlist runs every netlist-level design rule and returns the
+// findings, localized to exact nets and cells. It never calls
+// netlist.Build, so a structurally broken netlist yields a complete report
+// rather than Build's first error.
+func CheckNetlist(nl *netlist.Netlist) []Finding {
+	c := &nlChecker{nl: nl}
+	c.collect()
+	c.checkDrivers()
+	c.checkUses()
+	c.checkLoops()
+	c.checkDeadCones()
+	c.checkFFEnables()
+	c.checkPorts()
+	return c.out
+}
+
+// nlChecker carries the derived driver/use tables shared by the rules.
+type nlChecker struct {
+	nl  *netlist.Netlist
+	out []Finding
+
+	// drivers[net] lists every driver description; len > 1 is a violation.
+	drivers map[netlist.NetID][]string
+	// uses[net] lists every consumer description.
+	uses map[netlist.NetID][]netSink
+	// producer maps a net to the combinational/memory cell driving it.
+	producer map[netlist.NetID]cellRef
+}
+
+// cellRef identifies a LUT or ROM cell.
+type cellRef struct {
+	isROM bool
+	idx   int
+}
+
+func (c *nlChecker) add(rule string, sev Severity, object, detail string) {
+	c.out = append(c.out, Finding{
+		Rule: rule, Severity: sev, Design: c.nl.Name, Object: object, Detail: detail,
+	})
+}
+
+func (c *nlChecker) valid(n netlist.NetID) bool {
+	return n >= 0 && int(n) < c.nl.NumNets()
+}
+
+func (c *nlChecker) lutName(i int) string {
+	if n := c.nl.LUTs[i].Name; n != "" {
+		return fmt.Sprintf("LUT %d (%s)", i, n)
+	}
+	return fmt.Sprintf("LUT %d", i)
+}
+
+func (c *nlChecker) romName(i int) string {
+	if n := c.nl.ROMs[i].Name; n != "" {
+		return fmt.Sprintf("ROM %d (%s)", i, n)
+	}
+	return fmt.Sprintf("ROM %d", i)
+}
+
+func (c *nlChecker) ffName(i int) string {
+	if n := c.nl.FFs[i].Name; n != "" {
+		return fmt.Sprintf("FF %d (%s)", i, n)
+	}
+	return fmt.Sprintf("FF %d", i)
+}
+
+// collect builds the driver, use and producer tables, flagging out-of-range
+// net references as it goes.
+func (c *nlChecker) collect() {
+	nl := c.nl
+	c.drivers = map[netlist.NetID][]string{
+		netlist.Const0: {"constant 0"},
+		netlist.Const1: {"constant 1"},
+	}
+	c.uses = map[netlist.NetID][]netSink{}
+	c.producer = map[netlist.NetID]cellRef{}
+
+	drive := func(n netlist.NetID, what string) {
+		if !c.valid(n) {
+			c.add("nl-invalid-net", Error, what,
+				fmt.Sprintf("drives invalid net %d (valid range [0,%d))", n, nl.NumNets()))
+			return
+		}
+		c.drivers[n] = append(c.drivers[n], what)
+	}
+	use := func(n netlist.NetID, what string) {
+		if !c.valid(n) {
+			c.add("nl-invalid-net", Error, what,
+				fmt.Sprintf("reads invalid net %d (valid range [0,%d))", n, nl.NumNets()))
+			return
+		}
+		c.uses[n] = append(c.uses[n], netSink{what: what})
+	}
+
+	for _, p := range nl.Inputs {
+		for bit, n := range p.Nets {
+			drive(n, fmt.Sprintf("input %s[%d]", p.Name, bit))
+		}
+	}
+	for i := range nl.LUTs {
+		l := &nl.LUTs[i]
+		drive(l.Out, c.lutName(i))
+		if c.valid(l.Out) {
+			c.producer[l.Out] = cellRef{idx: i}
+		}
+		if len(l.Inputs) > 4 {
+			c.add("nl-lut-width", Error, c.lutName(i),
+				fmt.Sprintf("%d inputs exceed the 4-input LUT fabric", len(l.Inputs)))
+		}
+		for pin, in := range l.Inputs {
+			use(in, fmt.Sprintf("%s input %d", c.lutName(i), pin))
+		}
+	}
+	for i := range nl.FFs {
+		f := &nl.FFs[i]
+		drive(f.Q, c.ffName(i))
+		use(f.D, c.ffName(i)+" D")
+		if f.En != netlist.Invalid {
+			use(f.En, c.ffName(i)+" En")
+		}
+	}
+	for i := range nl.ROMs {
+		r := &nl.ROMs[i]
+		for bit, o := range r.Out {
+			drive(o, fmt.Sprintf("%s out[%d]", c.romName(i), bit))
+			if c.valid(o) {
+				c.producer[o] = cellRef{isROM: true, idx: i}
+			}
+		}
+		for bit, a := range r.Addr {
+			use(a, fmt.Sprintf("%s addr[%d]", c.romName(i), bit))
+		}
+	}
+	for _, p := range nl.Outputs {
+		for bit, n := range p.Nets {
+			use(n, fmt.Sprintf("output %s[%d]", p.Name, bit))
+		}
+	}
+}
+
+// checkDrivers flags multiply-driven nets, listing every driver.
+func (c *nlChecker) checkDrivers() {
+	var nets []netlist.NetID
+	for n, ds := range c.drivers {
+		if len(ds) > 1 {
+			nets = append(nets, n)
+		}
+	}
+	sort.Slice(nets, func(i, j int) bool { return nets[i] < nets[j] })
+	for _, n := range nets {
+		c.add("nl-multi-driven", Error, fmt.Sprintf("net %d", n),
+			fmt.Sprintf("%d drivers: %s", len(c.drivers[n]), strings.Join(c.drivers[n], ", ")))
+	}
+}
+
+// checkUses flags used-but-undriven nets, naming the first consumer.
+func (c *nlChecker) checkUses() {
+	var nets []netlist.NetID
+	for n := range c.uses {
+		if len(c.drivers[n]) == 0 {
+			nets = append(nets, n)
+		}
+	}
+	sort.Slice(nets, func(i, j int) bool { return nets[i] < nets[j] })
+	for _, n := range nets {
+		sinks := c.uses[n]
+		c.add("nl-undriven", Error, fmt.Sprintf("net %d", n),
+			fmt.Sprintf("undriven but read by %s (%d reader(s))", sinks[0].what, len(sinks)))
+	}
+}
+
+// checkLoops detects combinational cycles through LUTs and asynchronous ROM
+// reads with an explicit-stack DFS, reporting each cycle's full cell path.
+func (c *nlChecker) checkLoops() {
+	nl := c.nl
+	// Enumerate combinational cells and their input nets.
+	type cell struct {
+		name string
+		ins  []netlist.NetID
+	}
+	var cells []cell
+	key := map[cellRef]int{}
+	for i := range nl.LUTs {
+		key[cellRef{idx: i}] = len(cells)
+		cells = append(cells, cell{name: c.lutName(i), ins: nl.LUTs[i].Inputs})
+	}
+	for i := range nl.ROMs {
+		if nl.ROMs[i].Sync {
+			continue // registered read breaks the combinational path
+		}
+		key[cellRef{isROM: true, idx: i}] = len(cells)
+		cells = append(cells, cell{name: c.romName(i), ins: nl.ROMs[i].Addr[:]})
+	}
+	succ := func(i int) []int {
+		var out []int
+		for _, in := range cells[i].ins {
+			if ref, ok := c.producer[in]; ok {
+				if j, ok := key[ref]; ok {
+					out = append(out, j)
+				}
+			}
+		}
+		return out
+	}
+	const (
+		unseen = iota
+		onStack
+		done
+	)
+	state := make([]int8, len(cells))
+	var stack []int
+	var walk func(i int) bool
+	walk = func(i int) bool {
+		state[i] = onStack
+		stack = append(stack, i)
+		for _, j := range succ(i) {
+			switch state[j] {
+			case onStack:
+				// Extract the cycle from the explicit path stack.
+				at := len(stack) - 1
+				for at >= 0 && stack[at] != j {
+					at--
+				}
+				var names []string
+				for _, k := range stack[at:] {
+					names = append(names, cells[k].name)
+				}
+				names = append(names, cells[j].name)
+				c.add("nl-comb-loop", Error, cells[j].name,
+					"combinational cycle: "+strings.Join(names, " -> "))
+				return true
+			case unseen:
+				if walk(j) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[i] = done
+		return false
+	}
+	for i := range cells {
+		if state[i] == unseen {
+			stack = stack[:0]
+			if walk(i) {
+				// One cycle per connected search is enough signal; mark the
+				// remaining stack done so the walk terminates cleanly.
+				for _, k := range stack {
+					state[k] = done
+				}
+			}
+		}
+	}
+}
+
+// checkDeadCones flags LUT and ROM cells whose outputs cannot reach any
+// flip-flop input, flip-flop enable or primary output. ROM address cones
+// are live only when the ROM's own data output is.
+func (c *nlChecker) checkDeadCones() {
+	nl := c.nl
+	liveLUT := make([]bool, len(nl.LUTs))
+	liveROM := make([]bool, len(nl.ROMs))
+	var queue []netlist.NetID
+	need := map[netlist.NetID]bool{}
+	want := func(n netlist.NetID) {
+		if c.valid(n) && !need[n] {
+			need[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for i := range nl.FFs {
+		want(nl.FFs[i].D)
+		if nl.FFs[i].En != netlist.Invalid {
+			want(nl.FFs[i].En)
+		}
+	}
+	for _, p := range nl.Outputs {
+		for _, n := range p.Nets {
+			want(n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		ref, ok := c.producer[n]
+		if !ok {
+			continue // input, FF.Q or constant: a source, nothing upstream
+		}
+		if ref.isROM {
+			if liveROM[ref.idx] {
+				continue
+			}
+			liveROM[ref.idx] = true
+			for _, a := range nl.ROMs[ref.idx].Addr {
+				want(a)
+			}
+		} else {
+			if liveLUT[ref.idx] {
+				continue
+			}
+			liveLUT[ref.idx] = true
+			for _, in := range nl.LUTs[ref.idx].Inputs {
+				want(in)
+			}
+		}
+	}
+	for i := range nl.LUTs {
+		if !liveLUT[i] {
+			c.add("nl-dead-cone", Error, fmt.Sprintf("%s out net %d", c.lutName(i), nl.LUTs[i].Out),
+				"output cone reaches no flip-flop, ROM or primary output")
+		}
+	}
+	for i := range nl.ROMs {
+		if !liveROM[i] {
+			c.add("nl-dead-cone", Error, c.romName(i),
+				"data outputs reach no flip-flop, ROM or primary output")
+		}
+	}
+}
+
+// checkFFEnables flags enables tied low and register groups whose bits
+// latch under different enable nets (the "name[bit]" naming convention the
+// RTL elaborator emits).
+func (c *nlChecker) checkFFEnables() {
+	nl := c.nl
+	groupEn := map[string]netlist.NetID{}
+	groupAt := map[string]int{}
+	flagged := map[string]bool{}
+	for i := range nl.FFs {
+		f := &nl.FFs[i]
+		if f.En == netlist.Const0 {
+			c.add("nl-ff-enable-dead", Error, c.ffName(i),
+				"clock enable tied to constant 0: the flip-flop can never load")
+		}
+		base := regBase(f.Name)
+		if base == "" {
+			continue
+		}
+		if prev, ok := groupEn[base]; !ok {
+			groupEn[base] = f.En
+			groupAt[base] = i
+		} else if prev != f.En && !flagged[base] {
+			flagged[base] = true
+			c.add("nl-reg-enable-mix", Error, fmt.Sprintf("register %s", base),
+				fmt.Sprintf("%s latches under net %d but %s under net %d: register bits must share one clock enable",
+					c.ffName(groupAt[base]), prev, c.ffName(i), f.En))
+		}
+	}
+}
+
+// regBase extracts the register name from a "name[bit]" flip-flop name.
+func regBase(name string) string {
+	open := strings.IndexByte(name, '[')
+	if open <= 0 || !strings.HasSuffix(name, "]") {
+		return ""
+	}
+	return name[:open]
+}
+
+// checkPorts flags duplicate port names across the shared input/output
+// namespace.
+func (c *nlChecker) checkPorts() {
+	seen := map[string]string{}
+	check := func(kind, name string) {
+		if prev, ok := seen[name]; ok {
+			c.add("nl-port-dup", Error, kind+" "+name, "duplicate of "+prev)
+			return
+		}
+		seen[name] = kind + " " + name
+	}
+	for _, p := range c.nl.Inputs {
+		check("input", p.Name)
+	}
+	for _, p := range c.nl.Outputs {
+		check("output", p.Name)
+	}
+}

@@ -1,0 +1,150 @@
+package designlint
+
+import (
+	"fmt"
+
+	"rijndaelip/internal/logic"
+	"rijndaelip/internal/netlist"
+	"rijndaelip/internal/rtl"
+)
+
+// NetlistReport summarizes the structural quality metrics of a mapped
+// netlist: cell counts, combinational depth in cell levels, and the
+// highest-fanout net — the numbers a routing-congestion or clock-skew
+// review starts from.
+type NetlistReport struct {
+	Name         string
+	Nets         int
+	LUTs         int
+	FFs          int
+	ROMs         int
+	Depth        int // combinational depth in LUT/ROM levels
+	MaxFanout    int
+	MaxFanoutNet netlist.NetID
+	MaxFanoutSrc string // driver description of the max-fanout net
+}
+
+func (r NetlistReport) String() string {
+	return fmt.Sprintf("%s: %d nets, %d LUTs, %d FFs, %d ROMs, depth %d, max fanout %d (net %d, %s)",
+		r.Name, r.Nets, r.LUTs, r.FFs, r.ROMs, r.Depth, r.MaxFanout, r.MaxFanoutNet, r.MaxFanoutSrc)
+}
+
+// ReportNetlist computes fanout and depth metrics without requiring Build
+// to succeed; cyclic or broken netlists report the metrics of whatever is
+// well-formed.
+func ReportNetlist(nl *netlist.Netlist) NetlistReport {
+	c := &nlChecker{nl: nl}
+	c.collect()
+	rep := NetlistReport{
+		Name: nl.Name, Nets: nl.NumNets(),
+		LUTs: len(nl.LUTs), FFs: len(nl.FFs), ROMs: len(nl.ROMs),
+	}
+	for n, sinks := range c.uses {
+		if len(sinks) > rep.MaxFanout {
+			rep.MaxFanout = len(sinks)
+			rep.MaxFanoutNet = n
+		}
+	}
+	if ds := c.drivers[rep.MaxFanoutNet]; len(ds) > 0 {
+		rep.MaxFanoutSrc = ds[0]
+	} else {
+		rep.MaxFanoutSrc = "undriven"
+	}
+	// Longest path over the combinational cells (LUTs and async ROM reads),
+	// walking nets from sequential/input sources forward. Memoized DFS with
+	// a visiting mark so a cycle cannot hang the report.
+	depth := map[netlist.NetID]int{}
+	visiting := map[netlist.NetID]bool{}
+	var netDepth func(n netlist.NetID) int
+	netDepth = func(n netlist.NetID) int {
+		if d, ok := depth[n]; ok {
+			return d
+		}
+		if visiting[n] {
+			return 0 // combinational loop; reported by CheckNetlist
+		}
+		ref, ok := c.producer[n]
+		if !ok {
+			depth[n] = 0
+			return 0
+		}
+		if ref.isROM && nl.ROMs[ref.idx].Sync {
+			depth[n] = 0
+			return 0
+		}
+		visiting[n] = true
+		d := 0
+		var ins []netlist.NetID
+		if ref.isROM {
+			ins = nl.ROMs[ref.idx].Addr[:]
+		} else {
+			ins = nl.LUTs[ref.idx].Inputs
+		}
+		for _, in := range ins {
+			if c.valid(in) {
+				d = max(d, netDepth(in))
+			}
+		}
+		visiting[n] = false
+		depth[n] = d + 1
+		return d + 1
+	}
+	for n := range c.uses {
+		rep.Depth = max(rep.Depth, netDepth(n))
+	}
+	return rep
+}
+
+// DesignReport summarizes an elaborated design's AIG: node counts, unit-
+// delay depth over the observed roots, dead-node count, and the highest-
+// fanout node.
+type DesignReport struct {
+	Name          string
+	Nodes         int
+	Ands          int
+	Inputs        int
+	Depth         int
+	DeadAnds      int
+	MaxFanout     int
+	MaxFanoutNode uint32
+}
+
+func (r DesignReport) String() string {
+	return fmt.Sprintf("%s: %d AND nodes, %d inputs, depth %d, %d dead AND(s), max fanout %d (n%d)",
+		r.Name, r.Ands, r.Inputs, r.Depth, r.DeadAnds, r.MaxFanout, r.MaxFanoutNode)
+}
+
+// ReportDesign computes AIG fanout/depth metrics for an elaborated design.
+func ReportDesign(d *rtl.Design) DesignReport {
+	v := d.LintView()
+	aig := v.AIG
+	rep := DesignReport{
+		Name: v.Name, Nodes: aig.NumNodes(), Ands: aig.NumAnds(), Inputs: aig.NumInputs(),
+		Depth: aig.Depth(v.Roots()),
+	}
+	live := make([]bool, aig.NumNodes())
+	for _, id := range aig.Cone(v.Roots()) {
+		live[id] = true
+	}
+	fanout := make([]int, aig.NumNodes())
+	for id := uint32(1); id < uint32(aig.NumNodes()); id++ {
+		l := logic.Lit(id << 1)
+		if aig.IsInput(l) {
+			continue
+		}
+		if !live[id] {
+			rep.DeadAnds++
+			continue
+		}
+		f0, f1 := aig.Fanins(id)
+		fanout[f0.Node()]++
+		fanout[f1.Node()]++
+	}
+	for id, f := range fanout {
+		if f > rep.MaxFanout {
+			rep.MaxFanout = f
+			rep.MaxFanoutNode = uint32(id)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,69 @@
+package logic
+
+import "fmt"
+
+// AuditCompiled statically verifies that a compiled instruction tape is a
+// faithful linearization of this net, without executing it. For every node
+// the audit proves:
+//
+//   - coverage: the tape has exactly one instruction per AIG node;
+//   - input binding: a primary input's instruction carries the node's
+//     input ordinal, resolved once at compile time;
+//   - wiring: an AND instruction's operand slots reference exactly the
+//     node's two fanin nodes;
+//   - topological order: both operands of an AND instruction were defined
+//     by earlier instructions, so a single linear sweep sees resolved
+//     values;
+//   - polarity: each operand's XOR inversion mask is ^0 exactly when the
+//     corresponding fanin edge is complemented, and 0 otherwise.
+//
+// Together these make the tape's single-sweep evaluation provably
+// equivalent to the interpreter's recursive definition, turning the
+// fuzz-only equivalence argument into a checked structural obligation.
+// Findings are returned as localized messages; an empty slice means the
+// tape is faithful.
+func (n *Net) AuditCompiled(c *Compiled) []string {
+	var out []string
+	fail := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	if len(c.ops) != len(n.nodes) {
+		fail("tape has %d instructions for %d AIG nodes: recompile after the net grew", len(c.ops), len(n.nodes))
+		return out
+	}
+	for id := 1; id < len(n.nodes); id++ {
+		nd := &n.nodes[id]
+		op := &c.ops[id]
+		if nd.isInput() {
+			if op.ord < 0 {
+				fail("n%d: primary input compiled as an AND instruction", id)
+				continue
+			}
+			if want := n.inOrd[uint32(id)]; int(op.ord) != want {
+				fail("n%d: input ordinal %d, AIG says %d", id, op.ord, want)
+			}
+			continue
+		}
+		if op.ord >= 0 {
+			fail("n%d: AND node compiled as input ordinal %d", id, op.ord)
+			continue
+		}
+		auditEdge := func(slot string, got int32, gotMask uint64, want Lit) {
+			if got != int32(want.Node()) {
+				fail("n%d: operand %s reads n%d, fanin is %v", id, slot, got, want)
+			}
+			if got >= int32(id) {
+				fail("n%d: operand %s reads n%d ahead of the sweep: topological order violated", id, slot, got)
+			}
+			if got < 0 {
+				fail("n%d: operand %s reads invalid node %d", id, slot, got)
+			}
+			if want := edgeMask(want); gotMask != want {
+				fail("n%d: operand %s inversion mask %#x, edge polarity implies %#x", id, slot, gotMask, want)
+			}
+		}
+		auditEdge("a", op.a, op.amask, nd.f0)
+		auditEdge("b", op.b, op.bmask, nd.f1)
+	}
+	return out
+}

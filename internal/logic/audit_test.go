@@ -1,0 +1,72 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAuditCompiledClean: a fresh Compile of a random net always audits
+// clean.
+func TestAuditCompiledClean(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		n, _ := randNet(rand.New(rand.NewSource(seed)), 12, 300)
+		if msgs := n.AuditCompiled(n.Compile()); len(msgs) != 0 {
+			t.Fatalf("seed %d: %v", seed, msgs)
+		}
+	}
+}
+
+// TestAuditCompiledSensitivity corrupts single instructions and requires a
+// finding for each corruption class.
+func TestAuditCompiledSensitivity(t *testing.T) {
+	n, _ := randNet(rand.New(rand.NewSource(1)), 12, 300)
+	clean := n.Compile()
+
+	firstAnd := -1
+	for id := 1; id < len(clean.ops); id++ {
+		if clean.ops[id].ord < 0 {
+			firstAnd = id
+			break
+		}
+	}
+	if firstAnd < 0 {
+		t.Fatal("random net has no AND node")
+	}
+	firstIn := -1
+	for id := 1; id < len(clean.ops); id++ {
+		if clean.ops[id].ord >= 0 {
+			firstIn = id
+			break
+		}
+	}
+
+	clone := func() *Compiled {
+		return &Compiled{ops: append([]compOp(nil), clean.ops...)}
+	}
+	cases := []struct {
+		name    string
+		corrupt func(c *Compiled)
+	}{
+		{"truncated-tape", func(c *Compiled) { c.ops = c.ops[:len(c.ops)-1] }},
+		{"rewired-operand", func(c *Compiled) { c.ops[firstAnd].a++ }},
+		{"forward-reference", func(c *Compiled) { c.ops[firstAnd].b = int32(len(c.ops) - 1) }},
+		{"flipped-polarity", func(c *Compiled) { c.ops[firstAnd].amask ^= ^uint64(0) }},
+		{"input-ordinal", func(c *Compiled) { c.ops[firstIn].ord++ }},
+		{"input-as-and", func(c *Compiled) { c.ops[firstIn].ord = -1 }},
+		{"and-as-input", func(c *Compiled) { c.ops[firstAnd].ord = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.name == "input-ordinal" && firstIn < 0 {
+				t.Skip("no primary input")
+			}
+			c := clone()
+			tc.corrupt(c)
+			msgs := n.AuditCompiled(c)
+			if len(msgs) == 0 {
+				t.Fatal("audit accepted a corrupted tape")
+			}
+			t.Logf("detected: %s", msgs[0])
+		})
+	}
+}

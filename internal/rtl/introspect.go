@@ -1,0 +1,103 @@
+package rtl
+
+import "rijndaelip/internal/logic"
+
+// This file exposes a read-only structural view of an elaborated design for
+// static analysis. The design-rule checker (internal/designlint) and the
+// compiled-tape audit need to walk registers, ROM macros and port buses
+// without reaching into the builder, and without being able to mutate the
+// elaborated structure.
+
+// LintPort is a named port bus as seen by static analysis.
+type LintPort struct {
+	Name string
+	Bus  Bus
+}
+
+// LintReg is one declared register: Q are the state pseudo-input literals,
+// Next the data-input cone roots, En the load-enable root.
+type LintReg struct {
+	Name string
+	Q    Bus
+	Next Bus
+	En   logic.Lit
+	Init []bool
+}
+
+// LintROM is one declared ROM macro. Out holds the output pseudo-input
+// literals (empty buses never occur; ROMLogic expansions do not appear here
+// because they leave no macro behind). Level is the asynchronous
+// address-dependency level computed at Build (-1 for synchronous ROMs).
+type LintROM struct {
+	Name     string
+	Style    ROMStyle
+	Addr     Bus
+	Out      Bus
+	Contents [256]byte
+	Level    int
+}
+
+// LintView is the complete read-only structural view of a design. The AIG
+// pointer is shared with the live design — callers must treat it as
+// immutable.
+type LintView struct {
+	Name    string
+	AIG     *logic.Net
+	Inputs  []LintPort
+	Outputs []LintPort
+	Regs    []LintReg
+	ROMs    []LintROM
+}
+
+// LintView returns the design's structural view for static analysis. Buses
+// and init slices are copied; the AIG is shared and must not be mutated.
+func (d *Design) LintView() LintView {
+	b := d.b
+	v := LintView{Name: d.Name, AIG: b.aig}
+	for _, p := range b.inputs {
+		v.Inputs = append(v.Inputs, LintPort{Name: p.name, Bus: append(Bus(nil), p.bus...)})
+	}
+	for _, p := range b.outputs {
+		v.Outputs = append(v.Outputs, LintPort{Name: p.name, Bus: append(Bus(nil), p.bus...)})
+	}
+	for i := range b.regs {
+		r := &b.regs[i]
+		v.Regs = append(v.Regs, LintReg{
+			Name: r.name,
+			Q:    append(Bus(nil), r.q...),
+			Next: append(Bus(nil), r.next...),
+			En:   r.en,
+			Init: append([]bool(nil), r.init...),
+		})
+	}
+	for i := range b.roms {
+		r := &b.roms[i]
+		v.ROMs = append(v.ROMs, LintROM{
+			Name:     r.name,
+			Style:    r.style,
+			Addr:     append(Bus(nil), r.addr...),
+			Out:      append(Bus(nil), r.out...),
+			Contents: r.contents,
+			Level:    d.romLevels[i],
+		})
+	}
+	return v
+}
+
+// Roots returns every AIG literal the design observes: register next-value
+// and enable cones, ROM address cones and primary-output buses. Nodes
+// outside the union of these cones are dead logic.
+func (v *LintView) Roots() []logic.Lit {
+	var roots []logic.Lit
+	for i := range v.Regs {
+		roots = append(roots, v.Regs[i].Next...)
+		roots = append(roots, v.Regs[i].En)
+	}
+	for i := range v.ROMs {
+		roots = append(roots, v.ROMs[i].Addr...)
+	}
+	for _, p := range v.Outputs {
+		roots = append(roots, p.Bus...)
+	}
+	return roots
+}

@@ -1,0 +1,127 @@
+package srclint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkAtomicAccess enforces the all-or-nothing atomics contract across the
+// whole module at once: any variable or struct field whose address is
+// passed to a sync/atomic function anywhere must be accessed through
+// sync/atomic everywhere. The analysis is cross-package — a field
+// atomically incremented in the root package and plainly read in a cmd/
+// binary is exactly the torn-snapshot bug class this rule exists for — so
+// all packages share one type-check universe (see loader.go) and object
+// identity carries between them.
+func checkAtomicAccess(pkgs []*Package) []Finding {
+	// Pass 1: collect the tracked objects and sanction the identifiers
+	// that appear inside the atomic calls themselves.
+	tracked := map[types.Object]string{} // object -> first atomic call site
+	sanctioned := map[*ast.Ident]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := atomicCallee(p, call)
+				if fn == "" || len(call.Args) == 0 {
+					return true
+				}
+				un, ok := call.Args[0].(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					return true
+				}
+				id := baseIdent(un.X)
+				if id == nil {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil {
+					obj = p.Info.Defs[id]
+				}
+				v, ok := obj.(*types.Var)
+				if !ok {
+					return true
+				}
+				if _, seen := tracked[v]; !seen {
+					tracked[v] = "atomic." + fn + " at " + p.Fset.Position(call.Pos()).String()
+				}
+				sanctioned[id] = true
+				return true
+			})
+		}
+	}
+	if len(tracked) == 0 {
+		return nil
+	}
+	// Pass 2: flag every other use of a tracked object.
+	var out []Finding
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || sanctioned[id] {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				site, isTracked := tracked[obj]
+				if !isTracked {
+					return true
+				}
+				out = append(out, Finding{
+					Rule:   "atomic-plain-access",
+					Pos:    p.Fset.Position(id.Pos()),
+					Object: id.Name,
+					Detail: "plain access to a field accessed atomically elsewhere (" + site + "); every access must go through sync/atomic",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// atomicCallee returns the sync/atomic function name a call invokes, or ""
+// when the call is not a sync/atomic package function.
+func atomicCallee(p *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Info.Uses[x].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// baseIdent resolves the identifier naming the addressed variable or field:
+// the Sel of a selector chain, or a plain identifier. Index and dereference
+// steps are peeled so &s.counts[i] tracks the counts field.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			return x.Sel
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package srclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+)
+
+// checkErrorWrap flags fmt.Errorf calls that format an error-typed argument
+// with a non-wrapping verb. %v and %s flatten the error to text, which
+// silently breaks errors.Is/errors.As chains — the supervision layer
+// matches bfm.ErrTimeout through exactly such a chain — so error arguments
+// must use %w. Calls with a non-constant format string are skipped: the
+// verbs cannot be matched to arguments statically.
+func checkErrorWrap(p *Package) []Finding {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFmtErrorf(p, call) || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constantString(p, call.Args[0])
+			if !ok {
+				return true
+			}
+			verbs := formatVerbs(format)
+			for i, verb := range verbs {
+				argIdx := 1 + i
+				if argIdx >= len(call.Args) || verb == '*' || verb == 'w' {
+					continue
+				}
+				// Only the text verbs lose the chain; %T and %p are
+				// deliberate non-error renderings.
+				if verb != 'v' && verb != 's' && verb != 'q' {
+					continue
+				}
+				tv, ok := p.Info.Types[call.Args[argIdx]]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if !types.Implements(tv.Type, errIface) {
+					continue
+				}
+				out = append(out, Finding{
+					Rule:   "error-wrap",
+					Pos:    p.Fset.Position(call.Args[argIdx].Pos()),
+					Object: "fmt.Errorf",
+					Detail: fmt.Sprintf("error-typed argument %d formatted with %%%c; use %%w so errors.Is/errors.As keep working", argIdx, verb),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isFmtErrorf reports whether a call invokes fmt.Errorf.
+func isFmtErrorf(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.FullName() == "fmt.Errorf"
+}
+
+// constantString resolves an expression to its compile-time string value.
+func constantString(p *Package, e ast.Expr) (string, bool) {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	if lit, ok := e.(*ast.BasicLit); ok {
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// formatVerbs parses a Printf-style format string and returns one entry per
+// consumed argument, in order: the verb rune for a conversion, or '*' for a
+// star width/precision operand. "%%" consumes nothing. Explicit argument
+// indexes ("%[2]v") reposition the cursor like the fmt package does.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	// next maps the implicit cursor; explicit indexes overwrite the slot at
+	// index-1 and continue from there, matching fmt's semantics closely
+	// enough for verb/argument alignment.
+	setAt := func(pos int, r rune) {
+		for len(verbs) <= pos {
+			verbs = append(verbs, 0)
+		}
+		verbs[pos] = r
+	}
+	cursor := 0
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags.
+		for i < len(format) && (format[i] == '+' || format[i] == '-' || format[i] == '#' || format[i] == ' ' || format[i] == '0') {
+			i++
+		}
+		// Explicit argument index.
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			idx := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				idx = idx*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && idx > 0 {
+				cursor = idx - 1
+				i = j + 1
+			}
+		}
+		// Width.
+		if i < len(format) && format[i] == '*' {
+			setAt(cursor, '*')
+			cursor++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i+1 < len(format) && format[i] == '.' {
+			i++
+			if format[i] == '*' {
+				setAt(cursor, '*')
+				cursor++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i < len(format) {
+			setAt(cursor, rune(format[i]))
+			cursor++
+			i++
+		}
+	}
+	return verbs
+}

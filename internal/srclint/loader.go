@@ -1,0 +1,220 @@
+package srclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package ready for analysis.
+type Package struct {
+	Path  string // import path, e.g. "rijndaelip/internal/rtl"
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// loader type-checks the module's packages in dependency order, serving
+// module-internal imports from its own cache so object identity holds
+// across packages (the atomic-field analyzer correlates accesses between
+// packages). Standard-library imports fall back to the source importer.
+type loader struct {
+	fset    *token.FileSet
+	std     types.Importer
+	root    string
+	module  string
+	pkgs    map[string]*Package
+	loading map[string]bool
+	info    *types.Info
+}
+
+// Import implements types.Importer: module packages from the cache (loaded
+// on demand), everything else from the stdlib source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirOf maps a module import path to its directory under root.
+func (l *loader) dirOf(path string) string {
+	if path == l.module {
+		return l.root
+	}
+	return filepath.Join(l.root, strings.TrimPrefix(path, l.module+"/"))
+}
+
+// load parses and type-checks one module package (memoized).
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("srclint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirOf(path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("srclint: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("srclint: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("srclint: %s: no Go source files", path)
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, l.info)
+	if err != nil {
+		return nil, fmt.Errorf("srclint: %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Pkg: tpkg, Info: l.info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// newInfo allocates the shared type-checking fact tables.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// moduleName reads the module path from root's go.mod.
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("srclint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("srclint: no module directive in %s/go.mod", root)
+}
+
+// Load discovers, parses and type-checks every non-test package under the
+// module root, returning them sorted by import path. Hidden directories,
+// testdata and dependency-free build artifacts are skipped.
+func Load(root string) ([]*Package, error) {
+	module, err := moduleName(root)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		module:  module,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		info:    newInfo(),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+
+	var paths []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					paths = append(paths, module)
+				} else {
+					paths = append(paths, module+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadSource type-checks a single synthetic package from in-memory file
+// contents — the analyzer test harness. Imports resolve against the
+// standard library only.
+func LoadSource(path string, sources map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, sources[name], parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}

@@ -1,0 +1,123 @@
+package srclint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkLockCopy flags by-value copies of types that contain sync.Mutex,
+// sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond, sync.Map or any
+// sync/atomic value type: by-value parameters, receivers and results, and
+// assignments whose right-hand side copies an existing lock-holding value.
+// Composite literals and function calls on the right-hand side construct
+// fresh values and are fine.
+func checkLockCopy(p *Package) []Finding {
+	var out []Finding
+	flag := func(pos ast.Node, object, detail string) {
+		out = append(out, Finding{
+			Rule:   "lock-copy",
+			Pos:    p.Fset.Position(pos.Pos()),
+			Object: object,
+			Detail: detail,
+		})
+	}
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok || tv.Type == nil || !containsLock(tv.Type, nil) {
+				continue
+			}
+			name := types.TypeString(tv.Type, nil)
+			flag(field.Type, name, what+" passes a lock-containing type by value; use a pointer")
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(x.Recv, "receiver")
+				checkFieldList(x.Type.Params, "parameter")
+				checkFieldList(x.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(x.Type.Params, "parameter")
+				checkFieldList(x.Type.Results, "result")
+			case *ast.AssignStmt:
+				for _, rhs := range x.Rhs {
+					checkCopyExpr(p, rhs, flag)
+				}
+			case *ast.ValueSpec:
+				for _, v := range x.Values {
+					checkCopyExpr(p, v, flag)
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					if tv, ok := p.Info.Types[x.Value]; ok && tv.Type != nil && containsLock(tv.Type, nil) {
+						flag(x.Value, types.TypeString(tv.Type, nil), "range copies a lock-containing element by value")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkCopyExpr flags an assignment RHS that copies an existing
+// lock-containing value (identifier, field selection, dereference or
+// element access — not a fresh composite literal or call result).
+func checkCopyExpr(p *Package, rhs ast.Expr, flag func(ast.Node, string, string)) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	tv, ok := p.Info.Types[rhs]
+	if !ok || tv.Type == nil || !containsLock(tv.Type, nil) {
+		return
+	}
+	flag(rhs, types.TypeString(tv.Type, nil), "assignment copies a lock-containing value; take a pointer instead")
+}
+
+// containsLock reports whether a type transitively contains non-copyable
+// synchronization state.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map":
+					return true
+				}
+			case "sync/atomic":
+				// Every exported sync/atomic struct type embeds noCopy.
+				if _, isStruct := u.Underlying().(*types.Struct); isStruct {
+					return true
+				}
+			}
+		}
+		return containsLock(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	case *types.Alias:
+		return containsLock(types.Unalias(u), seen)
+	}
+	return false
+}

@@ -1,0 +1,92 @@
+package srclint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Hot packages: everything under these import-path suffixes runs inside the
+// simulated-cycle loop, where time is cycle counts and a wall-clock read
+// destroys determinism and benchmark integrity.
+var hotPackages = []string{
+	"/internal/logic",
+	"/internal/netlist",
+	"/internal/rtl",
+	"/internal/edac",
+	"/internal/bfm",
+}
+
+// Banned time-package functions: anything that reads the wall clock or
+// blocks on it.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// checkWallClock flags banned time-package calls anywhere in a hot package,
+// and — in every package — inside functions whose names mark them as cycle
+// evaluation paths (Eval*/eval*/Step/Gather*/gather*).
+func checkWallClock(p *Package) []Finding {
+	hotPkg := false
+	for _, suf := range hotPackages {
+		if strings.HasSuffix(p.Path, suf) {
+			hotPkg = true
+			break
+		}
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			hot := hotPkg || isHotFunc(fd.Name.Name)
+			if !hot || fd.Body == nil {
+				return false
+			}
+			where := p.Path
+			if !hotPkg {
+				where = "function " + fd.Name.Name
+			}
+			ast.Inspect(fd.Body, func(m ast.Node) bool {
+				sel, ok := m.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				x, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := p.Info.Uses[x].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "time" || !bannedTimeFuncs[sel.Sel.Name] {
+					return true
+				}
+				out = append(out, Finding{
+					Rule:   "sim-wallclock",
+					Pos:    p.Fset.Position(sel.Pos()),
+					Object: "time." + sel.Sel.Name,
+					Detail: "wall-clock call on the simulated-cycle hot path (" + where + "); simulated time is cycle counts",
+				})
+				return true
+			})
+			return false
+		})
+	}
+	return out
+}
+
+// isHotFunc reports whether a function name marks a cycle evaluation path.
+func isHotFunc(name string) bool {
+	switch {
+	case name == "Step":
+		return true
+	case strings.HasPrefix(name, "Eval"), strings.HasPrefix(name, "eval"):
+		return true
+	case strings.HasPrefix(name, "Gather"), strings.HasPrefix(name, "gather"):
+		return true
+	}
+	return false
+}
